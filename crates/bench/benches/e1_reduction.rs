@@ -1,0 +1,35 @@
+//! E1 bench — the Theorem 2 reduction itself (`O(nm)` APSP + matrix build)
+//! and the Claim 1 labeling recovery, at growing n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dclab_bench::{diam2_graph, l21};
+use dclab_core::reduction::{labeling_from_order, reduce_to_path_tsp};
+use std::hint::black_box;
+
+fn bench_reduction(c: &mut Criterion) {
+    let p = l21();
+    let mut group = c.benchmark_group("e1_reduce_to_path_tsp");
+    group.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let g = diam2_graph(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| reduce_to_path_tsp(black_box(g), &p).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e1_labeling_recovery");
+    group.sample_size(20);
+    for n in [50usize, 200, 800] {
+        let g = diam2_graph(n, 1);
+        let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+        let order: Vec<u32> = (0..n as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &reduced, |b, r| {
+            b.iter(|| labeling_from_order(black_box(r), &order))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E4 bench — the heuristic ladder: greedy labeling, NN construction,
+//! 2-opt, 2-opt + Or-opt, and a chained-LK run, on a large diameter-2
+//! instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dclab_bench::{diam2_graph, l21};
+use dclab_core::baseline::greedy::{greedy_labeling, GreedyOrder};
+use dclab_core::reduction::reduce_to_path_tsp;
+use dclab_tsp::construct::nearest_neighbor;
+use dclab_tsp::lk::{chained_lk, ChainedLkConfig};
+use dclab_tsp::localsearch::{local_opt, two_opt, LocalSearchConfig, TourState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let p = l21();
+    let n = 300;
+    let g = diam2_graph(n, 4);
+    let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+    let ext = reduced.tsp.with_dummy_city();
+    let nl = ext.neighbor_lists(10);
+    let cfg = LocalSearchConfig::default();
+
+    let mut group = c.benchmark_group("e4_heuristics_n300");
+    group.sample_size(10);
+    group.bench_function("greedy_labeling", |b| {
+        b.iter(|| greedy_labeling(black_box(&g), &p, GreedyOrder::DegreeDescending))
+    });
+    group.bench_function("nearest_neighbor", |b| {
+        b.iter(|| nearest_neighbor(black_box(&ext), 0))
+    });
+    group.bench_function("two_opt", |b| {
+        b.iter(|| {
+            let mut st = TourState::new(nearest_neighbor(&ext, 0));
+            two_opt(&ext, &mut st, &nl, &cfg)
+        })
+    });
+    group.bench_function("local_opt_2opt_oropt", |b| {
+        b.iter(|| {
+            let mut st = TourState::new(nearest_neighbor(&ext, 0));
+            local_opt(&ext, &mut st, &nl, &cfg)
+        })
+    });
+    group.bench_function("chained_lk_10kicks", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            chained_lk(
+                &ext,
+                0,
+                &ChainedLkConfig {
+                    kicks: 10,
+                    ..ChainedLkConfig::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 bench — Corollary 2 machinery: exponential subset-DP PIP vs the
+//! polynomial cotree DP on cographs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dclab_bench::{cograph, diam2_graph};
+use dclab_core::diam2::{solve_diam2_lpq, PipSolver};
+use dclab_core::partition_paths::{cograph::cograph_path_partition, exact_path_partition};
+use std::hint::black_box;
+
+fn bench_pip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_subset_dp");
+    group.sample_size(10);
+    for n in [12usize, 16, 18] {
+        let g = diam2_graph(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| exact_path_partition(black_box(g)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e5_cotree_dp");
+    group.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let g = cograph(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| cograph_path_partition(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e5_full_corollary2");
+    group.sample_size(10);
+    let g = diam2_graph(14, 6);
+    group.bench_function("subset_dp_n14", |b| {
+        b.iter(|| solve_diam2_lpq(black_box(&g), 2, 1, PipSolver::SubsetDp).unwrap())
+    });
+    let cg = cograph(256, 6);
+    group.bench_function("cotree_n256", |b| {
+        b.iter(|| solve_diam2_lpq(black_box(&cg), 2, 1, PipSolver::Cotree).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pip);
+criterion_main!(benches);

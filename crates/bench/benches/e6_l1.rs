@@ -1,0 +1,39 @@
+//! E6 bench — Theorem 4: L(1,1) via coloring of G², comparing the nd-FPT
+//! covering engine, exact branch-and-bound, and DSATUR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dclab_bench::cograph;
+use dclab_core::l1::{solve_l1, L1Engine};
+use dclab_graph::generators::classic;
+use std::hint::black_box;
+
+fn bench_l1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_l1_coloring");
+    group.sample_size(10);
+
+    let small = classic::complete_multipartite(&[5, 5, 5]);
+    group.bench_function("exact_bb_multipartite15", |b| {
+        b.iter(|| solve_l1(black_box(&small), 2, L1Engine::Exact))
+    });
+    group.bench_function("nd_fpt_multipartite15", |b| {
+        b.iter(|| solve_l1(black_box(&small), 2, L1Engine::NdFpt))
+    });
+
+    // Large n, tiny nd: the FPT engine's home turf.
+    let large = classic::complete_multipartite(&[60, 60, 60, 60]);
+    group.bench_function("nd_fpt_multipartite240", |b| {
+        b.iter(|| solve_l1(black_box(&large), 2, L1Engine::NdFpt))
+    });
+    group.bench_function("dsatur_multipartite240", |b| {
+        b.iter(|| solve_l1(black_box(&large), 2, L1Engine::Dsatur))
+    });
+
+    let cg = cograph(120, 7);
+    group.bench_function("nd_fpt_cograph120", |b| {
+        b.iter(|| solve_l1(black_box(&cg), 2, L1Engine::NdFpt))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_l1);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E8 bench — ablations: candidate-list size and don't-look bits in 2-opt;
+//! matching backends (exact DP / blossom / greedy) at the sizes
+//! Christofides uses them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dclab_bench::{diam2_graph, l21};
+use dclab_core::reduction::reduce_to_path_tsp;
+use dclab_tsp::construct::nearest_neighbor;
+use dclab_tsp::localsearch::{two_opt, LocalSearchConfig, TourState};
+use dclab_tsp::matching::{
+    blossom::min_weight_perfect_matching_blossom, exact_dp::min_weight_perfect_matching_dp,
+    greedy::greedy_min_weight_matching,
+};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let p = l21();
+    let g = diam2_graph(300, 9);
+    let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+    let ext = reduced.tsp.with_dummy_city();
+
+    let mut group = c.benchmark_group("e8_two_opt_neighbor_k");
+    group.sample_size(10);
+    for k in [4usize, 10, 24] {
+        let nl = ext.neighbor_lists(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &nl, |b, nl| {
+            b.iter(|| {
+                let mut st = TourState::new(nearest_neighbor(&ext, 0));
+                two_opt(
+                    &ext,
+                    &mut st,
+                    nl,
+                    &LocalSearchConfig {
+                        neighbor_k: 0, // list already built
+                        ..LocalSearchConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_two_opt_dont_look");
+    group.sample_size(10);
+    let nl = ext.neighbor_lists(10);
+    for dlb in [true, false] {
+        group.bench_with_input(BenchmarkId::from_parameter(dlb), &dlb, |b, &dlb| {
+            b.iter(|| {
+                let mut st = TourState::new(nearest_neighbor(&ext, 0));
+                two_opt(
+                    &ext,
+                    &mut st,
+                    &nl,
+                    &LocalSearchConfig {
+                        dont_look: dlb,
+                        ..LocalSearchConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_matching_backends");
+    group.sample_size(10);
+    let w = |a: usize, b: usize| {
+        let (a, b) = (a.min(b) as u64, a.max(b) as u64);
+        (a * 7919 + b * 104729) % 100 + 1
+    };
+    group.bench_function("exact_dp_k16", |bch| {
+        bch.iter(|| min_weight_perfect_matching_dp(black_box(16), &w))
+    });
+    group.bench_function("blossom_k16", |bch| {
+        bch.iter(|| min_weight_perfect_matching_blossom(black_box(16), &w))
+    });
+    group.bench_function("blossom_k64", |bch| {
+        bch.iter(|| min_weight_perfect_matching_blossom(black_box(64), &w))
+    });
+    group.bench_function("greedy_k64", |bch| {
+        bch.iter(|| greedy_min_weight_matching(black_box(64), &w))
+    });
+    group.bench_function("greedy_k512", |bch| {
+        bch.iter(|| greedy_min_weight_matching(black_box(512), &w))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Shared fixtures for the criterion benches (one bench target per
+//! experiment table of `EXPERIMENTS.md`).
+
+use dclab_core::pvec::PVec;
+use dclab_graph::generators::random;
+use dclab_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic diameter-2 G(n, p) fixture. Density sits comfortably
+/// above the diameter-2 threshold `√(2·ln n / n)`.
+pub fn diam2_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let density = (2.8 * (n as f64).ln() / n as f64).sqrt().clamp(0.0, 0.6);
+    random::gnp_with_diameter_at_most(&mut rng, n, density.max(0.45), 2)
+}
+
+/// Deterministic connected cograph fixture.
+pub fn cograph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random::random_connected_cograph(&mut rng, n, 0.4)
+}
+
+/// The classic constraint vector.
+pub fn l21() -> PVec {
+    PVec::l21()
+}

@@ -1,0 +1,144 @@
+//! E4 — Heuristic quality & speed at scale (the paper's practical route).
+//!
+//! Construction + local-search ladder on large diameter-2 instances, where
+//! exact search is impossible: nearest-neighbor → 2-opt → 2-opt+Or-opt →
+//! chained LK, against the greedy-labeling baseline and the
+//! `(n−1)·p_min` lower bound.
+
+use super::{header, ms, timed};
+use dclab_core::baseline::greedy::best_greedy_span;
+use dclab_core::pvec::PVec;
+use dclab_core::reduction::{labeling_from_order, reduce_to_path_tsp};
+use dclab_graph::generators::random;
+use dclab_tsp::construct::nearest_neighbor;
+use dclab_tsp::localsearch::{local_opt, or_opt, two_opt, LocalSearchConfig, TourState};
+use dclab_tsp::lk::{chained_lk, ChainedLkConfig};
+use dclab_tsp::tour::{cycle_with_dummy_to_path, path_weight};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn run(quick: bool) {
+    header("E4 — heuristic ladder on large diameter-2 instances, L(2,1)");
+    let sizes: &[usize] = if quick { &[100, 200] } else { &[100, 300, 600, 1000] };
+    let p = PVec::l21();
+    println!(
+        "{:<6} {:>8} | {:>14} {:>14} {:>14} {:>14} {:>14} | {:>8}",
+        "n", "lowerbd", "greedy-label", "NN", "2-opt", "2opt+Or", "chainedLK", "LK time"
+    );
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    for &n in sizes {
+        // Diameter-2 threshold for G(n,p) is p ≈ √(2·ln n / n); sample
+        // comfortably above it.
+        let density = (2.8 * (n as f64).ln() / n as f64).sqrt().min(0.6);
+        let g = random::gnp_with_diameter_at_most(&mut rng, n, density, 2);
+        let lower = (n as u64 - 1) * p.pmin();
+        let (greedy_l, _) = best_greedy_span(&g, &p);
+
+        let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+        let ext = reduced.tsp.with_dummy_city();
+        let nl = ext.neighbor_lists(10);
+        let cfg = LocalSearchConfig::default();
+
+        // NN construction (on the dummy-extended instance → path).
+        let nn_cycle = nearest_neighbor(&ext, 0);
+        let nn_path = cycle_with_dummy_to_path(reduced.tsp.n(), &nn_cycle);
+        let nn_span = path_weight(&reduced.tsp, &nn_path);
+
+        // 2-opt only.
+        let mut st = TourState::new(nn_cycle.clone());
+        two_opt(&ext, &mut st, &nl, &cfg);
+        let two_span =
+            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &st.order));
+
+        // 2-opt + Or-opt.
+        let mut st2 = TourState::new(nn_cycle);
+        local_opt(&ext, &mut st2, &nl, &cfg);
+        or_opt(&ext, &mut st2, &nl, &cfg);
+        let or_span =
+            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &st2.order));
+
+        // Chained LK.
+        let lk_cfg = ChainedLkConfig {
+            kicks: if quick { 10 } else { 30 },
+            ..ChainedLkConfig::default()
+        };
+        let ((lk_cycle, _), lk_ms) = timed(|| {
+            let mut r = StdRng::seed_from_u64(7);
+            chained_lk(&ext, 0, &lk_cfg, &mut r)
+        });
+        let lk_path = cycle_with_dummy_to_path(reduced.tsp.n(), &lk_cycle);
+        let lk_span = path_weight(&reduced.tsp, &lk_path);
+        let lk_labeling = labeling_from_order(&reduced, &lk_path);
+        assert!(lk_labeling.validate(&g, &p).is_ok());
+
+        println!(
+            "{:<6} {:>8} | {:>14} {:>14} {:>14} {:>14} {:>14} | {:>8}",
+            n,
+            lower,
+            greedy_l.span(),
+            nn_span,
+            two_span,
+            or_span,
+            lk_span,
+            ms(lk_ms)
+        );
+    }
+    println!("\nshape: dense diameter-2 G(n,p) is Hamiltonian, so λ = (n−1)·p_min and");
+    println!("every local-search tier certifiably hits the optimum; NN alone misses.");
+
+    header("E4b — structured family with known optimum: complete multipartite");
+    // Complement of K(parts) is disjoint cliques → PIP = #parts, so
+    // Corollary 2 gives λ_{2,1} = (n−1)·1 + (2−1)·(t−1) exactly.
+    println!(
+        "{:<18} {:>8} | {:>14} {:>14} {:>14} {:>14}",
+        "parts", "optimal", "greedy-label", "NN", "2opt+Or", "chainedLK"
+    );
+    let part_specs: &[&[usize]] = if quick {
+        &[&[40, 20, 10, 5, 5], &[64; 4]]
+    } else {
+        &[
+            &[40, 20, 10, 5, 5],
+            &[64; 4],
+            &[100, 50, 25, 12, 6, 3, 2, 2],
+            &[2; 100],
+        ]
+    };
+    for &parts in part_specs {
+        let g = dclab_graph::generators::classic::complete_multipartite(parts);
+        let n = g.n();
+        let t = parts.len() as u64;
+        let optimal = (n as u64 - 1) + (t - 1);
+        let (greedy_l, _) = best_greedy_span(&g, &p);
+        let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+        let ext = reduced.tsp.with_dummy_city();
+        let nl = ext.neighbor_lists(10);
+        let cfg = LocalSearchConfig::default();
+        let nn_cycle = nearest_neighbor(&ext, 0);
+        let nn_span =
+            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &nn_cycle));
+        let mut st = TourState::new(nn_cycle);
+        local_opt(&ext, &mut st, &nl, &cfg);
+        let ls_span =
+            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &st.order));
+        let lk_cfg = ChainedLkConfig {
+            kicks: if quick { 10 } else { 30 },
+            ..ChainedLkConfig::default()
+        };
+        let mut r = StdRng::seed_from_u64(11);
+        let (lk_cycle, _) = chained_lk(&ext, 0, &lk_cfg, &mut r);
+        let lk_path = cycle_with_dummy_to_path(reduced.tsp.n(), &lk_cycle);
+        let lk_span = path_weight(&reduced.tsp, &lk_path);
+        assert!(lk_span >= optimal, "heuristic beat the proven optimum?!");
+        println!(
+            "{:<18} {:>8} | {:>14} {:>14} {:>14} {:>14}",
+            format!("{} parts, n={}", parts.len(), n),
+            optimal,
+            greedy_l.span(),
+            nn_span,
+            ls_span,
+            lk_span
+        );
+    }
+    println!("\nshape: with forced weight-2 steps (t−1 part crossings) the heuristics");
+    println!("still land on the exact optimum from Corollary 2's closed form.");
+}

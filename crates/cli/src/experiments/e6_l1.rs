@@ -1,0 +1,77 @@
+//! E6 — `L(1,…,1)` via coloring of `G^k` (Theorem 4).
+//!
+//! The nd-FPT covering engine matches exact branch-and-bound where both
+//! run, and keeps scaling with `n` when `nd` stays bounded (the FPT shape);
+//! DSATUR is the heuristic reference.
+
+use super::{header, ms, timed};
+use dclab_core::l1::{solve_l1, L1Engine};
+use dclab_graph::generators::{classic, random};
+use dclab_graph::params::nd::nd;
+use dclab_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn run(quick: bool) {
+    header("E6 — L(1,1) = coloring of G²: nd-FPT vs exact vs DSATUR");
+    println!(
+        "{:<22} {:>6} {:>5} {:>12} {:>12} {:>10} {:>8}",
+        "graph", "n", "nd", "nd-FPT", "exact BB", "DSATUR", "span"
+    );
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    let mut rows: Vec<(String, Graph)> = vec![
+        (
+            "multipartite[4,4,4]".into(),
+            classic::complete_multipartite(&[4, 4, 4]),
+        ),
+        (
+            "multipartite[8,8,8]".into(),
+            classic::complete_multipartite(&[8, 8, 8]),
+        ),
+        ("split(6,10)".into(), classic::split_graph(6, 10)),
+        ("petersen".into(), classic::petersen()),
+        (
+            "cograph(24)".into(),
+            random::random_connected_cograph(&mut rng, 24, 0.45),
+        ),
+        (
+            "G(14,.4)".into(),
+            random::connected_gnp(&mut rng, 14, 0.4),
+        ),
+    ];
+    if !quick {
+        rows.push((
+            "multipartite[50x4]".into(),
+            classic::complete_multipartite(&[50, 50, 50, 50]),
+        ));
+        rows.push((
+            "cograph(200)".into(),
+            random::random_connected_cograph(&mut rng, 200, 0.4),
+        ));
+    }
+    for (name, g) in rows {
+        let ndv = nd(&g);
+        let ((_, fpt_span), fpt_ms) = timed(|| solve_l1(&g, 2, L1Engine::NdFpt));
+        let exact_cell = if g.n() <= 26 {
+            let ((_, ex_span), ex_ms) = timed(|| solve_l1(&g, 2, L1Engine::Exact));
+            assert_eq!(ex_span, fpt_span, "nd-FPT disagreed with exact BB");
+            format!("{} ✓", ms(ex_ms))
+        } else {
+            "—".into()
+        };
+        let ((_, ds_span), _) = timed(|| solve_l1(&g, 2, L1Engine::Dsatur));
+        println!(
+            "{:<22} {:>6} {:>5} {:>12} {:>12} {:>10} {:>8}",
+            name,
+            g.n(),
+            ndv,
+            ms(fpt_ms),
+            exact_cell,
+            ds_span,
+            fpt_span
+        );
+    }
+    println!("\nshape: nd-FPT equals exact everywhere both run, and scales with n");
+    println!("for bounded nd (Theorem 4's claim); DSATUR is optimal on these");
+    println!("highly structured families but carries no guarantee.");
+}

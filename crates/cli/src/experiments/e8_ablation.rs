@@ -1,0 +1,114 @@
+//! E8 — Ablations of the heuristic/approximation machinery.
+//!
+//! (a) local search: candidate-list size, don't-look bits, Or-opt pass,
+//!     kick count — span/time on a fixed large instance;
+//! (b) matching backend inside Christofides/Hoogeveen: exact DP vs blossom
+//!     vs greedy — effect on the measured approximation ratio.
+
+use super::{header, ms, timed};
+use dclab_core::pvec::PVec;
+use dclab_core::reduction::reduce_to_path_tsp;
+use dclab_core::solver::{solve_approx15_with_backend, solve_exact};
+use dclab_graph::generators::random;
+use dclab_tsp::driver::{solve_path_heuristic, HeuristicConfig};
+use dclab_tsp::lk::ChainedLkConfig;
+use dclab_tsp::localsearch::LocalSearchConfig;
+use dclab_tsp::matching::MatchingBackend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn run(quick: bool) {
+    header("E8a — local-search ablation on G(n,.2) diam-2, L(2,1)");
+    let n = if quick { 200 } else { 500 };
+    let mut rng = StdRng::seed_from_u64(0xE8);
+    let density = (2.8 * (n as f64).ln() / n as f64).sqrt().min(0.6);
+    let g = random::gnp_with_diameter_at_most(&mut rng, n, density, 2);
+    let p = PVec::l21();
+    let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+    let lower = (n as u64 - 1) * p.pmin();
+    println!("instance: n={n}, m={}, lower bound {lower}", g.m());
+    println!(
+        "{:<34} {:>10} {:>12}",
+        "configuration", "span", "time"
+    );
+    let base = LocalSearchConfig::default();
+    let variants: Vec<(String, LocalSearchConfig, usize)> = vec![
+        ("k=10, dlb, or-opt, kicks=20".into(), base.clone(), 20),
+        (
+            "k=4".into(),
+            LocalSearchConfig {
+                neighbor_k: 4,
+                ..base.clone()
+            },
+            20,
+        ),
+        (
+            "k=24".into(),
+            LocalSearchConfig {
+                neighbor_k: 24,
+                ..base.clone()
+            },
+            20,
+        ),
+        (
+            "no don't-look bits".into(),
+            LocalSearchConfig {
+                dont_look: false,
+                ..base.clone()
+            },
+            20,
+        ),
+        (
+            "no or-opt".into(),
+            LocalSearchConfig {
+                or_opt: false,
+                ..base.clone()
+            },
+            20,
+        ),
+        ("kicks=0 (pure descent)".into(), base.clone(), 0),
+        ("kicks=60".into(), base.clone(), if quick { 20 } else { 60 }),
+    ];
+    for (name, local, kicks) in variants {
+        let cfg = HeuristicConfig {
+            restarts: 2,
+            chained: ChainedLkConfig { local, kicks },
+            seed: 1,
+        };
+        let ((_, span), t) = timed(|| solve_path_heuristic(&reduced.tsp, &cfg));
+        println!("{:<34} {:>10} {:>12}", name, span, ms(t));
+    }
+
+    header("E8b — matching backend inside the 1.5-approximation");
+    let trials = if quick { 4 } else { 12 };
+    println!(
+        "{:<12} {:>8} {:>12} {:>12}",
+        "backend", "trials", "mean ratio", "max ratio"
+    );
+    for (name, backend) in [
+        ("exact DP", MatchingBackend::ExactDp),
+        ("blossom", MatchingBackend::Blossom),
+        ("greedy", MatchingBackend::Greedy),
+    ] {
+        let mut rng = StdRng::seed_from_u64(0xE8B);
+        let mut ratios = Vec::new();
+        for _ in 0..trials {
+            let g = random::gnp_with_diameter_at_most(&mut rng, 14, 0.45, 2);
+            let exact = solve_exact(&g, &p).unwrap();
+            let approx = solve_approx15_with_backend(&g, &p, backend).unwrap();
+            assert!(approx.labeling.validate(&g, &p).is_ok());
+            ratios.push(approx.span as f64 / exact.span.max(1) as f64);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:<12} {:>8} {:>12.3} {:>12.3}",
+            name, trials, mean, max
+        );
+    }
+    println!("\nshape: exact-DP and blossom return equal-weight (optimal) matchings —");
+    println!("tie-breaking picks different edges, so downstream shortcut tours can");
+    println!("differ by a few percent either way; greedy matching is competitive at");
+    println!("these sizes and none of the backends approaches the 3/2 bound.");
+    println!("Candidate-list size trades time for span; don't-look bits cut time.");
+}

@@ -1,0 +1,34 @@
+//! One module per experiment table of `EXPERIMENTS.md`.
+
+pub mod e1_reduction;
+pub mod e2_exact_scaling;
+pub mod e3_approx;
+pub mod e4_heuristics;
+pub mod e5_diam2;
+pub mod e6_l1;
+pub mod e7_pmax;
+pub mod e8_ablation;
+
+use std::time::Instant;
+
+/// Time a closure, returning (result, milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Format milliseconds compactly.
+pub fn ms(x: f64) -> String {
+    if x < 1.0 {
+        format!("{:.3}ms", x)
+    } else if x < 1000.0 {
+        format!("{:.1}ms", x)
+    } else {
+        format!("{:.2}s", x / 1e3)
+    }
+}
+
+pub fn header(title: &str) {
+    println!("\n## {title}\n");
+}

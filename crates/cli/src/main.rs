@@ -1,0 +1,67 @@
+//! `dclab` — experiment driver.
+//!
+//! Regenerates every table of `EXPERIMENTS.md`:
+//!
+//! ```text
+//! dclab e1   # reduction correctness (Thm 2 / Claim 1 / Fig. 1)
+//! dclab e2   # exact scaling (Cor 1a: Held–Karp vs oracle)
+//! dclab e3   # 1.5-approximation quality (Cor 1b)
+//! dclab e4   # heuristic quality & speed at scale (§I-A practical route)
+//! dclab e5   # diameter-2 L(p,q) via Partition into Paths (Cor 2 / Fig. 2)
+//! dclab e6   # L(1,1) via coloring G², nd-FPT engine (Thm 4)
+//! dclab e7   # p_max-approximation measured ratios (Cor 3)
+//! dclab e8   # ablations (neighbor lists, don't-look bits, kicks, matching)
+//! dclab all  # everything
+//! ```
+//!
+//! `--quick` shrinks the sweeps for smoke runs.
+
+mod experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let run = |name: &str| which == "all" || which == name;
+    let mut ran = false;
+    if run("e1") {
+        experiments::e1_reduction::run(quick);
+        ran = true;
+    }
+    if run("e2") {
+        experiments::e2_exact_scaling::run(quick);
+        ran = true;
+    }
+    if run("e3") {
+        experiments::e3_approx::run(quick);
+        ran = true;
+    }
+    if run("e4") {
+        experiments::e4_heuristics::run(quick);
+        ran = true;
+    }
+    if run("e5") {
+        experiments::e5_diam2::run(quick);
+        ran = true;
+    }
+    if run("e6") {
+        experiments::e6_l1::run(quick);
+        ran = true;
+    }
+    if run("e7") {
+        experiments::e7_pmax::run(quick);
+        ran = true;
+    }
+    if run("e8") {
+        experiments::e8_ablation::run(quick);
+        ran = true;
+    }
+    if !ran {
+        eprintln!("unknown experiment '{which}'; use e1..e8 or all (optionally --quick)");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Exact `L(p)`-labeling baselines, **independent of the TSP reduction**.
+//!
+//! [`exact_labeling_bruteforce`] enumerates all `n!` sorted orders and, for
+//! each, takes every label as low as the *full* constraint set allows
+//! (`l(v_i) = max_{j<i} l(v_j) + p_{d(v_j,v_i)}`). This is exact for any
+//! graph: every labeling can be sorted, and lowering labels to their minimal
+//! feasible values never violates a lower-bound-only constraint system.
+//! Crucially it does *not* use Claim 1's "only the predecessor matters"
+//! simplification, so it independently verifies the reduction (E1).
+//!
+//! [`exact_labeling_dfs`] is a second oracle: plain depth-first search over
+//! label assignments with a span budget, feasible for tiny `n`.
+
+use crate::labeling::Labeling;
+use crate::pvec::PVec;
+use dclab_graph::{DistanceMatrix, Graph, INF};
+
+/// Exact minimum span by enumerating sorted orders (`n ≤ 10`).
+///
+/// Returns `(labeling, span)`.
+///
+/// # Panics
+/// If `n > 10` (factorial guard) or `n == 0`.
+pub fn exact_labeling_bruteforce(g: &Graph, p: &PVec) -> (Labeling, u64) {
+    let n = g.n();
+    assert!((1..=10).contains(&n), "brute force limited to 1 ≤ n ≤ 10");
+    let dist = DistanceMatrix::compute(g);
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut best_span = u64::MAX;
+    let mut best_labels: Vec<u64> = vec![];
+    let mut labels = vec![0u64; n];
+    permute(&mut order, 0, &mut |perm| {
+        // Minimal labels for this sorted order, using ALL predecessors.
+        let mut span = 0u64;
+        for (i, &vi) in perm.iter().enumerate() {
+            let mut l = 0u64;
+            for &vj in &perm[..i] {
+                let d = dist.get(vj as usize, vi as usize);
+                if d == INF {
+                    continue;
+                }
+                let need = labels[vj as usize] + p.at_distance(d);
+                l = l.max(need);
+            }
+            labels[vi as usize] = l;
+            span = span.max(l);
+            if span >= best_span {
+                return; // prefix already no better
+            }
+        }
+        if span < best_span {
+            best_span = span;
+            best_labels = labels.clone();
+        }
+    });
+    (Labeling::new(best_labels), best_span)
+}
+
+/// Exact minimum span by DFS over label values with budget `s`,
+/// increasing `s` from a lower bound until feasible (`n ≤ 7` recommended).
+///
+/// This third, structurally different oracle exists purely to cross-check
+/// the other two on tiny instances.
+pub fn exact_labeling_dfs(g: &Graph, p: &PVec) -> (Labeling, u64) {
+    let n = g.n();
+    assert!(n >= 1, "empty graph");
+    let dist = DistanceMatrix::compute(g);
+    // Upper bound from the permutation oracle's first candidate: label i·pmax.
+    let ub = (n as u64 - 1) * p.pmax();
+    for s in 0..=ub {
+        let mut labels = vec![u64::MAX; n];
+        if dfs(0, s, &mut labels, &dist, p) {
+            return (Labeling::new(labels.clone()), s);
+        }
+    }
+    unreachable!("upper bound construction is always feasible");
+}
+
+fn dfs(v: usize, budget: u64, labels: &mut Vec<u64>, dist: &DistanceMatrix, p: &PVec) -> bool {
+    let n = labels.len();
+    if v == n {
+        return true;
+    }
+    'next_label: for l in 0..=budget {
+        for u in 0..v {
+            let d = dist.get(u, v);
+            if d == INF {
+                continue;
+            }
+            let need = p.at_distance(d);
+            if labels[u].abs_diff(l) < need {
+                continue 'next_label;
+            }
+        }
+        labels[v] = l;
+        if dfs(v + 1, budget, labels, dist, p) {
+            return true;
+        }
+        labels[v] = u64::MAX;
+    }
+    false
+}
+
+fn permute(xs: &mut [u32], k: usize, visit: &mut impl FnMut(&[u32])) {
+    if k == xs.len() {
+        visit(xs);
+        return;
+    }
+    for i in k..xs.len() {
+        xs.swap(k, i);
+        permute(xs, k + 1, visit);
+        xs.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dclab_graph::generators::{classic, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_l21_spans() {
+        // Classic values: λ_{2,1}(P2)=2, λ(P3)=3, λ(P4)=3, λ(P5)=4,
+        // λ(C5)=4, λ(K4)=6, λ(K_{1,4})=5 (star: Δ+1).
+        let p = PVec::l21();
+        assert_eq!(exact_labeling_bruteforce(&classic::path(2), &p).1, 2);
+        assert_eq!(exact_labeling_bruteforce(&classic::path(3), &p).1, 3);
+        assert_eq!(exact_labeling_bruteforce(&classic::path(4), &p).1, 3);
+        assert_eq!(exact_labeling_bruteforce(&classic::path(5), &p).1, 4);
+        assert_eq!(exact_labeling_bruteforce(&classic::cycle(5), &p).1, 4);
+        assert_eq!(exact_labeling_bruteforce(&classic::complete(4), &p).1, 6);
+        assert_eq!(exact_labeling_bruteforce(&classic::star(5), &p).1, 5);
+    }
+
+    #[test]
+    fn bruteforce_returns_valid_optimal_labeling() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let g = random::gnp(&mut rng, 7, 0.4);
+            let p = PVec::l21();
+            let (l, span) = exact_labeling_bruteforce(&g, &p);
+            assert!(l.validate(&g, &p).is_ok());
+            assert_eq!(l.span(), span);
+        }
+    }
+
+    #[test]
+    fn two_oracles_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..6 {
+            let g = random::gnp(&mut rng, 6, 0.5);
+            for p in [PVec::l21(), PVec::ones(2), PVec::new(vec![3, 2]).unwrap()] {
+                let (_, a) = exact_labeling_bruteforce(&g, &p);
+                let (_, b) = exact_labeling_dfs(&g, &p);
+                assert_eq!(a, b, "trial={trial} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_disconnected_graphs() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let (l, span) = exact_labeling_bruteforce(&g, &PVec::l21());
+        assert!(l.validate(&g, &PVec::l21()).is_ok());
+        assert_eq!(span, 2); // both components labeled {0, 2}
+    }
+
+    #[test]
+    fn singleton() {
+        let g = Graph::new(1);
+        assert_eq!(exact_labeling_bruteforce(&g, &PVec::l21()).1, 0);
+        assert_eq!(exact_labeling_dfs(&g, &PVec::l21()).1, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Greedy first-fit labeling — the classical constructive baseline.
+//!
+//! Vertices are processed in a chosen order; each receives the smallest
+//! label consistent with all already-labeled vertices within distance `k`.
+//! Works on *any* graph (no diameter or smoothness requirement) and runs in
+//! `O(n·(n + m) + n²k)`; gives no approximation guarantee but is the
+//! standard practical comparison point (E4).
+
+use crate::labeling::Labeling;
+use crate::pvec::PVec;
+use dclab_graph::csr::Csr;
+use dclab_graph::traversal::bfs_distances_bounded;
+use dclab_graph::{Graph, INF};
+
+/// Vertex orderings for the greedy labeler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GreedyOrder {
+    /// Natural order `0..n`.
+    Identity,
+    /// Non-increasing degree (classic "largest first").
+    DegreeDescending,
+    /// Breadth-first from a max-degree root.
+    Bfs,
+}
+
+/// Greedy first-fit `L(p)`-labeling of `g` with the given vertex order.
+pub fn greedy_labeling(g: &Graph, p: &PVec, order: GreedyOrder) -> Labeling {
+    let n = g.n();
+    let csr = Csr::from_graph(g);
+    let vertex_order = build_order(g, order);
+    let k = p.k() as u32;
+    let mut labels = vec![u64::MAX; n];
+    for &v in &vertex_order {
+        // Distances from v, truncated at k.
+        let dist = bfs_distances_bounded(&csr, v, k);
+        // Collect forbidden intervals [l(u) - p_d + 1, l(u) + p_d - 1] from
+        // labeled vertices, then take the smallest non-negative gap.
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for u in 0..n {
+            if labels[u] == u64::MAX || u == v {
+                continue;
+            }
+            let d = dist[u];
+            if d == INF || d == 0 || d > k {
+                continue;
+            }
+            let gap = p.at_distance(d);
+            if gap == 0 {
+                continue;
+            }
+            let lo = labels[u].saturating_sub(gap - 1);
+            let hi = labels[u] + (gap - 1);
+            intervals.push((lo, hi));
+        }
+        intervals.sort_unstable();
+        let mut candidate = 0u64;
+        for (lo, hi) in intervals {
+            if candidate < lo {
+                break; // fits before this interval
+            }
+            if candidate <= hi {
+                candidate = hi + 1;
+            }
+        }
+        labels[v] = candidate;
+    }
+    Labeling::new(labels)
+}
+
+fn build_order(g: &Graph, order: GreedyOrder) -> Vec<usize> {
+    let n = g.n();
+    match order {
+        GreedyOrder::Identity => (0..n).collect(),
+        GreedyOrder::DegreeDescending => {
+            let mut vs: Vec<usize> = (0..n).collect();
+            vs.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+            vs
+        }
+        GreedyOrder::Bfs => {
+            if n == 0 {
+                return vec![];
+            }
+            let root = (0..n).max_by_key(|&v| g.degree(v)).unwrap();
+            let mut seen = vec![false; n];
+            let mut queue = std::collections::VecDeque::new();
+            let mut out = Vec::with_capacity(n);
+            for start in std::iter::once(root).chain(0..n) {
+                if seen[start] {
+                    continue;
+                }
+                seen[start] = true;
+                queue.push_back(start);
+                while let Some(u) = queue.pop_front() {
+                    out.push(u);
+                    for &w in g.neighbors(u) {
+                        let w = w as usize;
+                        if !seen[w] {
+                            seen[w] = true;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Greedy span over all three orders — cheap "best-of" baseline.
+pub fn best_greedy_span(g: &Graph, p: &PVec) -> (Labeling, u64) {
+    let candidates = [
+        GreedyOrder::DegreeDescending,
+        GreedyOrder::Bfs,
+        GreedyOrder::Identity,
+    ];
+    let mut best: Option<Labeling> = None;
+    for ord in candidates {
+        let l = greedy_labeling(g, p, ord);
+        if best.as_ref().is_none_or(|b| l.span() < b.span()) {
+            best = Some(l);
+        }
+    }
+    let l = best.unwrap();
+    let s = l.span();
+    (l, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dclab_graph::generators::{classic, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_is_always_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p21 = PVec::l21();
+        for _ in 0..10 {
+            let g = random::gnp(&mut rng, 25, 0.3);
+            for ord in [
+                GreedyOrder::Identity,
+                GreedyOrder::DegreeDescending,
+                GreedyOrder::Bfs,
+            ] {
+                let l = greedy_labeling(&g, &p21, ord);
+                assert!(l.validate(&g, &p21).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_on_k_n_is_exact() {
+        // K_n with L(2,1): labels 0,2,4,… — greedy finds exactly that.
+        let g = classic::complete(5);
+        let l = greedy_labeling(&g, &PVec::l21(), GreedyOrder::Identity);
+        assert_eq!(l.span(), 8);
+    }
+
+    #[test]
+    fn greedy_valid_for_higher_dimension_p() {
+        let g = classic::petersen();
+        let p = PVec::new(vec![3, 2, 2]).unwrap();
+        let l = greedy_labeling(&g, &p, GreedyOrder::DegreeDescending);
+        assert!(l.validate(&g, &p).is_ok());
+    }
+
+    #[test]
+    fn greedy_on_disconnected_graph_reuses_labels() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let l = greedy_labeling(&g, &PVec::l21(), GreedyOrder::Identity);
+        assert!(l.validate(&g, &PVec::l21()).is_ok());
+        // Components don't constrain each other, so span stays at 2.
+        assert_eq!(l.span(), 2);
+    }
+
+    #[test]
+    fn best_greedy_no_worse_than_each() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = random::connected_gnp(&mut rng, 20, 0.4);
+        let p = PVec::l21();
+        let (_, best) = best_greedy_span(&g, &p);
+        for ord in [
+            GreedyOrder::Identity,
+            GreedyOrder::DegreeDescending,
+            GreedyOrder::Bfs,
+        ] {
+            assert!(best <= greedy_labeling(&g, &p, ord).span());
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        let l = greedy_labeling(&g, &PVec::l21(), GreedyOrder::Bfs);
+        assert!(l.is_empty());
+        assert_eq!(l.span(), 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! From-scratch baselines that do **not** go through the TSP reduction.
+//!
+//! These serve two purposes: (1) independent oracles that validate the
+//! Theorem 2 pipeline end-to-end (E1), and (2) the comparison points of the
+//! heuristic experiments (E4).
+
+pub mod exact;
+pub mod greedy;
+
+pub use exact::{exact_labeling_bruteforce, exact_labeling_dfs};
+pub use greedy::{greedy_labeling, GreedyOrder};

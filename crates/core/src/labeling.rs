@@ -1,0 +1,167 @@
+//! Labelings and their validation.
+
+use crate::pvec::PVec;
+use dclab_graph::{DistanceMatrix, Graph, INF};
+
+/// An assignment `l : V → ℕ ∪ {0}` of labels to the vertices of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Labeling {
+    labels: Vec<u64>,
+}
+
+/// A single violated constraint, reported by [`Labeling::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub u: usize,
+    pub v: usize,
+    pub distance: u32,
+    pub required_gap: u64,
+    pub actual_gap: u64,
+}
+
+impl Labeling {
+    /// Wrap a label vector.
+    pub fn new(labels: Vec<u64>) -> Self {
+        Labeling { labels }
+    }
+
+    /// Label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: usize) -> u64 {
+        self.labels[v]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// Number of labeled vertices.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` for the empty labeling.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The span `max_v l(v)` (0 for the empty labeling).
+    pub fn span(&self) -> u64 {
+        self.labels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Check every distance constraint of `p` on `g`; `Ok(())` or the first
+    /// violation found.
+    pub fn validate(&self, g: &Graph, p: &PVec) -> Result<(), Violation> {
+        assert_eq!(self.labels.len(), g.n(), "labeling size mismatch");
+        let dist = DistanceMatrix::compute(g);
+        self.validate_with_distances(&dist, p)
+    }
+
+    /// Validation against a precomputed distance matrix (cheaper when many
+    /// labelings of the same graph are checked).
+    pub fn validate_with_distances(
+        &self,
+        dist: &DistanceMatrix,
+        p: &PVec,
+    ) -> Result<(), Violation> {
+        let n = self.labels.len();
+        assert_eq!(dist.n(), n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = dist.get(u, v);
+                if d == INF || d as usize > p.k() {
+                    continue;
+                }
+                let required = p.at_distance(d);
+                let actual = self.labels[u].abs_diff(self.labels[v]);
+                if actual < required {
+                    return Err(Violation {
+                        u,
+                        v,
+                        distance: d,
+                        required_gap: required,
+                        actual_gap: actual,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Vertices sorted by label (stable: ties by vertex id) — the
+    /// permutation `π` of the paper's Claim 1.
+    pub fn sorted_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.labels.len() as u32).collect();
+        order.sort_by_key(|&v| (self.labels[v as usize], v));
+        order
+    }
+
+    /// Normalize so the minimum label is 0 (never increases the span; any
+    /// optimal labeling has a 0 label, as the paper observes).
+    pub fn normalized(&self) -> Labeling {
+        let min = self.labels.iter().copied().min().unwrap_or(0);
+        Labeling {
+            labels: self.labels.iter().map(|&l| l - min).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dclab_graph::generators::classic;
+
+    #[test]
+    fn validate_accepts_known_l21_of_path() {
+        // P4: labels 0,2,4,... The optimal L(2,1) labeling of P4 has span 3:
+        // e.g. 1,3,0,2.
+        let g = classic::path(4);
+        let good = Labeling::new(vec![1, 3, 0, 2]);
+        assert!(good.validate(&g, &PVec::l21()).is_ok());
+        assert_eq!(good.span(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_adjacent_gap_one() {
+        let g = classic::path(2);
+        let bad = Labeling::new(vec![0, 1]);
+        let err = bad.validate(&g, &PVec::l21()).unwrap_err();
+        assert_eq!(err.distance, 1);
+        assert_eq!(err.required_gap, 2);
+        assert_eq!(err.actual_gap, 1);
+    }
+
+    #[test]
+    fn validate_rejects_distance_two_equal() {
+        let g = classic::path(3);
+        let bad = Labeling::new(vec![0, 2, 0]);
+        let err = bad.validate(&g, &PVec::l21()).unwrap_err();
+        assert_eq!((err.u, err.v), (0, 2));
+        assert_eq!(err.distance, 2);
+    }
+
+    #[test]
+    fn far_vertices_unconstrained() {
+        let g = classic::path(4); // dist(0,3) = 3 > k = 2
+        let l = Labeling::new(vec![0, 2, 4, 0]);
+        assert!(l.validate(&g, &PVec::l21()).is_ok());
+    }
+
+    #[test]
+    fn sorted_order_and_normalize() {
+        let l = Labeling::new(vec![5, 2, 9, 2]);
+        assert_eq!(l.sorted_order(), vec![1, 3, 0, 2]);
+        let n = l.normalized();
+        assert_eq!(n.labels(), &[3, 0, 7, 0]);
+        assert_eq!(n.span(), 7);
+    }
+
+    #[test]
+    fn disconnected_pairs_skipped() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let l = Labeling::new(vec![0, 2, 0]);
+        assert!(l.validate(&g, &PVec::l21()).is_ok());
+    }
+}

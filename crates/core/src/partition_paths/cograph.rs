@@ -1,0 +1,126 @@
+//! Polynomial Partition-into-Paths on cographs via cotree DP.
+//!
+//! This realises the *shape* of Corollary 2's FPT claim (Gajarský et al.'s
+//! modular-width algorithm) on the canonical bounded-modular-width family:
+//! cographs. The DP carries `(size, pc)` per cotree node:
+//!
+//! * union node: `pc = Σ pc_i` (components are independent);
+//! * join node (children folded left-to-right, join is associative):
+//!   `pc(A ⊕ B) = max(1, pc_A − |B|, pc_B − |A|)`.
+//!
+//! The join formula comes from two facts. *Achievability*: a cover of `A`
+//! with `x` paths may be split into any number of paths in `[pc_A, |A|]`,
+//! and `x` A-paths plus `y` B-paths interleave through cross edges into
+//! `max(1, x − y)` paths (for `x ≥ y`). *Optimality*: deleting `B` from any
+//! cover of the join splits its paths into at most `(#paths) + |B|`
+//! A-segments, so `pc_A ≤ pc + |B|`, i.e. `pc ≥ pc_A − |B|` (symmetrically
+//! for `B`), and `pc ≥ 1` always.
+
+use dclab_graph::params::cotree::{Cotree, CotreeNode};
+use dclab_graph::Graph;
+
+/// Minimum path partition size of a cograph, or `None` when `g` is not a
+/// cograph. `O(n²)` (dominated by cotree construction).
+pub fn cograph_path_partition(g: &Graph) -> Option<usize> {
+    let tree = Cotree::build(g)?;
+    if g.n() == 0 {
+        return Some(0);
+    }
+    Some(eval(&tree, tree.root).1)
+}
+
+/// Returns `(size, pc)` for the subtree at `idx`.
+fn eval(tree: &Cotree, idx: usize) -> (usize, usize) {
+    match &tree.nodes[idx] {
+        CotreeNode::Leaf(_) => (1, 1),
+        CotreeNode::Union(children) => {
+            let mut size = 0;
+            let mut pc = 0;
+            for &c in children {
+                let (s, p) = eval(tree, c);
+                size += s;
+                pc += p;
+            }
+            (size, pc)
+        }
+        CotreeNode::Join(children) => {
+            let mut acc: Option<(usize, usize)> = None;
+            for &c in children {
+                let (s, p) = eval(tree, c);
+                acc = Some(match acc {
+                    None => (s, p),
+                    Some((sa, pa)) => {
+                        let merged = 1.max(pa.saturating_sub(s)).max(p.saturating_sub(sa));
+                        (sa + s, merged)
+                    }
+                });
+            }
+            acc.expect("join node with no children")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_paths::exact_path_partition;
+    use dclab_graph::generators::{classic, random};
+    use dclab_graph::ops::{disjoint_union, join};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_families() {
+        assert_eq!(cograph_path_partition(&classic::complete(6)), Some(1));
+        assert_eq!(cograph_path_partition(&Graph::new(5)), Some(5));
+        assert_eq!(
+            cograph_path_partition(&classic::complete_bipartite(2, 5)),
+            Some(3)
+        );
+        assert_eq!(
+            cograph_path_partition(&classic::complete_multipartite(&[3, 3, 3])),
+            Some(1)
+        );
+        assert_eq!(cograph_path_partition(&classic::star(6)), Some(4));
+    }
+
+    #[test]
+    fn non_cograph_rejected() {
+        assert_eq!(cograph_path_partition(&classic::path(4)), None);
+        assert_eq!(cograph_path_partition(&classic::cycle(5)), None);
+    }
+
+    #[test]
+    fn matches_subset_dp_on_random_cographs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for trial in 0..40 {
+            let n = 2 + (trial % 15);
+            let g = random::random_cograph(&mut rng, n, 0.5);
+            let fast = cograph_path_partition(&g).expect("generator must yield cographs");
+            let exact = exact_path_partition(&g);
+            assert_eq!(fast, exact, "trial={trial} n={n} g={g:?}");
+        }
+    }
+
+    #[test]
+    fn union_adds_join_merges() {
+        let a = classic::complete(3); // pc 1
+        let b = Graph::new(4); // pc 4
+        assert_eq!(cograph_path_partition(&disjoint_union(&a, &b)), Some(5));
+        // join: max(1, 1-4, 4-3) = 1
+        assert_eq!(cograph_path_partition(&join(&a, &b)), Some(1));
+        // join(empty5, empty2) = K_{5,2}: max(1, 5-2, 2-5) = 3
+        assert_eq!(
+            cograph_path_partition(&join(&Graph::new(5), &Graph::new(2))),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn scales_to_large_cographs() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = random::random_connected_cograph(&mut rng, 300, 0.4);
+        let pc = cograph_path_partition(&g).unwrap();
+        assert!((1..=300).contains(&pc));
+    }
+}

@@ -1,0 +1,209 @@
+//! Matching-seeded Partition-into-Paths heuristic.
+//!
+//! A maximum matching `M` is a linear forest, so `V` is covered by
+//! `n − |M|` paths (matched edges plus singletons); greedily concatenating
+//! path endpoints along graph edges then shrinks the count further. This
+//! dominates pure walk-stripping on graphs with large matchings and gives
+//! the classic `pc(G) ≥ n − 2·ν(G)` certificate as a by-product.
+
+use dclab_graph::Graph;
+use dclab_tsp::matching::blossom::max_weight_matching;
+
+/// Maximum-cardinality matching of `g` via the weighted blossom with unit
+/// weights. Returns `mate[v]` (`usize::MAX` when unmatched).
+///
+/// Practical for `n ≲ 400` (the blossom is `O(n³)` on a dense instance).
+pub fn maximum_matching(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    if n == 0 {
+        return vec![];
+    }
+    // Unit weight on edges, 0 on non-edges: maximizing total weight
+    // maximizes cardinality over actual edges only.
+    let w = |a: usize, b: usize| -> i64 {
+        if g.has_edge(a, b) {
+            1
+        } else {
+            0
+        }
+    };
+    let mate = max_weight_matching(n, &w);
+    // Drop zero-weight (non-edge) pairings the solver may have used.
+    let mut out = vec![usize::MAX; n];
+    for v in 0..n {
+        let m = mate[v];
+        if m != usize::MAX && g.has_edge(v, m) {
+            out[v] = m;
+        }
+    }
+    out
+}
+
+/// Number of edges in a maximum matching, `ν(G)`.
+pub fn matching_number(g: &Graph) -> usize {
+    maximum_matching(g).iter().filter(|&&m| m != usize::MAX).count() / 2
+}
+
+/// Matching-seeded path partition: start from the linear forest of a
+/// maximum matching, then greedily join path endpoints along edges.
+/// Returns the paths (a valid partition; an upper bound on `pc(G)`).
+pub fn matching_path_partition(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.n();
+    let mate = maximum_matching(g);
+    // Initial paths: matched pairs + singletons.
+    let mut paths: Vec<Vec<usize>> = Vec::new();
+    let mut seen = vec![false; n];
+    for v in 0..n {
+        if seen[v] {
+            continue;
+        }
+        seen[v] = true;
+        if mate[v] != usize::MAX {
+            let m = mate[v];
+            seen[m] = true;
+            paths.push(vec![v, m]);
+        } else {
+            paths.push(vec![v]);
+        }
+    }
+    // Greedy concatenation: while some pair of paths can be joined at
+    // endpoints by an edge, join them. O(p² ) scans, fine at heuristic
+    // sizes.
+    loop {
+        let mut joined = false;
+        'outer: for i in 0..paths.len() {
+            for j in (i + 1)..paths.len() {
+                if let Some(merged) = try_join(g, &paths[i], &paths[j]) {
+                    paths[i] = merged;
+                    paths.swap_remove(j);
+                    joined = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !joined {
+            break;
+        }
+    }
+    paths
+}
+
+fn try_join(g: &Graph, a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let (a0, a1) = (*a.first().unwrap(), *a.last().unwrap());
+    let (b0, b1) = (*b.first().unwrap(), *b.last().unwrap());
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    if g.has_edge(a1, b0) {
+        merged.extend_from_slice(a);
+        merged.extend_from_slice(b);
+    } else if g.has_edge(a1, b1) {
+        merged.extend_from_slice(a);
+        merged.extend(b.iter().rev());
+    } else if g.has_edge(a0, b0) {
+        merged.extend(a.iter().rev());
+        merged.extend_from_slice(b);
+    } else if g.has_edge(a0, b1) {
+        merged.extend_from_slice(b);
+        merged.extend_from_slice(a);
+    } else {
+        return None;
+    }
+    Some(merged)
+}
+
+/// Matching-based *lower* bound: every path with `v` vertices contains
+/// `⌊v/2⌋` disjoint edges, so a partition into `s` paths yields a matching
+/// of size `≥ (n − s)/2`... rearranged: `pc(G) ≥ n − 2·ν(G)` (and ≥ 1 for
+/// nonempty graphs).
+pub fn path_partition_lower_bound(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    g.n().saturating_sub(2 * matching_number(g)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition_paths::{exact_path_partition, is_valid_path_partition};
+    use dclab_graph::generators::{classic, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maximum_matching_on_known_graphs() {
+        assert_eq!(matching_number(&classic::path(4)), 2);
+        assert_eq!(matching_number(&classic::path(5)), 2);
+        assert_eq!(matching_number(&classic::cycle(6)), 3);
+        assert_eq!(matching_number(&classic::complete(7)), 3);
+        assert_eq!(matching_number(&classic::star(8)), 1);
+        assert_eq!(matching_number(&classic::petersen()), 5);
+        assert_eq!(matching_number(&Graph::new(5)), 0);
+    }
+
+    #[test]
+    fn matching_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..10 {
+            let g = random::gnp(&mut rng, 15, 0.3);
+            let mate = maximum_matching(&g);
+            for v in 0..15 {
+                let m = mate[v];
+                if m != usize::MAX {
+                    assert_eq!(mate[m], v, "mate not symmetric");
+                    assert!(g.has_edge(v, m), "mate over a non-edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_valid_and_bracketed_by_bounds() {
+        let mut rng = StdRng::seed_from_u64(82);
+        for trial in 0..15 {
+            let g = random::gnp(&mut rng, 13, 0.25);
+            let paths = matching_path_partition(&g);
+            assert!(is_valid_path_partition(&g, &paths), "trial={trial}");
+            let exact = exact_path_partition(&g);
+            let lb = path_partition_lower_bound(&g);
+            assert!(lb <= exact, "trial={trial}: lb {lb} > exact {exact}");
+            assert!(paths.len() >= exact, "trial={trial}");
+        }
+    }
+
+    #[test]
+    fn exact_on_easy_families() {
+        // On paths/cycles/cliques the heuristic should find 1 path.
+        for g in [classic::path(9), classic::cycle(8), classic::complete(6)] {
+            assert_eq!(matching_path_partition(&g).len(), 1);
+        }
+        // Star K_{1,m}: exact is m-1.
+        assert_eq!(matching_path_partition(&classic::star(7)).len(), 5);
+    }
+
+    #[test]
+    fn respects_guaranteed_upper_bound() {
+        // By construction the result never exceeds n − ν(G) (the matching
+        // linear forest before concatenation).
+        let mut rng = StdRng::seed_from_u64(83);
+        for _ in 0..15 {
+            let g = random::gnp(&mut rng, 16, 0.2);
+            let nu = matching_number(&g);
+            let parts = matching_path_partition(&g).len();
+            assert!(parts <= g.n() - nu);
+        }
+    }
+
+    #[test]
+    fn strong_where_walk_stripping_is_weak() {
+        // Disjoint union of m edges: both should find exactly m paths, and
+        // the matching bound is tight (lb == exact == heuristic).
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            edges.push((2 * i, 2 * i + 1));
+        }
+        let g = Graph::from_edges(12, &edges);
+        assert_eq!(matching_path_partition(&g).len(), 6);
+        assert_eq!(path_partition_lower_bound(&g), 1);
+        assert_eq!(exact_path_partition(&g), 6);
+    }
+}

@@ -1,0 +1,298 @@
+//! Solver façade: every route from a `(G, p)` instance to a labeling.
+
+use crate::baseline::greedy::best_greedy_span;
+use crate::labeling::Labeling;
+use crate::pvec::PVec;
+use crate::reduction::{labeling_from_order, reduce_to_path_tsp, ReductionError};
+use dclab_graph::Graph;
+use dclab_tsp::christofides::christofides_path;
+use dclab_tsp::driver::{solve_path_heuristic, HeuristicConfig};
+use dclab_tsp::exact::held_karp_path;
+use dclab_tsp::matching::MatchingBackend;
+
+/// A solved `L(p)`-labeling instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    /// The labeling itself (always valid for the instance it was built on).
+    pub labeling: Labeling,
+    /// Its span (`labeling.span()`, cached).
+    pub span: u64,
+    /// The sorted vertex order the labeling realises (the TSP path).
+    pub order: Vec<u32>,
+}
+
+/// Errors of the TSP-route solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The instance fails a Theorem 2 precondition.
+    Reduction(ReductionError),
+    /// Exact solve requested beyond the Held–Karp size guard.
+    TooLargeForExact { n: usize, max: usize },
+}
+
+impl From<ReductionError> for SolveError {
+    fn from(e: ReductionError) -> Self {
+        SolveError::Reduction(e)
+    }
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Reduction(e) => write!(f, "reduction failed: {e}"),
+            SolveError::TooLargeForExact { n, max } => {
+                write!(f, "n = {n} exceeds the exact-solver guard ({max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Maximum `n` accepted by [`solve_exact`] (Held–Karp memory guard).
+pub const EXACT_MAX_N: usize = 24;
+
+/// **Corollary 1 (exact)**: optimal `L(p)`-labeling in `O(2^n n²)` via the
+/// Theorem 2 reduction and Held–Karp Path TSP.
+pub fn solve_exact(g: &Graph, p: &PVec) -> Result<Solution, SolveError> {
+    if g.n() > EXACT_MAX_N {
+        return Err(SolveError::TooLargeForExact {
+            n: g.n(),
+            max: EXACT_MAX_N,
+        });
+    }
+    let reduced = reduce_to_path_tsp(g, p)?;
+    let (order, span) = held_karp_path(&reduced.tsp);
+    let labeling = labeling_from_order(&reduced, &order);
+    debug_assert_eq!(labeling.span(), span);
+    Ok(Solution {
+        span,
+        labeling,
+        order,
+    })
+}
+
+/// **Corollary 1 (approximation)**: polynomial-time 1.5-approximation via
+/// Hoogeveen's Christofides variant on the (metric) reduced instance.
+pub fn solve_approx15(g: &Graph, p: &PVec) -> Result<Solution, SolveError> {
+    solve_approx15_with_backend(g, p, MatchingBackend::Auto)
+}
+
+/// [`solve_approx15`] with an explicit matching backend (ablation E8).
+pub fn solve_approx15_with_backend(
+    g: &Graph,
+    p: &PVec,
+    backend: MatchingBackend,
+) -> Result<Solution, SolveError> {
+    let reduced = reduce_to_path_tsp(g, p)?;
+    debug_assert!(reduced.tsp.is_metric() || g.n() < 3);
+    let (order, span) = christofides_path(&reduced.tsp, backend);
+    let labeling = labeling_from_order(&reduced, &order);
+    debug_assert_eq!(labeling.span(), span);
+    Ok(Solution {
+        span,
+        labeling,
+        order,
+    })
+}
+
+/// **Practical route** (paper §I-A): chained Lin–Kernighan-style heuristic
+/// on the reduced instance, multi-start in parallel.
+pub fn solve_heuristic(g: &Graph, p: &PVec) -> Result<Solution, SolveError> {
+    solve_heuristic_with(g, p, &HeuristicConfig::default())
+}
+
+/// [`solve_heuristic`] with explicit heuristic configuration.
+pub fn solve_heuristic_with(
+    g: &Graph,
+    p: &PVec,
+    cfg: &HeuristicConfig,
+) -> Result<Solution, SolveError> {
+    let reduced = reduce_to_path_tsp(g, p)?;
+    let (order, span) = solve_path_heuristic(&reduced.tsp, cfg);
+    let labeling = labeling_from_order(&reduced, &order);
+    debug_assert_eq!(labeling.span(), span);
+    Ok(Solution {
+        span,
+        labeling,
+        order,
+    })
+}
+
+/// Exact solve by MST-bounded **branch and bound** on the reduced instance
+/// — no `2^n` memory, so it reaches past [`EXACT_MAX_N`] when the instance
+/// is benign (the two-valued weight matrices of diameter-2 graphs often
+/// are). Returns `None` inside the `Ok` when `node_budget` is exhausted
+/// without proving optimality.
+pub fn solve_exact_branch_bound(
+    g: &Graph,
+    p: &PVec,
+    node_budget: u64,
+) -> Result<Option<Solution>, SolveError> {
+    let reduced = reduce_to_path_tsp(g, p)?;
+    match dclab_tsp::exact::branch_bound_path(&reduced.tsp, node_budget) {
+        None => Ok(None),
+        Some((order, span)) => {
+            let labeling = labeling_from_order(&reduced, &order);
+            debug_assert_eq!(labeling.span(), span);
+            Ok(Some(Solution {
+                span,
+                labeling,
+                order,
+            }))
+        }
+    }
+}
+
+/// Greedy first-fit baseline (no reduction; any graph, any `p`).
+pub fn solve_greedy(g: &Graph, p: &PVec) -> Solution {
+    let (labeling, span) = best_greedy_span(g, p);
+    let order = labeling.sorted_order();
+    Solution {
+        labeling,
+        span,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::exact::exact_labeling_bruteforce;
+    use dclab_graph::generators::{classic, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_matches_independent_oracle() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ps = [
+            PVec::l21(),
+            PVec::ones(2),
+            PVec::new(vec![3, 2]).unwrap(),
+            PVec::new(vec![2, 2]).unwrap(),
+        ];
+        let mut checked = 0;
+        for _ in 0..30 {
+            let g = random::gnp(&mut rng, 7, 0.5);
+            for p in &ps {
+                match solve_exact(&g, p) {
+                    Ok(sol) => {
+                        let (_, want) = exact_labeling_bruteforce(&g, p);
+                        assert_eq!(sol.span, want);
+                        assert!(sol.labeling.validate(&g, p).is_ok());
+                        checked += 1;
+                    }
+                    Err(SolveError::Reduction(_)) => {} // diam > 2 or disconnected
+                    Err(e) => panic!("unexpected: {e:?}"),
+                }
+            }
+        }
+        assert!(checked > 10, "too few eligible samples: {checked}");
+    }
+
+    #[test]
+    fn petersen_l21_is_9() {
+        let sol = solve_exact(&classic::petersen(), &PVec::l21()).unwrap();
+        assert_eq!(sol.span, 9);
+    }
+
+    #[test]
+    fn approx_within_ratio_and_valid() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let g = random::gnp_with_diameter_at_most(&mut rng, 12, 0.5, 2);
+            let p = PVec::l21();
+            let exact = solve_exact(&g, &p).unwrap();
+            let approx = solve_approx15(&g, &p).unwrap();
+            assert!(approx.labeling.validate(&g, &p).is_ok());
+            assert!(approx.span >= exact.span);
+            assert!(
+                2 * approx.span <= 3 * exact.span,
+                "ratio breach: {} vs {}",
+                approx.span,
+                exact.span
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_valid_and_close() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = random::gnp_with_diameter_at_most(&mut rng, 14, 0.5, 2);
+        let p = PVec::l21();
+        let exact = solve_exact(&g, &p).unwrap();
+        let heur = solve_heuristic(&g, &p).unwrap();
+        assert!(heur.labeling.validate(&g, &p).is_ok());
+        assert!(heur.span >= exact.span);
+        assert!(heur.span <= exact.span + exact.span / 4 + 2);
+    }
+
+    #[test]
+    fn greedy_upper_bounds_exact() {
+        let g = classic::petersen();
+        let p = PVec::l21();
+        let exact = solve_exact(&g, &p).unwrap();
+        let greedy = solve_greedy(&g, &p);
+        assert!(greedy.labeling.validate(&g, &p).is_ok());
+        assert!(greedy.span >= exact.span);
+    }
+
+    #[test]
+    fn branch_bound_route_matches_held_karp() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..6 {
+            let g = random::gnp_with_diameter_at_most(&mut rng, 12, 0.5, 2);
+            let p = PVec::l21();
+            let hk = solve_exact(&g, &p).unwrap();
+            let bb = solve_exact_branch_bound(&g, &p, u64::MAX)
+                .unwrap()
+                .expect("unbounded budget");
+            assert_eq!(bb.span, hk.span);
+            assert!(bb.labeling.validate(&g, &p).is_ok());
+        }
+    }
+
+    #[test]
+    fn branch_bound_reaches_past_held_karp_guard() {
+        // n = 30 > EXACT_MAX_N. On complete multipartite instances the MST
+        // completion bound is tight and the NN incumbent is optimal, so the
+        // search collapses immediately despite the size.
+        let g = classic::complete_multipartite(&[10, 8, 7, 5]);
+        let p = PVec::l21();
+        assert!(solve_exact(&g, &p).is_err());
+        let bb = solve_exact_branch_bound(&g, &p, 10_000_000)
+            .unwrap()
+            .expect("benign instance within budget");
+        assert!(bb.labeling.validate(&g, &p).is_ok());
+        // Corollary 2 closed form: (n−1)·q + (p−q)·(t−1) = 29 + 3.
+        assert_eq!(bb.span, 32);
+    }
+
+    #[test]
+    fn branch_bound_budget_exhaustion_is_reported() {
+        let g = classic::petersen();
+        let p = PVec::l21();
+        assert_eq!(solve_exact_branch_bound(&g, &p, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn guard_on_large_exact() {
+        let g = classic::complete(30);
+        assert!(matches!(
+            solve_exact(&g, &PVec::l21()),
+            Err(SolveError::TooLargeForExact { .. })
+        ));
+    }
+
+    #[test]
+    fn wheel_solves() {
+        // Wheels are a polynomial class in the paper's survey; sanity-check
+        // the TSP route against the oracle on W6.
+        let g = classic::wheel(6);
+        let p = PVec::l21();
+        let sol = solve_exact(&g, &p).unwrap();
+        let (_, want) = exact_labeling_bruteforce(&g, &p);
+        assert_eq!(sol.span, want);
+    }
+}

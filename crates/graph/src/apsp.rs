@@ -1,0 +1,172 @@
+//! All-pairs shortest paths by parallel BFS.
+//!
+//! This is the `O(nm)` half of the Theorem 2 reduction: the distance matrix
+//! of `G` becomes the weight matrix of the TSP instance `H`. One BFS per
+//! source, fanned out across threads with [`dclab_par::par_map_indexed`]
+//! (deterministic row order, dynamic scheduling).
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::traversal::bfs_distances_csr;
+use crate::INF;
+
+/// Flat `n × n` matrix of hop distances; `INF` marks unreachable pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Compute APSP for `g` with one BFS per source, in parallel.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.n();
+        let csr = Csr::from_graph(g);
+        let rows = dclab_par::par_map_indexed(n, |s| bfs_distances_csr(&csr, s));
+        let mut d = Vec::with_capacity(n * n);
+        for row in rows {
+            debug_assert_eq!(row.len(), n);
+            d.extend_from_slice(&row);
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Sequential reference implementation (used by tests to validate the
+    /// parallel driver).
+    pub fn compute_sequential(g: &Graph) -> Self {
+        let n = g.n();
+        let csr = Csr::from_graph(g);
+        let mut d = Vec::with_capacity(n * n);
+        for s in 0..n {
+            d.extend_from_slice(&bfs_distances_csr(&csr, s));
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `u` and `v` (`INF` if unreachable).
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> u32 {
+        self.d[u * self.n + v]
+    }
+
+    /// Row of distances from `u`.
+    #[inline]
+    pub fn row(&self, u: usize) -> &[u32] {
+        &self.d[u * self.n..(u + 1) * self.n]
+    }
+
+    /// Largest finite entry; `None` if the graph is disconnected
+    /// (some entry is `INF`) or has no vertex pair.
+    pub fn diameter(&self) -> Option<u32> {
+        if self.n <= 1 {
+            return Some(0);
+        }
+        let mut max = 0;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                let d = self.get(u, v);
+                if u != v && d == INF {
+                    return None;
+                }
+                if d != INF && d > max {
+                    max = d;
+                }
+            }
+        }
+        Some(max)
+    }
+
+    /// Eccentricity of `u` (max finite distance from `u`), `None` when some
+    /// vertex is unreachable from `u`.
+    pub fn eccentricity(&self, u: usize) -> Option<u32> {
+        let mut max = 0;
+        for v in 0..self.n {
+            let d = self.get(u, v);
+            if d == INF {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(max)
+    }
+
+    /// Internal consistency: zero diagonal, symmetry, and the hop-metric
+    /// triangle inequality on finite triples. Used by property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        for u in 0..self.n {
+            if self.get(u, u) != 0 {
+                return Err(format!("d({u},{u}) != 0"));
+            }
+            for v in 0..self.n {
+                if self.get(u, v) != self.get(v, u) {
+                    return Err(format!("asymmetric at ({u},{v})"));
+                }
+            }
+        }
+        for u in 0..self.n {
+            for v in 0..self.n {
+                for w in 0..self.n {
+                    let (a, b, c) = (self.get(u, v), self.get(u, w), self.get(w, v));
+                    if a != INF && b != INF && c != INF && a > b + c {
+                        return Err(format!("triangle violated at ({u},{v},{w})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{classic, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let g = random::gnp(&mut rng, 40, 0.15);
+            assert_eq!(
+                DistanceMatrix::compute(&g),
+                DistanceMatrix::compute_sequential(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let g = classic::cycle(6);
+        let d = DistanceMatrix::compute(&g);
+        assert_eq!(d.get(0, 3), 3);
+        assert_eq!(d.get(0, 5), 1);
+        assert_eq!(d.diameter(), Some(3));
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn disconnected_diameter_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let d = DistanceMatrix::compute(&g);
+        assert_eq!(d.diameter(), None);
+        assert_eq!(d.eccentricity(0), None);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = classic::complete(7);
+        let d = DistanceMatrix::compute(&g);
+        assert_eq!(d.diameter(), Some(1));
+        for u in 0..7 {
+            assert_eq!(d.eccentricity(u), Some(1));
+        }
+    }
+}

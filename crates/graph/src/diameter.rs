@@ -1,0 +1,91 @@
+//! Diameter and eccentricity helpers.
+
+use crate::apsp::DistanceMatrix;
+use crate::graph::Graph;
+use crate::traversal::bfs_distances;
+use crate::INF;
+
+/// Diameter of `g`, or `None` when `g` is disconnected.
+pub fn diameter(g: &Graph) -> Option<u32> {
+    DistanceMatrix::compute(g).diameter()
+}
+
+/// Eccentricity of a single vertex via one BFS; `None` when some vertex is
+/// unreachable.
+pub fn eccentricity(g: &Graph, v: usize) -> Option<u32> {
+    let d = bfs_distances(g, v);
+    let mut max = 0;
+    for &x in &d {
+        if x == INF {
+            return None;
+        }
+        max = max.max(x);
+    }
+    Some(max)
+}
+
+/// Cheap *lower* bound on the diameter by double-sweep BFS: BFS from `start`,
+/// then BFS from the farthest vertex found. Exact on trees; never exceeds the
+/// true diameter on connected graphs.
+pub fn diameter_lower_bound(g: &Graph, start: usize) -> Option<u32> {
+    if g.n() == 0 {
+        return Some(0);
+    }
+    let d1 = bfs_distances(g, start);
+    let (far, &best) = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| if d == INF { 0 } else { d })
+        .unwrap();
+    if d1.contains(&INF) {
+        return None;
+    }
+    let _ = best;
+    eccentricity(g, far)
+}
+
+/// `true` iff `g` is connected with diameter at most `k` — the eligibility
+/// check of Theorem 2.
+pub fn has_diameter_at_most(g: &Graph, k: u32) -> bool {
+    matches!(diameter(g), Some(d) if d <= k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn path_diameter() {
+        assert_eq!(diameter(&classic::path(7)), Some(6));
+    }
+
+    #[test]
+    fn star_has_diameter_two() {
+        let g = classic::star(9);
+        assert_eq!(diameter(&g), Some(2));
+        assert!(has_diameter_at_most(&g, 2));
+        assert!(!has_diameter_at_most(&g, 1));
+    }
+
+    #[test]
+    fn double_sweep_is_exact_on_trees() {
+        let g = classic::path(10);
+        assert_eq!(diameter_lower_bound(&g, 4), Some(9));
+    }
+
+    #[test]
+    fn eccentricity_of_center() {
+        let g = classic::star(5);
+        assert_eq!(eccentricity(&g, 0), Some(1));
+        assert_eq!(eccentricity(&g, 1), Some(2));
+    }
+
+    #[test]
+    fn disconnected_reports_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, 0), None);
+        assert!(!has_diameter_at_most(&g, 5));
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic graph families.
+//!
+//! Includes every family the paper name-drops when surveying known
+//! polynomial cases of L(2,1)-labeling: paths, cycles, wheels, stars,
+//! complete (multipartite) graphs, plus grids and the Petersen graph as
+//! structured test fixtures.
+
+use crate::graph::Graph;
+
+/// Path `P_n` (`n ≥ 0`): edges `i — i+1`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// Cycle `C_n` (`n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Star `K_{1,n-1}`: vertex 0 is the center (`n ≥ 1`).
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// Wheel `W_n`: cycle on `n-1` outer vertices plus a hub (vertex `n-1`),
+/// `n ≥ 4`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel needs at least 4 vertices");
+    let mut g = Graph::new(n);
+    let rim = n - 1;
+    for i in 0..rim {
+        g.add_edge(i, (i + 1) % rim);
+        g.add_edge(i, rim);
+    }
+    g
+}
+
+/// Complete bipartite `K_{a,b}`; the first `a` vertices form one side.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    complete_multipartite(&[a, b])
+}
+
+/// Complete multipartite graph with the given part sizes. Diameter ≤ 2
+/// whenever at least two parts are nonempty — a canonical small-diameter
+/// family with tiny neighborhood diversity.
+pub fn complete_multipartite(parts: &[usize]) -> Graph {
+    let n: usize = parts.iter().sum();
+    let mut g = Graph::new(n);
+    let mut starts = Vec::with_capacity(parts.len() + 1);
+    let mut acc = 0;
+    for &p in parts {
+        starts.push(acc);
+        acc += p;
+    }
+    starts.push(acc);
+    for i in 0..parts.len() {
+        for j in (i + 1)..parts.len() {
+            for u in starts[i]..starts[i + 1] {
+                for v in starts[j]..starts[j + 1] {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols);
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (n = 10, 3-regular, diameter 2).
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5 {
+        g.add_edge(i, (i + 1) % 5); // outer C5
+        g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        g.add_edge(i, 5 + i); // spokes
+    }
+    g
+}
+
+/// Split graph: a clique on the first `k` vertices, an independent set on the
+/// remaining `i` vertices, every independent vertex adjacent to every clique
+/// vertex. Connected with diameter ≤ 2 for `k ≥ 1`.
+pub fn split_graph(k: usize, i: usize) -> Graph {
+    let mut g = complete(k);
+    let mut h = Graph::new(k + i);
+    for (u, v) in g.edges() {
+        h.add_edge(u, v);
+    }
+    for s in 0..i {
+        for c in 0..k {
+            h.add_edge(k + s, c);
+        }
+    }
+    std::mem::swap(&mut g, &mut h);
+    g
+}
+
+/// Caterpillar: a spine path of length `spine` with `legs` pendant vertices
+/// attached to each spine vertex. A tree fixture for baseline labelers.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for i in 1..spine {
+        g.add_edge(i - 1, i);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            g.add_edge(s, spine + s * legs + l);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::diameter;
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5);
+        assert_eq!((p.n(), p.m()), (5, 4));
+        let c = cycle(5);
+        assert_eq!((c.n(), c.m()), (5, 5));
+        assert!(c.has_edge(4, 0));
+    }
+
+    #[test]
+    fn complete_counts() {
+        let k = complete(6);
+        assert_eq!(k.m(), 15);
+        assert!(k.is_complete());
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let w = wheel(6); // C5 + hub
+        assert_eq!(w.m(), 5 + 5);
+        assert_eq!(w.degree(5), 5);
+        assert_eq!(diameter(&w), Some(2));
+    }
+
+    #[test]
+    fn multipartite_diameter_two() {
+        let g = complete_multipartite(&[3, 2, 4]);
+        assert_eq!(g.n(), 9);
+        assert_eq!(diameter(&g), Some(2));
+        // edges: 3*2 + 3*4 + 2*4 = 26
+        assert_eq!(g.m(), 26);
+    }
+
+    #[test]
+    fn petersen_is_3_regular_diameter_2() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!((0..10).all(|v| g.degree(v) == 3));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn split_graph_diameter() {
+        let g = split_graph(4, 6);
+        assert_eq!(g.n(), 10);
+        assert_eq!(diameter(&g), Some(2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn caterpillar_is_tree() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), g.n() - 1);
+        assert!(crate::traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn star_center_degree() {
+        let g = star(8);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(diameter(&g), Some(2));
+    }
+}

@@ -1,0 +1,7 @@
+//! Graph generators: deterministic families in [`classic`], seeded random
+//! families in [`random`]. These provide the workloads of every experiment
+//! in `EXPERIMENTS.md` (small-diameter random graphs, split graphs,
+//! cographs, scale-free graphs, …).
+
+pub mod classic;
+pub mod random;

@@ -1,0 +1,326 @@
+//! Seeded random graph families.
+//!
+//! All generators take an explicit `&mut impl Rng` so experiments are fully
+//! reproducible from a `StdRng::seed_from_u64` seed.
+
+use crate::graph::Graph;
+use crate::ops::{disjoint_union, join};
+use crate::traversal::is_connected;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Erdős–Rényi `G(n, p)`: each pair is an edge independently with
+/// probability `p`.
+pub fn gnp<R: Rng>(rng: &mut R, n: usize, p: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// `G(n, m)`: exactly `m` distinct edges drawn uniformly.
+pub fn gnm<R: Rng>(rng: &mut R, n: usize, m: usize) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "too many edges requested");
+    let mut g = Graph::new(n);
+    while g.m() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            g.add_edge(u.min(v), u.max(v));
+        }
+    }
+    g
+}
+
+/// Uniform random labelled tree via a Prüfer sequence.
+pub fn random_tree<R: Rng>(rng: &mut R, n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(0, 1);
+        return g;
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1u32; n];
+    for &x in &prufer {
+        degree[x] += 1;
+    }
+    // Min-leaf extraction with a simple scan pointer (n is small in tests).
+    let mut ptr = 0;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &x in &prufer {
+        g.add_edge(leaf, x);
+        degree[x] -= 1;
+        if degree[x] == 1 && x < ptr {
+            leaf = x;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // Last edge joins the remaining leaf with n-1.
+    g.add_edge(leaf, n - 1);
+    g
+}
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `m0 = m_attach` vertices, then each new vertex attaches to `m_attach`
+/// existing vertices with probability proportional to degree. Small diameter,
+/// heavy-tailed degrees.
+pub fn barabasi_albert<R: Rng>(rng: &mut R, n: usize, m_attach: usize) -> Graph {
+    assert!(m_attach >= 1 && n > m_attach);
+    let mut g = Graph::new(n);
+    for u in 0..m_attach {
+        for v in (u + 1)..m_attach.max(2).min(n) {
+            g.add_edge(u, v);
+        }
+    }
+    // Repeated-endpoint urn: each edge endpoint appears once per incidence.
+    let mut urn: Vec<usize> = Vec::new();
+    for (u, v) in g.edges().collect::<Vec<_>>() {
+        urn.push(u);
+        urn.push(v);
+    }
+    if urn.is_empty() {
+        urn.push(0);
+    }
+    for v in m_attach.max(2)..n {
+        let mut chosen = Vec::with_capacity(m_attach);
+        let mut guard = 0;
+        while chosen.len() < m_attach.min(v) && guard < 1000 {
+            let t = urn[rng.random_range(0..urn.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            if g.add_edge(v, t) {
+                urn.push(v);
+                urn.push(t);
+            }
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world: ring lattice where each vertex connects to
+/// its `k/2` nearest neighbors per side, each edge rewired with probability
+/// `beta`.
+pub fn watts_strogatz<R: Rng>(rng: &mut R, n: usize, k: usize, beta: f64) -> Graph {
+    assert!(k.is_multiple_of(2) && k < n, "k must be even and < n");
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            g.add_edge(v, (v + j) % n);
+        }
+    }
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    for (u, v) in edges {
+        if rng.random_bool(beta.clamp(0.0, 1.0)) {
+            // Rewire v-end to a uniform non-neighbor of u.
+            let mut tries = 0;
+            loop {
+                let w = rng.random_range(0..n);
+                if w != u && !g.has_edge(u, w) {
+                    g.remove_edge(u, v);
+                    g.add_edge(u, w);
+                    break;
+                }
+                tries += 1;
+                if tries > 4 * n {
+                    break; // u is nearly universal; keep original edge
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Random split graph: clique of size `k`, independent set of size `i`, each
+/// cross pair joined with probability `p_cross` plus a forced perfect
+/// "attachment" so the graph stays connected.
+pub fn random_split<R: Rng>(rng: &mut R, k: usize, i: usize, p_cross: f64) -> Graph {
+    assert!(k >= 1);
+    let mut g = Graph::new(k + i);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            g.add_edge(u, v);
+        }
+    }
+    for s in 0..i {
+        let anchor = rng.random_range(0..k);
+        g.add_edge(k + s, anchor);
+        for c in 0..k {
+            if c != anchor && rng.random_bool(p_cross.clamp(0.0, 1.0)) {
+                g.add_edge(k + s, c);
+            }
+        }
+    }
+    g
+}
+
+/// Random cograph on exactly `n` vertices, built by recursive random
+/// union/join splits. Always a cograph; joins are chosen with probability
+/// `p_join` (higher → denser, smaller diameter).
+pub fn random_cograph<R: Rng>(rng: &mut R, n: usize, p_join: f64) -> Graph {
+    if n <= 1 {
+        return Graph::new(n);
+    }
+    let left = rng.random_range(1..n);
+    let a = random_cograph(rng, left, p_join);
+    let b = random_cograph(rng, n - left, p_join);
+    if rng.random_bool(p_join.clamp(0.0, 1.0)) {
+        join(&a, &b)
+    } else {
+        disjoint_union(&a, &b)
+    }
+}
+
+/// A *connected* cograph (top-level operation forced to be a join when the
+/// recursive draw comes out disconnected).
+pub fn random_connected_cograph<R: Rng>(rng: &mut R, n: usize, p_join: f64) -> Graph {
+    if n <= 1 {
+        return Graph::new(n);
+    }
+    let left = rng.random_range(1..n);
+    let a = random_cograph(rng, left, p_join);
+    let b = random_cograph(rng, n - left, p_join);
+    join(&a, &b)
+}
+
+/// Resample `G(n,p)` until connected (panics after 1000 attempts — callers
+/// should pass `p` comfortably above the connectivity threshold).
+pub fn connected_gnp<R: Rng>(rng: &mut R, n: usize, p: f64) -> Graph {
+    for _ in 0..1000 {
+        let g = gnp(rng, n, p);
+        if is_connected(&g) {
+            return g;
+        }
+    }
+    panic!("connected_gnp: p={p} too small for n={n}");
+}
+
+/// Resample `G(n,p)` until connected with diameter ≤ `k` — the workload of
+/// Theorem 2. Panics after 1000 attempts.
+pub fn gnp_with_diameter_at_most<R: Rng>(rng: &mut R, n: usize, p: f64, k: u32) -> Graph {
+    for _ in 0..1000 {
+        let g = gnp(rng, n, p);
+        if crate::diameter::has_diameter_at_most(&g, k) {
+            return g;
+        }
+    }
+    panic!("gnp_with_diameter_at_most: no diameter-{k} sample at n={n}, p={p}");
+}
+
+/// Random permutation of `0..n` (used for permutation-invariance tests).
+pub fn random_permutation<R: Rng>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(rng);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::diameter;
+    use crate::params::cotree::Cotree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(&mut rng, 10, 0.0).m(), 0);
+        assert_eq!(gnp(&mut rng, 10, 1.0).m(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_edges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gnm(&mut rng, 12, 20);
+        assert_eq!(g.m(), 20);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [1usize, 2, 3, 5, 10, 30] {
+            let g = random_tree(&mut rng, n);
+            assert_eq!(g.m(), n.saturating_sub(1));
+            assert!(is_connected(&g), "tree on {n} vertices disconnected");
+        }
+    }
+
+    #[test]
+    fn ba_graph_connected_small_diameter() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(&mut rng, 60, 3);
+        assert!(is_connected(&g));
+        assert!(diameter(&g).unwrap() <= 6);
+    }
+
+    #[test]
+    fn watts_strogatz_degree_mass_preserved() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = watts_strogatz(&mut rng, 40, 4, 0.2);
+        // Rewiring preserves the number of edges except in pathological
+        // saturation; 40*4/2 = 80.
+        assert!(g.m() >= 75 && g.m() <= 80);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn random_split_is_connected_diam2ish() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = random_split(&mut rng, 6, 10, 0.4);
+        assert!(is_connected(&g));
+        assert!(diameter(&g).unwrap() <= 3);
+    }
+
+    #[test]
+    fn random_cograph_is_cograph() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 12, 25] {
+            let g = random_cograph(&mut rng, n, 0.5);
+            assert!(Cotree::build(&g).is_some(), "n={n} not a cograph");
+        }
+    }
+
+    #[test]
+    fn connected_cograph_is_connected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = random_connected_cograph(&mut rng, 20, 0.3);
+        assert!(is_connected(&g));
+        assert!(Cotree::build(&g).is_some());
+    }
+
+    #[test]
+    fn gnp_diameter_filter() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gnp_with_diameter_at_most(&mut rng, 25, 0.5, 2);
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = gnp(&mut StdRng::seed_from_u64(42), 20, 0.3);
+        let g2 = gnp(&mut StdRng::seed_from_u64(42), 20, 0.3);
+        assert_eq!(g1, g2);
+    }
+}

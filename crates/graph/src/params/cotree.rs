@@ -1,0 +1,188 @@
+//! Cotree construction / cograph recognition.
+//!
+//! Cographs are the graphs obtained from single vertices by disjoint union
+//! and join; equivalently, graphs of clique-width ≤ 2 and the canonical
+//! family of bounded modular-width. The cotree drives the polynomial
+//! Partition-into-Paths DP that realises Corollary 2's FPT claim
+//! (see `dclab-core::partition_paths::cograph`).
+
+use crate::graph::Graph;
+use crate::ops::induced_subgraph;
+use crate::traversal::component_vertex_sets;
+
+/// A node of the cotree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CotreeNode {
+    /// A single original vertex.
+    Leaf(usize),
+    /// Disjoint union of the children (parallel node).
+    Union(Vec<usize>),
+    /// Join of the children (series node).
+    Join(Vec<usize>),
+}
+
+/// Cotree of a cograph: nodes in post-order, `root` is the last index.
+#[derive(Clone, Debug)]
+pub struct Cotree {
+    /// All nodes; children indices always precede their parent.
+    pub nodes: Vec<CotreeNode>,
+    /// Index of the root node.
+    pub root: usize,
+    /// Number of leaves under each node.
+    pub size: Vec<usize>,
+}
+
+impl Cotree {
+    /// Build the cotree of `g`, or `None` if `g` is not a cograph.
+    ///
+    /// Recognition is by the classic complement-reduction characterisation:
+    /// a graph with ≥ 2 vertices is a cograph iff it or its complement is
+    /// disconnected, recursively. Runs in `O(n²)` per level (fine for the
+    /// experiment sizes; Tedder et al.'s linear algorithm is out of scope).
+    pub fn build(g: &Graph) -> Option<Cotree> {
+        let mut nodes = Vec::new();
+        let mut size = Vec::new();
+        let vertices: Vec<usize> = (0..g.n()).collect();
+        if g.n() == 0 {
+            // Empty graph: represent with an empty union node.
+            nodes.push(CotreeNode::Union(vec![]));
+            size.push(0);
+            return Some(Cotree {
+                nodes,
+                root: 0,
+                size,
+            });
+        }
+        let root = build_rec(g, &vertices, &mut nodes, &mut size)?;
+        Some(Cotree { nodes, root, size })
+    }
+
+    /// Leaves (original vertex ids) under node `idx`, ascending.
+    pub fn leaves_under(&self, idx: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(idx, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_leaves(&self, idx: usize, out: &mut Vec<usize>) {
+        match &self.nodes[idx] {
+            CotreeNode::Leaf(v) => out.push(*v),
+            CotreeNode::Union(ch) | CotreeNode::Join(ch) => {
+                for &c in ch {
+                    self.collect_leaves(c, out);
+                }
+            }
+        }
+    }
+}
+
+fn build_rec(
+    g: &Graph,
+    vertices: &[usize],
+    nodes: &mut Vec<CotreeNode>,
+    size: &mut Vec<usize>,
+) -> Option<usize> {
+    if vertices.len() == 1 {
+        nodes.push(CotreeNode::Leaf(vertices[0]));
+        size.push(1);
+        return Some(nodes.len() - 1);
+    }
+    let sub = induced_subgraph(g, vertices);
+    let comps = component_vertex_sets(&sub);
+    if comps.len() > 1 {
+        let mut children = Vec::with_capacity(comps.len());
+        let mut total = 0;
+        for comp in comps {
+            let orig: Vec<usize> = comp.iter().map(|&i| vertices[i]).collect();
+            let c = build_rec(g, &orig, nodes, size)?;
+            total += size[c];
+            children.push(c);
+        }
+        nodes.push(CotreeNode::Union(children));
+        size.push(total);
+        return Some(nodes.len() - 1);
+    }
+    let co = crate::ops::complement(&sub);
+    let co_comps = component_vertex_sets(&co);
+    if co_comps.len() > 1 {
+        let mut children = Vec::with_capacity(co_comps.len());
+        let mut total = 0;
+        for comp in co_comps {
+            let orig: Vec<usize> = comp.iter().map(|&i| vertices[i]).collect();
+            let c = build_rec(g, &orig, nodes, size)?;
+            total += size[c];
+            children.push(c);
+        }
+        nodes.push(CotreeNode::Join(children));
+        size.push(total);
+        return Some(nodes.len() - 1);
+    }
+    None // both G[S] and its complement connected with |S| ≥ 2 ⇒ not a cograph
+}
+
+/// Cograph test.
+pub fn is_cograph(g: &Graph) -> bool {
+    Cotree::build(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+    use crate::ops::{complement, disjoint_union, join};
+
+    #[test]
+    fn complete_and_edgeless_are_cographs() {
+        assert!(is_cograph(&classic::complete(5)));
+        assert!(is_cograph(&Graph::new(5)));
+        assert!(is_cograph(&Graph::new(1)));
+        assert!(is_cograph(&Graph::new(0)));
+    }
+
+    #[test]
+    fn p4_is_not_a_cograph() {
+        assert!(!is_cograph(&classic::path(4)));
+    }
+
+    #[test]
+    fn p3_is_a_cograph() {
+        assert!(is_cograph(&classic::path(3)));
+    }
+
+    #[test]
+    fn c5_is_not_a_cograph() {
+        assert!(!is_cograph(&classic::cycle(5)));
+    }
+
+    #[test]
+    fn union_join_closure() {
+        let a = classic::complete(3);
+        let b = classic::path(3);
+        assert!(is_cograph(&disjoint_union(&a, &b)));
+        assert!(is_cograph(&join(&a, &b)));
+    }
+
+    #[test]
+    fn cograph_complement_closure() {
+        let g = join(&classic::complete(2), &Graph::new(3));
+        assert!(is_cograph(&g));
+        assert!(is_cograph(&complement(&g)));
+    }
+
+    #[test]
+    fn cotree_leaf_partition_is_exact() {
+        let g = join(&classic::complete(2), &Graph::new(3));
+        let t = Cotree::build(&g).unwrap();
+        assert_eq!(t.leaves_under(t.root), vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.size[t.root], 5);
+        assert!(matches!(t.nodes[t.root], CotreeNode::Join(_)));
+    }
+
+    #[test]
+    fn cotree_root_of_disconnected_is_union() {
+        let g = disjoint_union(&classic::complete(2), &classic::complete(2));
+        let t = Cotree::build(&g).unwrap();
+        assert!(matches!(t.nodes[t.root], CotreeNode::Union(_)));
+    }
+}

@@ -1,0 +1,10 @@
+//! Structural graph parameters used by the paper's FPT results:
+//! neighborhood diversity (Def. 2), cotrees / cographs (the canonical
+//! bounded modular-width family), and module utilities (Def. 1).
+
+pub mod cotree;
+pub mod modules;
+pub mod nd;
+
+pub use cotree::Cotree;
+pub use nd::NeighborhoodDiversity;

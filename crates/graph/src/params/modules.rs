@@ -1,0 +1,83 @@
+//! Module utilities (Definition 1 of the paper).
+
+use crate::graph::Graph;
+
+/// `true` iff `set` is a module of `g`: every vertex outside `set` is either
+/// adjacent to all of `set` or to none of it.
+pub fn is_module(g: &Graph, set: &[usize]) -> bool {
+    let mut in_set = vec![false; g.n()];
+    for &v in set {
+        in_set[v] = true;
+    }
+    if set.is_empty() {
+        return true;
+    }
+    let rep = set[0];
+    for outside in 0..g.n() {
+        if in_set[outside] {
+            continue;
+        }
+        let to_rep = g.has_edge(outside, rep);
+        for &v in &set[1..] {
+            if g.has_edge(outside, v) != to_rep {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` iff `partition` covers `0..g.n()` exactly once and every part is a
+/// module — i.e. it witnesses `mw(G) ≤ partition.len()` (together with the
+/// recursive condition on each part, which the caller checks separately).
+pub fn is_modular_partition(g: &Graph, partition: &[Vec<usize>]) -> bool {
+    let mut seen = vec![false; g.n()];
+    for part in partition {
+        for &v in part {
+            if v >= g.n() || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+    }
+    seen.iter().all(|&s| s) && partition.iter().all(|p| is_module(g, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn trivial_modules() {
+        let g = classic::path(4);
+        assert!(is_module(&g, &[])); // empty
+        assert!(is_module(&g, &[2])); // singleton
+        assert!(is_module(&g, &[0, 1, 2, 3])); // whole vertex set
+    }
+
+    #[test]
+    fn twins_form_modules() {
+        let g = classic::complete_multipartite(&[3, 2]);
+        assert!(is_module(&g, &[0, 1, 2]));
+        assert!(is_module(&g, &[3, 4]));
+        assert!(is_module(&g, &[0, 1]));
+    }
+
+    #[test]
+    fn non_module_detected() {
+        let g = classic::path(4); // 0-1-2-3
+        assert!(!is_module(&g, &[0, 1])); // vertex 2 sees 1 but not 0
+    }
+
+    #[test]
+    fn modular_partition_check() {
+        let g = classic::complete_multipartite(&[2, 2]);
+        assert!(is_modular_partition(&g, &[vec![0, 1], vec![2, 3]]));
+        assert!(!is_modular_partition(&g, &[vec![0], vec![2, 3]])); // misses 1
+        assert!(!is_modular_partition(
+            &g,
+            &[vec![0, 1], vec![2, 3], vec![0]] // duplicate 0
+        ));
+    }
+}

@@ -1,0 +1,191 @@
+//! Neighborhood diversity (Definition 2 of the paper).
+//!
+//! Vertices `u, v` have the same *type* iff `N(u) \ {v} = N(v) \ {u}`.
+//! Equivalently they are false twins (non-adjacent, equal open
+//! neighborhoods) or true twins (adjacent, equal closed neighborhoods).
+//! Every type is a module inducing a clique or an independent set, and
+//! `nd(G)` — the number of types — upper-bounds nothing less than the FPT
+//! machinery of Theorem 4: `mw(G) ≥ nd(G²)` (Prop. 2) and `nd(G) ≥ mw(G)`
+//! makes `nd` a certified modular-width upper bound.
+
+use crate::graph::Graph;
+use std::collections::HashMap;
+
+/// The type partition realising `nd(G)`.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodDiversity {
+    /// `class_of[v]` = index of v's type.
+    pub class_of: Vec<usize>,
+    /// Vertices of each type, ascending.
+    pub classes: Vec<Vec<usize>>,
+    /// `true` iff the type induces a clique (types of size 1 count as
+    /// cliques).
+    pub is_clique: Vec<bool>,
+}
+
+impl NeighborhoodDiversity {
+    /// Number of types, i.e. `nd(G)`.
+    pub fn nd(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Compute the neighborhood-diversity partition in `O(n·deg·log)` time by
+/// grouping open- and closed-neighborhood keys.
+pub fn neighborhood_diversity(g: &Graph) -> NeighborhoodDiversity {
+    let n = g.n();
+    let mut uf = crate::unionfind::UnionFind::new(n);
+
+    // False twins: identical open neighborhoods (such vertices are
+    // necessarily non-adjacent).
+    let mut open: HashMap<&[u32], usize> = HashMap::new();
+    for v in 0..n {
+        let key = g.neighbors(v);
+        if let Some(&u) = open.get(key) {
+            uf.union(u, v);
+        } else {
+            open.insert(key, v);
+        }
+    }
+
+    // True twins: identical closed neighborhoods.
+    let mut closed_keys: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut k = g.neighbors(v).to_vec();
+        let pos = k.binary_search(&(v as u32)).unwrap_err();
+        k.insert(pos, v as u32);
+        closed_keys.push(k);
+    }
+    let mut closed: HashMap<&[u32], usize> = HashMap::new();
+    for v in 0..n {
+        let key = closed_keys[v].as_slice();
+        if let Some(&u) = closed.get(key) {
+            uf.union(u, v);
+        } else {
+            closed.insert(key, v);
+        }
+    }
+
+    // Collect classes in order of first representative.
+    let mut class_of = vec![usize::MAX; n];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for v in 0..n {
+        let r = uf.find(v);
+        if class_of[r] == usize::MAX {
+            class_of[r] = classes.len();
+            classes.push(Vec::new());
+        }
+        class_of[v] = class_of[r];
+        classes[class_of[r]].push(v);
+    }
+    let is_clique = classes
+        .iter()
+        .map(|c| c.len() <= 1 || g.has_edge(c[0], c[1]))
+        .collect();
+    NeighborhoodDiversity {
+        class_of,
+        classes,
+        is_clique,
+    }
+}
+
+/// `nd(G)` alone.
+pub fn nd(g: &Graph) -> usize {
+    neighborhood_diversity(g).nd()
+}
+
+/// Certified upper bound on modular-width: every nd-type is a module, so
+/// `mw(G) ≤ max(2, nd(G))`. (Computing `mw` exactly needs full modular
+/// decomposition, which is out of scope — see DESIGN.md §3.)
+pub fn modular_width_upper_bound(g: &Graph) -> usize {
+    nd(g).max(2).min(g.n().max(2))
+}
+
+/// Quotient graph on the nd-types: types `A, B` adjacent iff the (complete)
+/// bipartite cross relation holds. Panics in debug builds if the partition
+/// is not made of modules (it always is for an nd partition).
+pub fn type_quotient(g: &Graph, ndp: &NeighborhoodDiversity) -> Graph {
+    let t = ndp.nd();
+    let mut q = Graph::new(t);
+    for a in 0..t {
+        for b in (a + 1)..t {
+            let u = ndp.classes[a][0];
+            let v = ndp.classes[b][0];
+            if g.has_edge(u, v) {
+                debug_assert!(ndp.classes[a]
+                    .iter()
+                    .all(|&x| ndp.classes[b].iter().all(|&y| g.has_edge(x, y))));
+                q.add_edge(a, b);
+            }
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn complete_graph_has_nd_one() {
+        assert_eq!(nd(&classic::complete(6)), 1);
+    }
+
+    #[test]
+    fn edgeless_has_nd_one() {
+        assert_eq!(nd(&Graph::new(5)), 1);
+    }
+
+    #[test]
+    fn star_has_nd_two() {
+        let ndp = neighborhood_diversity(&classic::star(7));
+        assert_eq!(ndp.nd(), 2);
+        // center alone, leaves together
+        let mut sizes: Vec<usize> = ndp.classes.iter().map(Vec::len).collect();
+        sizes.sort();
+        assert_eq!(sizes, vec![1, 6]);
+        assert!(!ndp.is_clique[ndp.class_of[1]]); // leaves are independent
+    }
+
+    #[test]
+    fn complete_multipartite_nd_equals_parts() {
+        let g = classic::complete_multipartite(&[3, 4, 2]);
+        assert_eq!(nd(&g), 3);
+    }
+
+    #[test]
+    fn path_has_full_diversity_at_length_5() {
+        // P5: endpoints pair with nothing; nd(P5) = ... each vertex distinct
+        // except the two ends are NOT twins (different neighborhoods).
+        let g = classic::path(5);
+        assert_eq!(nd(&g), 5);
+    }
+
+    #[test]
+    fn quotient_of_multipartite_is_complete() {
+        let g = classic::complete_multipartite(&[2, 2, 3]);
+        let ndp = neighborhood_diversity(&g);
+        let q = type_quotient(&g, &ndp);
+        assert!(q.is_complete());
+        assert_eq!(q.n(), 3);
+    }
+
+    #[test]
+    fn mw_upper_bound_sane() {
+        let g = classic::complete(5);
+        assert_eq!(modular_width_upper_bound(&g), 2);
+        let p = classic::path(6);
+        assert!(modular_width_upper_bound(&p) <= 6);
+    }
+
+    #[test]
+    fn true_twins_detected() {
+        // Two adjacent vertices with same closed neighborhood.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let ndp = neighborhood_diversity(&g);
+        assert_eq!(ndp.class_of[0], ndp.class_of[1]);
+        assert!(ndp.is_clique[ndp.class_of[0]]);
+        assert_ne!(ndp.class_of[0], ndp.class_of[3]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Breadth-first search and connectivity.
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::INF;
+use std::collections::VecDeque;
+
+/// Distances from `src` to every vertex ([`INF`] when unreachable).
+pub fn bfs_distances(g: &Graph, src: usize) -> Vec<u32> {
+    let csr = Csr::from_graph(g);
+    bfs_distances_csr(&csr, src)
+}
+
+/// CSR-based BFS kernel; reused by the parallel APSP driver.
+pub fn bfs_distances_csr(csr: &Csr, src: usize) -> Vec<u32> {
+    let n = csr.n();
+    let mut dist = vec![INF; n];
+    let mut queue = VecDeque::with_capacity(n);
+    dist[src] = 0;
+    queue.push_back(src as u32);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in csr.neighbors(u as usize) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS truncated at `radius`: distances `> radius` are reported as [`INF`].
+/// Used by greedy labeling, which only needs distances up to `k = |p|`.
+pub fn bfs_distances_bounded(csr: &Csr, src: usize, radius: u32) -> Vec<u32> {
+    let n = csr.n();
+    let mut dist = vec![INF; n];
+    let mut queue = VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src as u32);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du == radius {
+            continue;
+        }
+        for &v in csr.neighbors(u as usize) {
+            if dist[v as usize] == INF {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components; returns `(component_id per vertex, #components)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = count;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if comp[v] == usize::MAX {
+                    comp[v] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// `true` iff `g` is connected (the empty graph and `n = 1` count as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).1 == 1
+}
+
+/// Vertex sets of each connected component, in ascending order of their
+/// smallest vertex.
+pub fn component_vertex_sets(g: &Graph) -> Vec<Vec<usize>> {
+    let (comp, count) = connected_components(g);
+    let mut sets = vec![Vec::new(); count];
+    for (v, &c) in comp.iter().enumerate() {
+        sets[c].push(v);
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = classic::path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_inf() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = classic::path(6);
+        let csr = Csr::from_graph(&g);
+        let d = bfs_distances_bounded(&csr, 0, 2);
+        assert_eq!(d[..3], [0, 1, 2]);
+        assert_eq!(d[3], INF);
+        assert_eq!(d[5], INF);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert!(!is_connected(&g));
+        let sets = component_vertex_sets(&g);
+        assert_eq!(sets, vec![vec![0, 1, 2], vec![3, 4], vec![5]]);
+    }
+
+    #[test]
+    fn singleton_and_empty_are_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal data-parallel substrate for the `dclab` workspace.
+//!
+//! The workspace deliberately avoids a full work-stealing runtime; the
+//! parallel workloads here (all-pairs BFS, multi-start local search,
+//! experiment sweeps) are embarrassingly parallel over an index range, so a
+//! chunked fork-join on [`crossbeam::scope`] is sufficient and keeps the
+//! dependency surface small.
+//!
+//! All entry points preserve *deterministic output order*: `par_map(xs, f)`
+//! returns exactly `xs.iter().map(f).collect()` regardless of thread count,
+//! which keeps seeded experiments reproducible.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum number of worker threads used by default.
+///
+/// Respects the `DCLAB_THREADS` environment variable when set; otherwise uses
+/// [`std::thread::available_parallelism`], capped at 64.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("DCLAB_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(64)
+}
+
+/// Parallel map over a slice with deterministic output order.
+///
+/// Spawns up to `default_threads()` scoped workers that pull indices from a
+/// shared atomic counter (dynamic scheduling, good for skewed work such as
+/// BFS from vertices of very different eccentricity).
+///
+/// Falls back to a sequential map when the input is small or only one thread
+/// is available.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map over the index range `0..n` with deterministic output order.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = default_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = Mutex::new(&mut out);
+    let next = AtomicUsize::new(0);
+    // Grab work in small batches to amortize the atomic without losing load
+    // balance on skewed items.
+    let batch = (n / (threads * 8)).max(1);
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let start = next.fetch_add(batch, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + batch).min(n);
+                // Compute outside the lock; store under it.
+                let mut local: Vec<(usize, U)> = Vec::with_capacity(end - start);
+                for i in start..end {
+                    local.push((i, f(i)));
+                }
+                let mut guard = slots.lock();
+                for (i, v) in local {
+                    guard[i] = Some(v);
+                }
+            });
+        }
+    })
+    .expect("dclab-par worker panicked");
+    out.into_iter()
+        .map(|v| v.expect("par_map_indexed slot unfilled"))
+        .collect()
+}
+
+/// Parallel reduction: map each index through `f` and fold results with
+/// `reduce`, starting from `identity`. The reduction order is unspecified, so
+/// `reduce` must be commutative and associative (min/max/sum of spans etc.).
+pub fn par_reduce<U, F, R>(n: usize, identity: U, f: F, reduce: R) -> U
+where
+    U: Send + Clone,
+    F: Fn(usize) -> U + Sync,
+    R: Fn(U, U) -> U + Sync + Send,
+{
+    let threads = default_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return (0..n).map(f).fold(identity, &reduce);
+    }
+    let next = AtomicUsize::new(0);
+    let best = Mutex::new(identity.clone());
+    crossbeam::scope(|s| {
+        for _ in 0..threads {
+            let mut acc = identity.clone();
+            let (next, best, f, reduce) = (&next, &best, &f, &reduce);
+            s.spawn(move |_| {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    acc = reduce(acc, f(i));
+                }
+                let mut guard = best.lock();
+                let cur = guard.clone();
+                *guard = reduce(cur, acc);
+            });
+        }
+    })
+    .expect("dclab-par worker panicked");
+    best.into_inner()
+}
+
+/// Run `n` independent jobs for their side effects (e.g. filling disjoint
+/// rows of a shared matrix through interior mutability owned by the caller).
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let _ = par_map_indexed(n, |i| {
+        f(i);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x * x + 1).collect();
+        let par = par_map(&xs, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_indexed_order_is_deterministic() {
+        for _ in 0..5 {
+            let v = par_map_indexed(257, |i| i * 3);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+        }
+    }
+
+    #[test]
+    fn par_reduce_min() {
+        let m = par_reduce(1000, usize::MAX, |i| (i * 7919) % 1000, |a, b| a.min(b));
+        assert_eq!(m, 0);
+    }
+
+    #[test]
+    fn par_reduce_sum_matches() {
+        let s = par_reduce(500, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(s, 499 * 500 / 2);
+    }
+
+    #[test]
+    fn par_for_fills_disjoint_slots() {
+        use std::sync::atomic::AtomicU32;
+        let slots: Vec<AtomicU32> = (0..300).map(|_| AtomicU32::new(0)).collect();
+        par_for(300, |i| slots[i].store(i as u32 + 1, Ordering::Relaxed));
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

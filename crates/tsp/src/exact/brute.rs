@@ -1,0 +1,114 @@
+//! Brute-force enumeration — the reference oracle for every other solver.
+//!
+//! Heap's algorithm over `(n-1)!` permutations (first city pinned for the
+//! cycle case to quotient out rotations). Intended for `n ≤ 11`.
+
+use crate::tour::{cycle_weight, path_weight};
+use crate::{TspInstance, Weight};
+
+/// Exact minimum-weight Hamiltonian cycle by full enumeration.
+///
+/// # Panics
+/// If `n > 12` (factorial blowup) or `n == 0`.
+pub fn brute_force_cycle(inst: &TspInstance) -> (Vec<u32>, Weight) {
+    let n = inst.n();
+    assert!((1..=12).contains(&n), "brute force limited to 1 ≤ n ≤ 12");
+    if n <= 2 {
+        let order: Vec<u32> = (0..n as u32).collect();
+        let w = cycle_weight(inst, &order);
+        return (order, w);
+    }
+    // Pin city 0 first; permute the rest.
+    let mut rest: Vec<u32> = (1..n as u32).collect();
+    let mut best: Option<(Vec<u32>, Weight)> = None;
+    permute(&mut rest, 0, &mut |perm| {
+        let mut order = Vec::with_capacity(n);
+        order.push(0);
+        order.extend_from_slice(perm);
+        let w = cycle_weight(inst, &order);
+        if best.as_ref().is_none_or(|(_, bw)| w < *bw) {
+            best = Some((order, w));
+        }
+    });
+    best.unwrap()
+}
+
+/// Exact minimum-weight Hamiltonian *path* (both endpoints free) by full
+/// enumeration.
+///
+/// # Panics
+/// If `n > 11` or `n == 0`.
+pub fn brute_force_path(inst: &TspInstance) -> (Vec<u32>, Weight) {
+    let n = inst.n();
+    assert!((1..=11).contains(&n), "brute force limited to 1 ≤ n ≤ 11");
+    let mut cities: Vec<u32> = (0..n as u32).collect();
+    let mut best: Option<(Vec<u32>, Weight)> = None;
+    permute(&mut cities, 0, &mut |perm| {
+        // A path and its reversal have equal weight; skip half the work.
+        if n >= 2 && perm[0] > perm[n - 1] {
+            return;
+        }
+        let w = path_weight(inst, perm);
+        if best.as_ref().is_none_or(|(_, bw)| w < *bw) {
+            best = Some((perm.to_vec(), w));
+        }
+    });
+    best.unwrap()
+}
+
+fn permute(xs: &mut [u32], k: usize, visit: &mut impl FnMut(&[u32])) {
+    if k == xs.len() {
+        visit(xs);
+        return;
+    }
+    for i in k..xs.len() {
+        xs.swap(k, i);
+        permute(xs, k + 1, visit);
+        xs.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tour::is_permutation;
+
+    fn line(coords: &[i64]) -> TspInstance {
+        TspInstance::from_fn(coords.len(), |u, v| coords[u].abs_diff(coords[v]))
+    }
+
+    #[test]
+    fn path_on_line_is_sorted_order() {
+        let t = line(&[0, 10, 3, 7, 1]);
+        let (order, w) = brute_force_path(&t);
+        assert_eq!(w, 10); // sweep left-to-right
+        assert!(is_permutation(5, &order));
+    }
+
+    #[test]
+    fn cycle_on_line_doubles_span() {
+        let t = line(&[0, 10, 3, 7, 1]);
+        let (_, w) = brute_force_cycle(&t);
+        assert_eq!(w, 20);
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let t = line(&[0, 5]);
+        assert_eq!(brute_force_path(&t).1, 5);
+        assert_eq!(brute_force_cycle(&t).1, 10);
+        let t1 = line(&[0]);
+        assert_eq!(brute_force_path(&t1).1, 0);
+    }
+
+    #[test]
+    fn path_never_heavier_than_cycle() {
+        let t = TspInstance::from_fn(7, |u, v| {
+            let (a, b) = (u.min(v), u.max(v));
+            ((a * 7919 + b * 104729) % 50 + 1) as u64
+        });
+        let (_, pw) = brute_force_path(&t);
+        let (_, cw) = brute_force_cycle(&t);
+        assert!(pw <= cw);
+    }
+}

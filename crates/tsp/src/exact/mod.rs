@@ -1,0 +1,9 @@
+//! Exact TSP solvers: brute force (reference oracle) and Held–Karp.
+
+pub mod branch_bound;
+pub mod brute;
+pub mod held_karp;
+
+pub use branch_bound::branch_bound_path;
+pub use brute::{brute_force_cycle, brute_force_path};
+pub use held_karp::{held_karp_cycle, held_karp_path};

@@ -1,0 +1,415 @@
+//! Tour-improvement local search: 2-opt and Or-opt over cycle tours, with
+//! candidate neighbor lists and don't-look bits (the standard machinery of
+//! Lin–Kernighan-family implementations).
+//!
+//! All moves operate on *cycles*; Path TSP is handled by the dummy-city
+//! equivalence (see [`crate::instance::TspInstance::with_dummy_city`]).
+
+use crate::{TspInstance, Weight};
+
+/// Tunables for the local-search kernels; the ablation experiment (E8)
+/// sweeps these.
+#[derive(Clone, Debug)]
+pub struct LocalSearchConfig {
+    /// Candidate-list size (nearest neighbors per city).
+    pub neighbor_k: usize,
+    /// Enable don't-look bits (skip cities whose neighborhood was
+    /// unchanged since their last failed scan).
+    pub dont_look: bool,
+    /// Enable the Or-opt pass (segment relocation, lengths 1–3).
+    pub or_opt: bool,
+    /// Safety cap on full improvement rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for LocalSearchConfig {
+    fn default() -> Self {
+        LocalSearchConfig {
+            neighbor_k: 10,
+            dont_look: true,
+            or_opt: true,
+            max_rounds: 200,
+        }
+    }
+}
+
+/// A cycle tour with a position index, the mutable state local search works
+/// on.
+pub struct TourState {
+    pub order: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+impl TourState {
+    /// Wrap a tour (must be a permutation of `0..n`).
+    pub fn new(order: Vec<u32>) -> Self {
+        let mut pos = vec![0u32; order.len()];
+        for (i, &c) in order.iter().enumerate() {
+            pos[c as usize] = i as u32;
+        }
+        TourState { order, pos }
+    }
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    #[inline]
+    fn succ_pos(&self, i: usize) -> usize {
+        if i + 1 == self.n() {
+            0
+        } else {
+            i + 1
+        }
+    }
+
+    #[inline]
+    fn pred_pos(&self, i: usize) -> usize {
+        if i == 0 {
+            self.n() - 1
+        } else {
+            i - 1
+        }
+    }
+
+    #[inline]
+    fn city_at(&self, i: usize) -> usize {
+        self.order[i] as usize
+    }
+
+    #[inline]
+    fn position(&self, c: usize) -> usize {
+        self.pos[c] as usize
+    }
+
+    /// Reverse the tour segment between positions `i..=j` (inclusive,
+    /// wrapping not required: caller normalizes `i < j`).
+    fn reverse_segment(&mut self, mut i: usize, mut j: usize) {
+        while i < j {
+            self.order.swap(i, j);
+            self.pos[self.order[i] as usize] = i as u32;
+            self.pos[self.order[j] as usize] = j as u32;
+            i += 1;
+            j -= 1;
+        }
+    }
+
+    fn rebuild_pos(&mut self) {
+        for (i, &c) in self.order.iter().enumerate() {
+            self.pos[c as usize] = i as u32;
+        }
+    }
+}
+
+#[inline]
+fn w(inst: &TspInstance, a: usize, b: usize) -> i64 {
+    inst.weight(a, b) as i64
+}
+
+/// Run 2-opt to a local optimum using candidate lists. Returns the total
+/// improvement in tour weight.
+pub fn two_opt(
+    inst: &TspInstance,
+    state: &mut TourState,
+    neighbors: &[Vec<u32>],
+    cfg: &LocalSearchConfig,
+) -> Weight {
+    let n = state.n();
+    if n < 4 {
+        return 0;
+    }
+    let mut dont_look = vec![false; n];
+    let mut total_gain: i64 = 0;
+    for _ in 0..cfg.max_rounds {
+        let mut improved_any = false;
+        for a in 0..n {
+            if cfg.dont_look && dont_look[a] {
+                continue;
+            }
+            let mut improved_here = false;
+            // Try both tour edges incident to `a`: (a, succ) and (pred, a).
+            'dirs: for dir in 0..2 {
+                let ia = state.position(a);
+                let ib = if dir == 0 {
+                    state.succ_pos(ia)
+                } else {
+                    state.pred_pos(ia)
+                };
+                let b = state.city_at(ib);
+                let w_ab = w(inst, a, b);
+                for &c in &neighbors[a] {
+                    let c = c as usize;
+                    if c == b {
+                        continue;
+                    }
+                    let w_ac = w(inst, a, c);
+                    if w_ac >= w_ab {
+                        break; // neighbor lists are sorted; no 2-opt gain further out
+                    }
+                    let ic = state.position(c);
+                    let id = if dir == 0 {
+                        state.succ_pos(ic)
+                    } else {
+                        state.pred_pos(ic)
+                    };
+                    let d = state.city_at(id);
+                    if d == a {
+                        continue;
+                    }
+                    let gain = w_ab + w(inst, c, d) - w_ac - w(inst, b, d);
+                    if gain > 0 {
+                        // Removing tour edges (x1,x2),(y1,y2) with
+                        // x2 = succ(x1), y2 = succ(y1) and adding
+                        // (x1,y1),(x2,y2) reverses the directed segment
+                        // x2..y1. dir 0: (a,b),(c,d); dir 1: (b,a),(d,c).
+                        let (px2, py1) = if dir == 0 {
+                            (state.position(b), state.position(c))
+                        } else {
+                            (state.position(a), state.position(d))
+                        };
+                        let (lo, hi) = if px2 <= py1 {
+                            (px2, py1)
+                        } else {
+                            // Segment wraps; reverse its linear complement
+                            // (y2..x1), which yields the same cycle.
+                            (py1 + 1, px2 - 1)
+                        };
+                        // Reverse the shorter side of the cycle.
+                        if hi - lo < n - (hi - lo + 1) {
+                            state.reverse_segment(lo, hi);
+                        } else {
+                            reverse_complement(state, lo, hi);
+                        }
+                        total_gain += gain;
+                        improved_here = true;
+                        improved_any = true;
+                        dont_look[a] = false;
+                        dont_look[b] = false;
+                        dont_look[c] = false;
+                        dont_look[d] = false;
+                        break 'dirs;
+                    }
+                }
+            }
+            if !improved_here {
+                dont_look[a] = true;
+            }
+        }
+        if !improved_any {
+            break;
+        }
+    }
+    debug_assert!(total_gain >= 0);
+    total_gain as Weight
+}
+
+/// Reverse the cyclic complement of `lo..=hi`, which leaves the same cycle
+/// as reversing `lo..=hi` but touches fewer elements when the segment is
+/// more than half the tour.
+fn reverse_complement(state: &mut TourState, lo: usize, hi: usize) {
+    let n = state.n();
+    let len = n - (hi - lo + 1);
+    let mut i = (hi + 1) % n;
+    let mut j = (lo + n - 1) % n;
+    for _ in 0..len / 2 {
+        state.order.swap(i, j);
+        i = (i + 1) % n;
+        j = (j + n - 1) % n;
+    }
+    state.rebuild_pos();
+}
+
+/// Or-opt: relocate segments of length 1–3 next to a candidate neighbor,
+/// in either orientation. First-improvement, repeated until a fixed point
+/// (bounded by `cfg.max_rounds`). Returns total improvement.
+pub fn or_opt(
+    inst: &TspInstance,
+    state: &mut TourState,
+    neighbors: &[Vec<u32>],
+    cfg: &LocalSearchConfig,
+) -> Weight {
+    let n = state.n();
+    if n < 5 {
+        return 0;
+    }
+    let mut total_gain: i64 = 0;
+    for _ in 0..cfg.max_rounds {
+        let mut improved = false;
+        'scan: for start in 0..n {
+            for seg_len in 1..=3usize.min(n - 3) {
+                let i = start;
+                let j = (start + seg_len - 1) % n;
+                if j < i {
+                    continue; // avoid wrap-around segments; rotation covers them
+                }
+                let prev = state.city_at(state.pred_pos(i));
+                let next = state.city_at(state.succ_pos(j));
+                let s0 = state.city_at(i);
+                let s1 = state.city_at(j);
+                if prev == s1 || next == s0 {
+                    continue; // segment covers whole tour
+                }
+                let removal_gain =
+                    w(inst, prev, s0) + w(inst, s1, next) - w(inst, prev, next);
+                if removal_gain <= 0 {
+                    continue;
+                }
+                // Candidate insertion points: after neighbors of s0/s1.
+                for &cand in neighbors[s0].iter().chain(neighbors[s1].iter()) {
+                    let c = cand as usize;
+                    let pc = state.position(c);
+                    // Skip candidates inside or adjacent to the segment.
+                    if (i..=j).contains(&pc) || c == prev {
+                        continue;
+                    }
+                    let d = state.city_at(state.succ_pos(pc));
+                    if (i..=j).contains(&state.position(d)) {
+                        continue;
+                    }
+                    let base = w(inst, c, d);
+                    let fwd = w(inst, c, s0) + w(inst, s1, d) - base;
+                    let rev = w(inst, c, s1) + w(inst, s0, d) - base;
+                    let (cost, reversed) = if fwd <= rev { (fwd, false) } else { (rev, true) };
+                    if removal_gain - cost > 0 {
+                        apply_or_opt(state, i, j, c, reversed);
+                        total_gain += removal_gain - cost;
+                        improved = true;
+                        continue 'scan;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert!(total_gain >= 0);
+    total_gain as Weight
+}
+
+/// Splice `order[i..=j]` (possibly reversed) right after city `c`.
+fn apply_or_opt(state: &mut TourState, i: usize, j: usize, c: usize, reversed: bool) {
+    let mut seg: Vec<u32> = state.order[i..=j].to_vec();
+    if reversed {
+        seg.reverse();
+    }
+    state.order.drain(i..=j);
+    let pc = state
+        .order
+        .iter()
+        .position(|&x| x as usize == c)
+        .expect("insertion anchor vanished");
+    let at = pc + 1;
+    for (k, &s) in seg.iter().enumerate() {
+        state.order.insert(at + k, s);
+    }
+    state.rebuild_pos();
+}
+
+/// Run 2-opt and (optionally) Or-opt alternately until neither improves.
+pub fn local_opt(
+    inst: &TspInstance,
+    state: &mut TourState,
+    neighbors: &[Vec<u32>],
+    cfg: &LocalSearchConfig,
+) -> Weight {
+    let mut total = 0;
+    loop {
+        let g2 = two_opt(inst, state, neighbors, cfg);
+        let go = if cfg.or_opt {
+            or_opt(inst, state, neighbors, cfg)
+        } else {
+            0
+        };
+        total += g2 + go;
+        if g2 + go == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::nearest_neighbor;
+    use crate::exact::brute_force_cycle;
+    use crate::tour::cycle_weight;
+    use crate::tour::is_permutation;
+
+    fn random_instance(n: usize, salt: u64) -> TspInstance {
+        TspInstance::from_fn(n, move |u, v| {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            (a.wrapping_mul(7919) ^ b.wrapping_mul(104729) ^ salt.wrapping_mul(97)) % 100 + 1
+        })
+    }
+
+    #[test]
+    fn two_opt_improves_and_preserves_permutation() {
+        for salt in 0..5 {
+            let t = random_instance(30, salt);
+            let start = nearest_neighbor(&t, 0);
+            let before = cycle_weight(&t, &start);
+            let mut state = TourState::new(start);
+            let nl = t.neighbor_lists(10);
+            let gain = two_opt(&t, &mut state, &nl, &LocalSearchConfig::default());
+            assert!(is_permutation(30, &state.order));
+            assert_eq!(cycle_weight(&t, &state.order) + gain, before);
+        }
+    }
+
+    #[test]
+    fn or_opt_improves_and_preserves_permutation() {
+        for salt in 5..10 {
+            let t = random_instance(25, salt);
+            let start = nearest_neighbor(&t, 0);
+            let before = cycle_weight(&t, &start);
+            let mut state = TourState::new(start);
+            let nl = t.neighbor_lists(8);
+            let gain = or_opt(&t, &mut state, &nl, &LocalSearchConfig::default());
+            assert!(is_permutation(25, &state.order));
+            assert_eq!(cycle_weight(&t, &state.order) + gain, before);
+        }
+    }
+
+    #[test]
+    fn local_opt_close_to_optimal_small() {
+        for salt in 0..5 {
+            let t = random_instance(9, salt);
+            let (_, opt) = brute_force_cycle(&t);
+            let mut state = TourState::new(nearest_neighbor(&t, 0));
+            let nl = t.neighbor_lists(8);
+            local_opt(&t, &mut state, &nl, &LocalSearchConfig::default());
+            let w = cycle_weight(&t, &state.order);
+            assert!(w >= opt);
+            assert!(w <= opt * 3 / 2 + 20, "salt={salt}: {w} vs {opt}");
+        }
+    }
+
+    #[test]
+    fn two_opt_fixes_a_crossing() {
+        // Four points on a square; the crossing tour 0-2-1-3 must be fixed.
+        let pts = [(0i64, 0i64), (10, 0), (10, 10), (0, 10)];
+        let t = TspInstance::from_fn(4, |u, v| {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            ((dx * dx + dy * dy) as f64).sqrt() as u64
+        });
+        let mut state = TourState::new(vec![0, 2, 1, 3]);
+        let nl = t.neighbor_lists(3);
+        two_opt(&t, &mut state, &nl, &LocalSearchConfig::default());
+        let w = cycle_weight(&t, &state.order);
+        assert_eq!(w, 40);
+    }
+
+    #[test]
+    fn tiny_tours_untouched() {
+        let t = random_instance(3, 0);
+        let mut state = TourState::new(vec![0, 1, 2]);
+        let nl = t.neighbor_lists(2);
+        assert_eq!(two_opt(&t, &mut state, &nl, &LocalSearchConfig::default()), 0);
+        assert_eq!(or_opt(&t, &mut state, &nl, &LocalSearchConfig::default()), 0);
+        assert_eq!(state.order, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,517 @@
+//! `O(n³)` maximum-weight general matching (blossom algorithm with dual
+//! variables), used as the exact mid-size backend for minimum-weight perfect
+//! matching in Christofides/Hoogeveen.
+//!
+//! This is the classical primal-dual algorithm in its dense formulation
+//! (Galil's presentation; the implementation follows the widely used
+//! contest-proven structure with contracted-blossom super-nodes, slack
+//! tracking per root, and lazy blossom expansion). Vertices are 1-indexed
+//! internally; index 0 is the null sentinel. Weights are doubled inside the
+//! dual arithmetic so all duals stay integral.
+//!
+//! Minimum-weight perfect matching on a complete graph is obtained by
+//! maximizing the flipped weights `w'(u,v) = (max_w + 1) - w(u,v)` (all
+//! strictly positive, so a maximum-weight matching on an even complete graph
+//! is perfect).
+
+use crate::Weight;
+
+type W = i64;
+const INF: W = i64::MAX / 4;
+
+#[derive(Clone, Copy, Default)]
+struct Edge {
+    u: usize,
+    v: usize,
+    w: W,
+}
+
+struct Blossom {
+    n: usize,
+    n_x: usize,
+    g: Vec<Vec<Edge>>,
+    lab: Vec<W>,
+    matched: Vec<usize>,
+    slack: Vec<usize>,
+    st: Vec<usize>,
+    pa: Vec<usize>,
+    flower_from: Vec<Vec<usize>>,
+    flower: Vec<Vec<usize>>,
+    s: Vec<i32>,
+    vis: Vec<i32>,
+    vis_t: i32,
+    q: std::collections::VecDeque<usize>,
+}
+
+impl Blossom {
+    fn new(n: usize, weight: impl Fn(usize, usize) -> W) -> Self {
+        let cap = 2 * n + 1;
+        let mut g = vec![vec![Edge::default(); cap]; cap];
+        for u in 1..=n {
+            for v in 1..=n {
+                g[u][v] = Edge {
+                    u,
+                    v,
+                    w: if u == v { 0 } else { weight(u - 1, v - 1) },
+                };
+            }
+        }
+        Blossom {
+            n,
+            n_x: n,
+            g,
+            lab: vec![0; cap],
+            matched: vec![0; cap],
+            slack: vec![0; cap],
+            st: (0..cap).collect(),
+            pa: vec![0; cap],
+            flower_from: vec![vec![0; n + 1]; cap],
+            flower: vec![Vec::new(); cap],
+            s: vec![-1; cap],
+            vis: vec![0; cap],
+            vis_t: 0,
+            q: std::collections::VecDeque::new(),
+        }
+    }
+
+    #[inline]
+    fn e_delta(&self, e: &Edge) -> W {
+        self.lab[e.u] + self.lab[e.v] - self.g[e.u][e.v].w * 2
+    }
+
+    fn update_slack(&mut self, u: usize, x: usize) {
+        if self.slack[x] == 0
+            || self.e_delta(&self.g[u][x]) < self.e_delta(&self.g[self.slack[x]][x])
+        {
+            self.slack[x] = u;
+        }
+    }
+
+    fn set_slack(&mut self, x: usize) {
+        self.slack[x] = 0;
+        for u in 1..=self.n {
+            if self.g[u][x].w > 0 && self.st[u] != x && self.s[self.st[u]] == 0 {
+                self.update_slack(u, x);
+            }
+        }
+    }
+
+    fn q_push(&mut self, x: usize) {
+        if x <= self.n {
+            self.q.push_back(x);
+        } else {
+            let children = self.flower[x].clone();
+            for p in children {
+                self.q_push(p);
+            }
+        }
+    }
+
+    fn set_st(&mut self, x: usize, b: usize) {
+        self.st[x] = b;
+        if x > self.n {
+            let children = self.flower[x].clone();
+            for p in children {
+                self.set_st(p, b);
+            }
+        }
+    }
+
+    fn get_pr(&mut self, b: usize, xr: usize) -> usize {
+        let pr = self.flower[b].iter().position(|&p| p == xr).unwrap();
+        if pr % 2 == 1 {
+            self.flower[b][1..].reverse();
+            self.flower[b].len() - pr
+        } else {
+            pr
+        }
+    }
+
+    fn set_match(&mut self, u: usize, v: usize) {
+        self.matched[u] = self.g[u][v].v;
+        if u > self.n {
+            let e = self.g[u][v];
+            let xr = self.flower_from[u][e.u];
+            let pr = self.get_pr(u, xr);
+            for i in 0..pr {
+                let (a, b) = (self.flower[u][i], self.flower[u][i ^ 1]);
+                self.set_match(a, b);
+            }
+            self.set_match(xr, v);
+            self.flower[u].rotate_left(pr);
+        }
+    }
+
+    fn augment(&mut self, mut u: usize, mut v: usize) {
+        loop {
+            let xnv = self.st[self.matched[u]];
+            self.set_match(u, v);
+            if xnv == 0 {
+                return;
+            }
+            let next_u = self.st[self.pa[xnv]];
+            self.set_match(xnv, next_u);
+            u = next_u;
+            v = xnv;
+        }
+    }
+
+    fn get_lca(&mut self, mut u: usize, mut v: usize) -> usize {
+        self.vis_t += 1;
+        let t = self.vis_t;
+        while u != 0 || v != 0 {
+            if u != 0 {
+                if self.vis[u] == t {
+                    return u;
+                }
+                self.vis[u] = t;
+                u = self.st[self.matched[u]];
+                if u != 0 {
+                    u = self.st[self.pa[u]];
+                }
+            }
+            std::mem::swap(&mut u, &mut v);
+        }
+        0
+    }
+
+    fn add_blossom(&mut self, u: usize, lca: usize, v: usize) {
+        let mut b = self.n + 1;
+        while b <= self.n_x && self.st[b] != 0 {
+            b += 1;
+        }
+        if b > self.n_x {
+            self.n_x += 1;
+        }
+        self.lab[b] = 0;
+        self.s[b] = 0;
+        self.matched[b] = self.matched[lca];
+        self.flower[b].clear();
+        self.flower[b].push(lca);
+        let mut x = u;
+        while x != lca {
+            self.flower[b].push(x);
+            let y = self.st[self.matched[x]];
+            self.flower[b].push(y);
+            self.q_push(y);
+            x = self.st[self.pa[y]];
+        }
+        self.flower[b][1..].reverse();
+        let mut x = v;
+        while x != lca {
+            self.flower[b].push(x);
+            let y = self.st[self.matched[x]];
+            self.flower[b].push(y);
+            self.q_push(y);
+            x = self.st[self.pa[y]];
+        }
+        self.set_st(b, b);
+        for x in 1..=self.n_x {
+            self.g[b][x].w = 0;
+            self.g[x][b].w = 0;
+        }
+        for x in 1..=self.n {
+            self.flower_from[b][x] = 0;
+        }
+        let members = self.flower[b].clone();
+        for &xs in &members {
+            for x in 1..=self.n_x {
+                if self.g[b][x].w == 0
+                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                {
+                    self.g[b][x] = self.g[xs][x];
+                    self.g[x][b] = self.g[x][xs];
+                }
+            }
+            for x in 1..=self.n {
+                if self.flower_from[xs][x] != 0 {
+                    self.flower_from[b][x] = xs;
+                }
+            }
+        }
+        self.set_slack(b);
+    }
+
+    fn expand_blossom(&mut self, b: usize) {
+        let members = self.flower[b].clone();
+        for &m in &members {
+            self.set_st(m, m);
+        }
+        let xr = self.flower_from[b][self.g[b][self.pa[b]].u];
+        let pr = self.get_pr(b, xr);
+        let mut i = 0;
+        while i < pr {
+            let xs = self.flower[b][i];
+            let xns = self.flower[b][i + 1];
+            self.pa[xs] = self.g[xns][xs].u;
+            self.s[xs] = 1;
+            self.s[xns] = 0;
+            self.slack[xs] = 0;
+            self.set_slack(xns);
+            self.q_push(xns);
+            i += 2;
+        }
+        self.s[xr] = 1;
+        self.pa[xr] = self.pa[b];
+        for i in (pr + 1)..self.flower[b].len() {
+            let xs = self.flower[b][i];
+            self.s[xs] = -1;
+            self.set_slack(xs);
+        }
+        self.st[b] = 0;
+    }
+
+    fn on_found_edge(&mut self, e: Edge) -> bool {
+        let u = self.st[e.u];
+        let v = self.st[e.v];
+        if self.s[v] == -1 {
+            self.pa[v] = e.u;
+            self.s[v] = 1;
+            let nu = self.st[self.matched[v]];
+            self.slack[v] = 0;
+            self.slack[nu] = 0;
+            self.s[nu] = 0;
+            self.q_push(nu);
+        } else if self.s[v] == 0 {
+            let lca = self.get_lca(u, v);
+            if lca == 0 {
+                self.augment(u, v);
+                self.augment(v, u);
+                return true;
+            }
+            self.add_blossom(u, lca, v);
+        }
+        false
+    }
+
+    fn matching_round(&mut self) -> bool {
+        for x in 1..=self.n_x {
+            self.s[x] = -1;
+            self.slack[x] = 0;
+        }
+        self.q.clear();
+        for x in 1..=self.n_x {
+            if self.st[x] == x && self.matched[x] == 0 {
+                self.pa[x] = 0;
+                self.s[x] = 0;
+                self.q_push(x);
+            }
+        }
+        if self.q.is_empty() {
+            return false;
+        }
+        loop {
+            while let Some(u) = self.q.pop_front() {
+                if self.s[self.st[u]] == 1 {
+                    continue;
+                }
+                for v in 1..=self.n {
+                    if self.g[u][v].w > 0 && self.st[u] != self.st[v] {
+                        if self.e_delta(&self.g[u][v]) == 0 {
+                            if self.on_found_edge(self.g[u][v]) {
+                                return true;
+                            }
+                        } else {
+                            let sv = self.st[v];
+                            self.update_slack(u, sv);
+                        }
+                    }
+                }
+            }
+            let mut d = INF;
+            for b in (self.n + 1)..=self.n_x {
+                if self.st[b] == b && self.s[b] == 1 {
+                    d = d.min(self.lab[b] / 2);
+                }
+            }
+            for x in 1..=self.n_x {
+                if self.st[x] == x && self.slack[x] != 0 {
+                    let delta = self.e_delta(&self.g[self.slack[x]][x]);
+                    if self.s[x] == -1 {
+                        d = d.min(delta);
+                    } else if self.s[x] == 0 {
+                        d = d.min(delta / 2);
+                    }
+                }
+            }
+            for u in 1..=self.n {
+                match self.s[self.st[u]] {
+                    0 => {
+                        if self.lab[u] <= d {
+                            return false; // dual hits zero: no perfect matching
+                        }
+                        self.lab[u] -= d;
+                    }
+                    1 => self.lab[u] += d,
+                    _ => {}
+                }
+            }
+            for b in (self.n + 1)..=self.n_x {
+                if self.st[b] == b {
+                    match self.s[b] {
+                        0 => self.lab[b] += d * 2,
+                        1 => self.lab[b] -= d * 2,
+                        _ => {}
+                    }
+                }
+            }
+            self.q.clear();
+            for x in 1..=self.n_x {
+                if self.st[x] == x
+                    && self.slack[x] != 0
+                    && self.st[self.slack[x]] != x
+                    && self.e_delta(&self.g[self.slack[x]][x]) == 0
+                {
+                    let e = self.g[self.slack[x]][x];
+                    if self.on_found_edge(e) {
+                        return true;
+                    }
+                }
+            }
+            for b in (self.n + 1)..=self.n_x {
+                if self.st[b] == b && self.s[b] == 1 && self.lab[b] == 0 {
+                    self.expand_blossom(b);
+                }
+            }
+        }
+    }
+
+    /// Run the full algorithm; returns `matched` over 1..=n.
+    fn solve(&mut self) -> Vec<usize> {
+        let mut w_max = 0;
+        for u in 1..=self.n {
+            self.flower_from[u][u] = u;
+            for v in 1..=self.n {
+                w_max = w_max.max(self.g[u][v].w);
+            }
+        }
+        for u in 1..=self.n {
+            self.lab[u] = w_max;
+        }
+        while self.matching_round() {}
+        self.matched[1..=self.n].to_vec()
+    }
+}
+
+/// Maximum-weight matching (not necessarily perfect) on `0..k` for a
+/// positive-weight oracle; returns `mate[v]` with `usize::MAX` for
+/// unmatched vertices.
+pub fn max_weight_matching(k: usize, w: &dyn Fn(usize, usize) -> W) -> Vec<usize> {
+    if k == 0 {
+        return vec![];
+    }
+    let mut b = Blossom::new(k, |u, v| w(u, v).max(0));
+    let matched = b.solve();
+    matched
+        .iter()
+        .map(|&m| if m == 0 { usize::MAX } else { m - 1 })
+        .collect()
+}
+
+/// Exact minimum-weight perfect matching on the complete graph `0..k`
+/// (`k` even) via weight flipping.
+///
+/// # Panics
+/// If `k` is odd, or the blossom search fails to perfectly match (cannot
+/// happen on a complete graph with even `k`).
+pub fn min_weight_perfect_matching_blossom(
+    k: usize,
+    w: &dyn Fn(usize, usize) -> Weight,
+) -> Vec<(u32, u32)> {
+    assert!(k.is_multiple_of(2), "perfect matching needs even k");
+    if k == 0 {
+        return vec![];
+    }
+    let mut max_w: Weight = 0;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            max_w = max_w.max(w(a, b));
+        }
+    }
+    assert!(
+        max_w < (INF / (k as i64 + 1)) as Weight,
+        "weights too large for blossom dual arithmetic"
+    );
+    let flipped = move |a: usize, b: usize| -> W { (max_w + 1 - w(a, b)) as W };
+    let mate = max_weight_matching(k, &flipped);
+    let mut pairs = Vec::with_capacity(k / 2);
+    for v in 0..k {
+        let m = mate[v];
+        assert!(m != usize::MAX, "blossom failed to produce perfect matching");
+        if v < m {
+            pairs.push((v as u32, m as u32));
+        }
+    }
+    assert_eq!(pairs.len() * 2, k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::exact_dp::min_weight_perfect_matching_value;
+    use crate::matching::{is_perfect_matching, matching_weight};
+
+    fn oracle(salt: u64, modulus: u64) -> impl Fn(usize, usize) -> Weight {
+        move |a, b| {
+            let (a, b) = (a.min(b) as u64, a.max(b) as u64);
+            (a.wrapping_mul(7919) ^ b.wrapping_mul(104729) ^ salt.wrapping_mul(2654435761))
+                % modulus
+                + 1
+        }
+    }
+
+    #[test]
+    fn blossom_matches_exact_dp_small() {
+        for k in [2usize, 4, 6, 8, 10, 12] {
+            for salt in 0..8 {
+                let w = oracle(salt, 50);
+                let pairs = min_weight_perfect_matching_blossom(k, &w);
+                assert!(is_perfect_matching(k, &pairs), "k={k} salt={salt}");
+                let got = matching_weight(&pairs, &w);
+                let want = min_weight_perfect_matching_value(k, &w);
+                assert_eq!(got, want, "k={k} salt={salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn blossom_matches_exact_dp_medium() {
+        for salt in 0..3 {
+            let w = oracle(salt + 100, 1000);
+            let pairs = min_weight_perfect_matching_blossom(16, &w);
+            assert!(is_perfect_matching(16, &pairs));
+            let got = matching_weight(&pairs, &w);
+            let want = min_weight_perfect_matching_value(16, &w);
+            assert_eq!(got, want, "salt={salt}");
+        }
+    }
+
+    #[test]
+    fn blossom_large_instance_is_perfect_and_beats_greedy_construction() {
+        let w = oracle(7, 500);
+        let k = 60;
+        let pairs = min_weight_perfect_matching_blossom(k, &w);
+        assert!(is_perfect_matching(k, &pairs));
+        let blossom_w = matching_weight(&pairs, &w);
+        let greedy = crate::matching::greedy::greedy_min_weight_matching(k, &w);
+        let greedy_w = matching_weight(&greedy, &w);
+        assert!(blossom_w <= greedy_w, "{blossom_w} vs greedy {greedy_w}");
+    }
+
+    #[test]
+    fn blossom_line_metric() {
+        // Points on a line: optimal pairs are consecutive.
+        let coords: Vec<u64> = vec![0, 1, 10, 11, 20, 21];
+        let w = move |a: usize, b: usize| coords[a].abs_diff(coords[b]);
+        let pairs = min_weight_perfect_matching_blossom(6, &w);
+        assert_eq!(matching_weight(&pairs, &w), 3);
+    }
+
+    #[test]
+    fn empty_and_two() {
+        assert!(min_weight_perfect_matching_blossom(0, &|_, _| 1).is_empty());
+        let pairs = min_weight_perfect_matching_blossom(2, &|_, _| 5);
+        assert_eq!(pairs, vec![(0, 1)]);
+    }
+}

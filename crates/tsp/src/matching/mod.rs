@@ -1,0 +1,236 @@
+//! Minimum-weight matching toolbox for Christofides/Hoogeveen.
+//!
+//! Three backends over a dense weight oracle on `0..k` local indices:
+//!
+//! * [`exact_dp`] — bitmask DP, provably optimal, `O(2^k k)`, for `k ≤ 20`;
+//! * [`blossom`] — Galil-style `O(k³)` blossom algorithm for maximum-weight
+//!   perfect matching (run on negated weights), exact at mid sizes;
+//! * [`greedy`] — greedy construction plus pairwise-swap improvement for
+//!   large `k` (the documented fallback: the 3/2 guarantee formally holds
+//!   wherever the matching is exact).
+//!
+//! [`min_weight_perfect_matching`] dispatches between them; the
+//! [`near_perfect`](min_weight_near_perfect_matching) variant leaves exactly
+//! two vertices uncovered (Hoogeveen's path adaptation) via two zero-weight
+//! dummy vertices.
+
+pub mod blossom;
+pub mod exact_dp;
+pub mod greedy;
+
+use crate::Weight;
+
+/// Which matching algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchingBackend {
+    /// Exact DP for `k ≤ 20`, blossom for `k ≤ 300`, greedy beyond.
+    Auto,
+    /// Bitmask DP (panics if `k > 20`).
+    ExactDp,
+    /// `O(k³)` blossom.
+    Blossom,
+    /// Greedy + swap improvement (no optimality guarantee).
+    Greedy,
+}
+
+/// Minimum-weight perfect matching on `k` vertices (`k` even) given a dense
+/// weight oracle. Returns pairs of local indices, each vertex in exactly one
+/// pair.
+pub fn min_weight_perfect_matching(
+    k: usize,
+    w: &dyn Fn(usize, usize) -> Weight,
+    backend: MatchingBackend,
+) -> Vec<(u32, u32)> {
+    assert!(k.is_multiple_of(2), "perfect matching needs an even vertex count");
+    if k == 0 {
+        return vec![];
+    }
+    match backend {
+        MatchingBackend::ExactDp => exact_dp::min_weight_perfect_matching_dp(k, w),
+        MatchingBackend::Blossom => blossom::min_weight_perfect_matching_blossom(k, w),
+        MatchingBackend::Greedy => greedy::greedy_min_weight_matching(k, w),
+        MatchingBackend::Auto => {
+            if k <= 20 {
+                exact_dp::min_weight_perfect_matching_dp(k, w)
+            } else if k <= 300 {
+                blossom::min_weight_perfect_matching_blossom(k, w)
+            } else {
+                greedy::greedy_min_weight_matching(k, w)
+            }
+        }
+    }
+}
+
+/// Minimum-weight matching covering all but exactly two of `k` vertices
+/// (`k` even, `k ≥ 2`). Returns `(pairs, uncovered_pair)`.
+///
+/// Implemented by adding two dummy vertices with zero weight to every real
+/// vertex and a prohibitive mutual weight, then taking a perfect matching —
+/// the dummies' partners are the uncovered vertices. Globally optimal
+/// whenever the underlying backend is exact.
+pub fn min_weight_near_perfect_matching(
+    k: usize,
+    w: &dyn Fn(usize, usize) -> Weight,
+    backend: MatchingBackend,
+) -> (Vec<(u32, u32)>, (u32, u32)) {
+    assert!(k >= 2 && k.is_multiple_of(2));
+    if k == 2 {
+        return (vec![], (0, 1));
+    }
+    // Any forbidden weight strictly above 0 suffices: a matching using the
+    // dummy-dummy edge costs `forbidden + perfect(k)`, while splitting the
+    // dummies costs `near_perfect(k) ≤ perfect(k)`. Using max+1 (rather
+    // than a huge sentinel) keeps the weights inside every backend's
+    // arithmetic range (the blossom duals in particular).
+    let mut max_w: Weight = 0;
+    for a in 0..k {
+        for b in (a + 1)..k {
+            max_w = max_w.max(w(a, b));
+        }
+    }
+    let forbidden: Weight = max_w + 1;
+    let ext = k + 2;
+    let wrapped = move |a: usize, b: usize| -> Weight {
+        let (a, b) = (a.min(b), a.max(b));
+        if b < k {
+            w(a, b)
+        } else if a < k {
+            0 // dummy to real
+        } else {
+            forbidden // dummy to dummy
+        }
+    };
+    let pairs = min_weight_perfect_matching(ext, &wrapped, backend);
+    let mut real_pairs = Vec::with_capacity(k / 2 - 1);
+    let mut uncovered = Vec::with_capacity(2);
+    for (a, b) in pairs {
+        let (a, b) = (a.min(b), a.max(b));
+        if (b as usize) < k {
+            real_pairs.push((a, b));
+        } else if (a as usize) < k {
+            uncovered.push(a);
+        } else {
+            // dummy-dummy pairing can only appear if k == 2 (handled above)
+            // or if every real-real weight exceeded FORBIDDEN.
+            panic!("near-perfect matching paired the two dummies");
+        }
+    }
+    assert_eq!(uncovered.len(), 2);
+    (real_pairs, (uncovered[0], uncovered[1]))
+}
+
+/// Total weight of a matching under the oracle.
+pub fn matching_weight(pairs: &[(u32, u32)], w: &dyn Fn(usize, usize) -> Weight) -> Weight {
+    pairs
+        .iter()
+        .map(|&(a, b)| w(a as usize, b as usize))
+        .sum()
+}
+
+/// Check that `pairs` is a perfect matching on `0..k`.
+pub fn is_perfect_matching(k: usize, pairs: &[(u32, u32)]) -> bool {
+    if pairs.len() * 2 != k {
+        return false;
+    }
+    let mut seen = vec![false; k];
+    for &(a, b) in pairs {
+        let (a, b) = (a as usize, b as usize);
+        if a >= k || b >= k || a == b || seen[a] || seen[b] {
+            return false;
+        }
+        seen[a] = true;
+        seen[b] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(salt: u64) -> impl Fn(usize, usize) -> Weight {
+        move |a, b| {
+            let (a, b) = (a.min(b) as u64, a.max(b) as u64);
+            (a * 7919 + b * 104729 + salt) % 50 + 1
+        }
+    }
+
+    #[test]
+    fn dispatcher_small_is_exact() {
+        let w = oracle(3);
+        let pairs = min_weight_perfect_matching(8, &w, MatchingBackend::Auto);
+        assert!(is_perfect_matching(8, &pairs));
+        let exact = exact_dp::min_weight_perfect_matching_dp(8, &w);
+        assert_eq!(matching_weight(&pairs, &w), matching_weight(&exact, &w));
+    }
+
+    #[test]
+    fn near_perfect_leaves_two() {
+        let w = oracle(5);
+        let (pairs, (a, b)) =
+            min_weight_near_perfect_matching(10, &w, MatchingBackend::ExactDp);
+        assert_eq!(pairs.len(), 4);
+        assert_ne!(a, b);
+        let mut covered: Vec<u32> = pairs.iter().flat_map(|&(x, y)| [x, y]).collect();
+        covered.push(a);
+        covered.push(b);
+        covered.sort();
+        assert_eq!(covered, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn near_perfect_cheaper_than_perfect() {
+        let w = oracle(11);
+        let perfect = exact_dp::min_weight_perfect_matching_dp(12, &w);
+        let (near, _) = min_weight_near_perfect_matching(12, &w, MatchingBackend::ExactDp);
+        assert!(matching_weight(&near, &w) <= matching_weight(&perfect, &w));
+    }
+
+    #[test]
+    fn near_perfect_agrees_across_backends() {
+        for salt in 0..5 {
+            let w = oracle(salt);
+            let mut weights = Vec::new();
+            for backend in [
+                MatchingBackend::ExactDp,
+                MatchingBackend::Blossom,
+                MatchingBackend::Auto,
+            ] {
+                let (pairs, (a, b)) = min_weight_near_perfect_matching(14, &w, backend);
+                assert_eq!(pairs.len(), 6);
+                assert_ne!(a, b);
+                weights.push(matching_weight(&pairs, &w));
+            }
+            assert_eq!(weights[0], weights[1], "salt={salt}");
+            assert_eq!(weights[0], weights[2], "salt={salt}");
+        }
+    }
+
+    #[test]
+    fn near_perfect_greedy_backend_is_feasible() {
+        let w = oracle(9);
+        let (pairs, (a, b)) = min_weight_near_perfect_matching(30, &w, MatchingBackend::Greedy);
+        assert_eq!(pairs.len(), 14);
+        let mut covered: Vec<u32> = pairs.iter().flat_map(|&(x, y)| [x, y]).collect();
+        covered.push(a);
+        covered.push(b);
+        covered.sort();
+        assert_eq!(covered, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn near_perfect_k2() {
+        let w = oracle(0);
+        let (pairs, (a, b)) = min_weight_near_perfect_matching(2, &w, MatchingBackend::Auto);
+        assert!(pairs.is_empty());
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn is_perfect_matching_rejects_bad() {
+        assert!(!is_perfect_matching(4, &[(0, 1)])); // too few
+        assert!(!is_perfect_matching(4, &[(0, 1), (1, 2)])); // reuse
+        assert!(!is_perfect_matching(4, &[(0, 1), (2, 2)])); // self pair
+        assert!(is_perfect_matching(4, &[(3, 2), (0, 1)]));
+    }
+}

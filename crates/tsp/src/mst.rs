@@ -1,0 +1,131 @@
+//! Minimum spanning tree on dense instances (Prim, `O(n²)`).
+
+use crate::{TspInstance, Weight};
+
+/// Edges `(u, v)` of a minimum spanning tree of the complete graph described
+/// by `inst`, plus the total weight. `n-1` edges for `n ≥ 1`.
+pub fn prim_mst(inst: &TspInstance) -> (Vec<(u32, u32)>, Weight) {
+    let n = inst.n();
+    if n == 0 {
+        return (vec![], 0);
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_w = vec![Weight::MAX; n];
+    let mut best_to = vec![0u32; n];
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    let mut total = 0;
+    in_tree[0] = true;
+    for v in 1..n {
+        best_w[v] = inst.weight(0, v);
+        best_to[v] = 0;
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_w = Weight::MAX;
+        for v in 0..n {
+            if !in_tree[v] && best_w[v] < pick_w {
+                pick_w = best_w[v];
+                pick = v;
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        edges.push((best_to[pick], pick as u32));
+        total += pick_w;
+        for v in 0..n {
+            if !in_tree[v] {
+                let w = inst.weight(pick, v);
+                if w < best_w[v] {
+                    best_w[v] = w;
+                    best_to[v] = pick as u32;
+                }
+            }
+        }
+    }
+    (edges, total)
+}
+
+/// Degree of each vertex in an edge multiset.
+pub fn degrees(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut deg = vec![0u32; n];
+    for &(u, v) in edges {
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+    }
+    deg
+}
+
+/// Vertices of odd degree in an edge multiset (always an even count).
+pub fn odd_degree_vertices(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    degrees(n, edges)
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d % 2 == 1)
+        .map(|(v, _)| v as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(coords: &[i64]) -> TspInstance {
+        TspInstance::from_fn(coords.len(), |u, v| coords[u].abs_diff(coords[v]))
+    }
+
+    #[test]
+    fn mst_of_line_is_the_line() {
+        let t = line(&[0, 1, 3, 6, 10]);
+        let (edges, w) = prim_mst(&t);
+        assert_eq!(edges.len(), 4);
+        assert_eq!(w, 10);
+    }
+
+    #[test]
+    fn mst_connects_everything() {
+        let t = TspInstance::from_fn(9, |u, v| {
+            let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+            (a * 31 + b * 17) % 23 + 1
+        });
+        let (edges, _) = prim_mst(&t);
+        assert_eq!(edges.len(), 8);
+        // Union-find style connectivity check.
+        let mut comp: Vec<usize> = (0..9).collect();
+        fn find(c: &mut Vec<usize>, x: usize) -> usize {
+            if c[x] != x {
+                let r = find(c, c[x]);
+                c[x] = r;
+            }
+            c[x]
+        }
+        for &(u, v) in &edges {
+            let (ru, rv) = (find(&mut comp, u as usize), find(&mut comp, v as usize));
+            comp[ru] = rv;
+        }
+        let root = find(&mut comp, 0);
+        assert!((0..9).all(|v| find(&mut comp, v) == root));
+    }
+
+    #[test]
+    fn odd_vertices_even_count() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (1, 3)];
+        let odd = odd_degree_vertices(5, &edges);
+        assert_eq!(odd.len() % 2, 0);
+        assert_eq!(odd, vec![0, 1]); // deg: 1,3,2,2,0
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(prim_mst(&TspInstance::from_matrix(1, vec![0])).0.len(), 0);
+        assert_eq!(prim_mst(&TspInstance::from_matrix(0, vec![])).1, 0);
+    }
+
+    #[test]
+    fn mst_weight_lower_bounds_path_optimum() {
+        // A Hamiltonian path is a spanning tree, so MST ≤ optimal path.
+        let t = line(&[0, 4, 9, 11, 20]);
+        let (_, mst_w) = prim_mst(&t);
+        let (_, path_w) = crate::exact::brute_force_path(&t);
+        assert!(mst_w <= path_w);
+    }
+}

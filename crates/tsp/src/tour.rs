@@ -1,0 +1,122 @@
+//! Tour (cycle) and Hamiltonian-path helpers shared by all solvers.
+
+use crate::{TspInstance, Weight};
+
+/// Weight of the closed tour visiting `order` cyclically.
+pub fn cycle_weight(inst: &TspInstance, order: &[u32]) -> Weight {
+    if order.len() < 2 {
+        return 0;
+    }
+    let mut w = 0;
+    for i in 0..order.len() {
+        let a = order[i] as usize;
+        let b = order[(i + 1) % order.len()] as usize;
+        w += inst.weight(a, b);
+    }
+    w
+}
+
+/// Weight of the open Hamiltonian path visiting `order` in sequence.
+pub fn path_weight(inst: &TspInstance, order: &[u32]) -> Weight {
+    let mut w = 0;
+    for win in order.windows(2) {
+        w += inst.weight(win[0] as usize, win[1] as usize);
+    }
+    w
+}
+
+/// `true` iff `order` is a permutation of `0..n`.
+pub fn is_permutation(n: usize, order: &[u32]) -> bool {
+    if order.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &c in order {
+        let c = c as usize;
+        if c >= n || seen[c] {
+            return false;
+        }
+        seen[c] = true;
+    }
+    true
+}
+
+/// Convert a cycle on the dummy-extended instance (see
+/// [`TspInstance::with_dummy_city`]) back to a Hamiltonian path on the
+/// original `n` cities: rotate so the dummy (`city == n`) is first, drop it.
+pub fn cycle_with_dummy_to_path(n: usize, cycle: &[u32]) -> Vec<u32> {
+    assert_eq!(cycle.len(), n + 1, "cycle must include the dummy city");
+    let dummy_pos = cycle
+        .iter()
+        .position(|&c| c as usize == n)
+        .expect("dummy city missing from cycle");
+    let mut path = Vec::with_capacity(n);
+    for i in 1..=n {
+        path.push(cycle[(dummy_pos + i) % (n + 1)]);
+    }
+    debug_assert!(is_permutation(n, &path));
+    path
+}
+
+/// Prefix sums of edge weights along a path — exactly the labels assigned by
+/// Claim 1 of the paper (`l(v_i) = Σ_{t<i} w_{t,t+1}`).
+pub fn path_prefix_weights(inst: &TspInstance, order: &[u32]) -> Vec<Weight> {
+    let mut out = Vec::with_capacity(order.len());
+    let mut acc = 0;
+    out.push(0);
+    for win in order.windows(2) {
+        acc += inst.weight(win[0] as usize, win[1] as usize);
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line4() -> TspInstance {
+        let coords = [0i64, 1, 3, 6];
+        TspInstance::from_fn(4, |u, v| coords[u].abs_diff(coords[v]))
+    }
+
+    #[test]
+    fn weights_of_identity_order() {
+        let t = line4();
+        assert_eq!(path_weight(&t, &[0, 1, 2, 3]), 6);
+        assert_eq!(cycle_weight(&t, &[0, 1, 2, 3]), 12);
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(is_permutation(4, &[2, 0, 3, 1]));
+        assert!(!is_permutation(4, &[0, 1, 2])); // wrong length
+        assert!(!is_permutation(4, &[0, 1, 1, 3])); // duplicate
+        assert!(!is_permutation(4, &[0, 1, 2, 4])); // out of range
+    }
+
+    #[test]
+    fn dummy_cycle_roundtrip() {
+        let path = cycle_with_dummy_to_path(4, &[2, 0, 4, 3, 1]);
+        assert_eq!(path, vec![3, 1, 2, 0]);
+        let t = line4();
+        let ext = t.with_dummy_city();
+        // Path weight equals the cycle weight on the extended instance.
+        assert_eq!(cycle_weight(&ext, &[2, 0, 4, 3, 1]), path_weight(&t, &path));
+    }
+
+    #[test]
+    fn prefix_weights_are_claim1_labels() {
+        let t = line4();
+        assert_eq!(path_prefix_weights(&t, &[0, 1, 2, 3]), vec![0, 1, 3, 6]);
+        assert_eq!(path_prefix_weights(&t, &[3, 2, 1, 0]), vec![0, 3, 5, 6]);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let t = TspInstance::from_matrix(1, vec![0]);
+        assert_eq!(cycle_weight(&t, &[0]), 0);
+        assert_eq!(path_weight(&t, &[0]), 0);
+        assert_eq!(path_prefix_weights(&t, &[0]), vec![0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! E9 bench — engine dispatch overhead: `Strategy::Auto` vs. calling the
+//! underlying route directly, plus batch fan-out throughput.
+//!
+//! Besides the criterion output, writes machine-readable timings to
+//! `BENCH_engine.json` in the current directory (one object per bench,
+//! mean ns/iter) so the perf trajectory can be tracked across PRs.
+
+use criterion::{criterion_main, BenchmarkId, Criterion};
+use dclab_bench::{diam2_graph, l21};
+use dclab_core::reduction::reduce_to_path_tsp;
+use dclab_core::routes;
+use dclab_core::solver::{solve_exact, solve_heuristic};
+use dclab_engine::{solve, solve_batch, SolveRequest, Strategy};
+use std::hint::black_box;
+
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    // Small instance: Auto resolves to Held–Karp. Overhead = features +
+    // stats + validation on top of the direct call.
+    let mut group = c.benchmark_group("e9_auto_vs_direct_exact");
+    group.sample_size(20);
+    for n in [10usize, 16, 20] {
+        let g = diam2_graph(n, 9);
+        let p = l21();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("direct/{n}")),
+            &g,
+            |b, g| b.iter(|| solve_exact(black_box(g), &p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("auto/{n}")),
+            &g,
+            |b, g| b.iter(|| solve(&SolveRequest::new(black_box(g).clone(), p.clone())).unwrap()),
+        );
+    }
+    group.finish();
+
+    // Larger instance: Auto goes through PIP/BB; direct comparator is the
+    // heuristic wrapper (what callers used before the engine existed).
+    let mut group = c.benchmark_group("e9_auto_vs_direct_large");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let g = diam2_graph(n, 9);
+        let p = l21();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("heuristic/{n}")),
+            &g,
+            |b, g| b.iter(|| solve_heuristic(black_box(g), &p).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("auto/{n}")),
+            &g,
+            |b, g| b.iter(|| solve(&SolveRequest::new(black_box(g).clone(), p.clone())).unwrap()),
+        );
+    }
+    group.finish();
+
+    // Route-layer reuse: reduction once + N routes vs. N wrapper calls
+    // that each re-reduce.
+    let mut group = c.benchmark_group("e9_shared_reduction");
+    group.sample_size(10);
+    let g = diam2_graph(120, 9);
+    let p = l21();
+    group.bench_function("reduce_once_three_routes", |b| {
+        b.iter(|| {
+            let reduced = reduce_to_path_tsp(black_box(&g), &p).unwrap();
+            let a = routes::heuristic_route(&reduced, &Default::default()).span;
+            let b2 =
+                routes::approx15_route(&reduced, dclab_tsp::matching::MatchingBackend::Auto).span;
+            let c2 = routes::branch_bound_route(&reduced, 100_000)
+                .map(|s| s.span)
+                .unwrap_or(u64::MAX);
+            (a, b2, c2)
+        })
+    });
+    group.bench_function("re_reduce_three_wrappers", |b| {
+        b.iter(|| {
+            let a = solve_heuristic(black_box(&g), &p).unwrap().span;
+            let b2 = dclab_core::solver::solve_approx15(&g, &p).unwrap().span;
+            let c2 = dclab_core::solver::solve_exact_branch_bound(&g, &p, 100_000)
+                .unwrap()
+                .map(|s| s.span)
+                .unwrap_or(u64::MAX);
+            (a, b2, c2)
+        })
+    });
+    group.finish();
+
+    // Batch fan-out over mixed sizes.
+    let mut group = c.benchmark_group("e9_batch");
+    group.sample_size(10);
+    let requests: Vec<SolveRequest> = (0..16)
+        .map(|i| SolveRequest::new(diam2_graph(10 + 2 * (i % 4), 100 + i as u64), l21()))
+        .collect();
+    group.bench_function("solve_batch_16", |b| {
+        b.iter(|| solve_batch(black_box(&requests)))
+    });
+    group.bench_function("solve_seq_16", |b| {
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|r| solve(black_box(r)))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+
+    // Explicit-strategy dispatch (engine bookkeeping only, no Auto logic).
+    let mut group = c.benchmark_group("e9_explicit_routes");
+    group.sample_size(20);
+    let g = diam2_graph(16, 9);
+    for strategy in [Strategy::Exact, Strategy::BranchBound, Strategy::Heuristic] {
+        let req = SolveRequest::new(g.clone(), l21()).with_strategy(strategy);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| solve(black_box(&req)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn write_bench_json(c: &Criterion) {
+    let body: Vec<String> = c
+        .measurements()
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iterations\":{}}}",
+                m.id, m.mean_ns, m.iterations
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"e9_engine\",\"results\":[{}]}}\n",
+        body.join(",")
+    );
+    // Land at the workspace root regardless of the bench CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path} ({} entries)", c.measurements().len());
+    }
+}
+
+fn benches_with_json() {
+    let mut criterion = Criterion::default();
+    bench_dispatch_overhead(&mut criterion);
+    write_bench_json(&criterion);
+}
+
+criterion_main!(benches_with_json);

@@ -1,0 +1,182 @@
+//! `dclab solve` / `dclab batch`: the engine-backed instance commands.
+
+use dclab_core::pvec::PVec;
+use dclab_engine::json::Obj;
+use dclab_engine::{solve, solve_batch, Budget, SolveRequest, Strategy};
+use dclab_graph::io;
+use dclab_graph::Graph;
+
+/// Flags shared by `solve` and `batch`.
+struct Opts {
+    pvec: PVec,
+    strategy: Strategy,
+    budget: Budget,
+    format: Option<io::Format>,
+}
+
+fn parse_pvec(s: &str) -> Result<PVec, String> {
+    let entries: Result<Vec<u64>, _> = s.split(',').map(|t| t.trim().parse::<u64>()).collect();
+    let entries = entries.map_err(|e| format!("bad p-vector '{s}': {e}"))?;
+    PVec::new(entries)
+        .ok_or_else(|| format!("bad p-vector '{s}': must be non-empty and not all-zero"))
+}
+
+fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
+    let mut positional = Vec::new();
+    let mut opts = Opts {
+        pvec: PVec::l21(),
+        strategy: Strategy::Auto,
+        budget: Budget::default(),
+        format: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--p" => opts.pvec = parse_pvec(&flag_value("--p")?)?,
+            "--strategy" => opts.strategy = flag_value("--strategy")?.parse()?,
+            "--node-budget" => {
+                let v = flag_value("--node-budget")?;
+                opts.budget.node_budget =
+                    Some(v.parse().map_err(|e| format!("bad --node-budget: {e}"))?);
+            }
+            "--restarts" => {
+                let v = flag_value("--restarts")?;
+                opts.budget.restarts = Some(v.parse().map_err(|e| format!("bad --restarts: {e}"))?);
+            }
+            "--format" => {
+                opts.format = Some(match flag_value("--format")?.as_str() {
+                    "edgelist" | "edge-list" => io::Format::EdgeList,
+                    "dimacs" | "col" => io::Format::Dimacs,
+                    other => return Err(format!("unknown format '{other}'")),
+                })
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, opts))
+}
+
+fn load_graph(path: &str, format: Option<io::Format>) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let format = format.unwrap_or_else(|| io::Format::from_path(path));
+    io::parse(&text, format).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `dclab solve <file> [--p 2,1] [--strategy auto] ...` — one instance,
+/// one JSON `SolveReport` line on stdout.
+pub fn solve_cmd(args: &[String]) -> Result<(), String> {
+    let (files, opts) = parse_opts(args)?;
+    if files.len() != 1 {
+        return Err("usage: dclab solve <file> [--p 2,1] [--strategy auto] \
+                    [--format edgelist|dimacs] [--node-budget N] [--restarts N]"
+            .into());
+    }
+    let graph = load_graph(&files[0], opts.format)?;
+    let req = SolveRequest {
+        graph,
+        pvec: opts.pvec,
+        strategy: opts.strategy,
+        budget: opts.budget,
+    };
+    let report = solve(&req).map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        Obj::new()
+            .str("file", &files[0])
+            .raw("report", &report.to_json())
+            .finish()
+    );
+    Ok(())
+}
+
+/// Instance files a batch directory contributes, in sorted order.
+fn instance_files(dir: &str) -> Result<Vec<String>, String> {
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if !path.is_file() {
+                return None;
+            }
+            let name = path.to_str()?;
+            let lower = name.to_ascii_lowercase();
+            [".txt", ".edges", ".edgelist", ".col", ".dimacs"]
+                .iter()
+                .any(|ext| lower.ends_with(ext))
+                .then(|| name.to_string())
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// `dclab batch <dir> [--p 2,1] [--strategy auto] ...` — every recognised
+/// instance file in the directory, solved in parallel (`DCLAB_THREADS`),
+/// one JSON line per instance in sorted-filename order.
+pub fn batch_cmd(args: &[String]) -> Result<(), String> {
+    let (dirs, opts) = parse_opts(args)?;
+    if dirs.len() != 1 {
+        return Err("usage: dclab batch <dir> [--p 2,1] [--strategy auto] \
+                    [--node-budget N] [--restarts N]"
+            .into());
+    }
+    let files = instance_files(&dirs[0])?;
+    if files.is_empty() {
+        return Err(format!(
+            "{}: no instance files (*.txt, *.edges, *.edgelist, *.col, *.dimacs)",
+            dirs[0]
+        ));
+    }
+    // Load sequentially (I/O), solve in parallel (engine fan-out). The
+    // request slice is paired with a file index per entry so load failures
+    // don't shift the mapping.
+    let mut requests: Vec<SolveRequest> = Vec::with_capacity(files.len());
+    let mut request_file: Vec<usize> = Vec::with_capacity(files.len());
+    let mut load_errors: Vec<(usize, String)> = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        match load_graph(f, opts.format) {
+            Ok(graph) => {
+                requests.push(SolveRequest {
+                    graph,
+                    pvec: opts.pvec.clone(),
+                    strategy: opts.strategy,
+                    budget: opts.budget,
+                });
+                request_file.push(i);
+            }
+            Err(e) => load_errors.push((i, e)),
+        }
+    }
+    let reports = solve_batch(&requests);
+    let mut lines: Vec<(usize, String)> = Vec::with_capacity(files.len());
+    for (&i, result) in request_file.iter().zip(reports) {
+        let line = match result {
+            Ok(report) => Obj::new()
+                .str("file", &files[i])
+                .raw("report", &report.to_json())
+                .finish(),
+            Err(e) => Obj::new()
+                .str("file", &files[i])
+                .str("error", &e.to_string())
+                .finish(),
+        };
+        lines.push((i, line));
+    }
+    for (i, e) in load_errors {
+        lines.push((
+            i,
+            Obj::new().str("file", &files[i]).str("error", &e).finish(),
+        ));
+    }
+    lines.sort_by_key(|&(i, _)| i);
+    for (_, line) in lines {
+        println!("{line}");
+    }
+    Ok(())
+}

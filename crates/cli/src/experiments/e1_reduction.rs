@@ -83,5 +83,3 @@ pub fn run(quick: bool) {
     }
     println!("\nresult: zero mismatches — Theorem 2 + Claim 1 hold on the corpus.");
 }
-
-

@@ -11,15 +11,19 @@ use dclab_core::pvec::PVec;
 use dclab_core::reduction::{labeling_from_order, reduce_to_path_tsp};
 use dclab_graph::generators::random;
 use dclab_tsp::construct::nearest_neighbor;
-use dclab_tsp::localsearch::{local_opt, or_opt, two_opt, LocalSearchConfig, TourState};
 use dclab_tsp::lk::{chained_lk, ChainedLkConfig};
+use dclab_tsp::localsearch::{local_opt, or_opt, two_opt, LocalSearchConfig, TourState};
 use dclab_tsp::tour::{cycle_with_dummy_to_path, path_weight};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub fn run(quick: bool) {
     header("E4 — heuristic ladder on large diameter-2 instances, L(2,1)");
-    let sizes: &[usize] = if quick { &[100, 200] } else { &[100, 300, 600, 1000] };
+    let sizes: &[usize] = if quick {
+        &[100, 200]
+    } else {
+        &[100, 300, 600, 1000]
+    };
     let p = PVec::l21();
     println!(
         "{:<6} {:>8} | {:>14} {:>14} {:>14} {:>14} {:>14} | {:>8}",
@@ -47,15 +51,19 @@ pub fn run(quick: bool) {
         // 2-opt only.
         let mut st = TourState::new(nn_cycle.clone());
         two_opt(&ext, &mut st, &nl, &cfg);
-        let two_span =
-            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &st.order));
+        let two_span = path_weight(
+            &reduced.tsp,
+            &cycle_with_dummy_to_path(reduced.tsp.n(), &st.order),
+        );
 
         // 2-opt + Or-opt.
         let mut st2 = TourState::new(nn_cycle);
         local_opt(&ext, &mut st2, &nl, &cfg);
         or_opt(&ext, &mut st2, &nl, &cfg);
-        let or_span =
-            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &st2.order));
+        let or_span = path_weight(
+            &reduced.tsp,
+            &cycle_with_dummy_to_path(reduced.tsp.n(), &st2.order),
+        );
 
         // Chained LK.
         let lk_cfg = ChainedLkConfig {
@@ -114,12 +122,16 @@ pub fn run(quick: bool) {
         let nl = ext.neighbor_lists(10);
         let cfg = LocalSearchConfig::default();
         let nn_cycle = nearest_neighbor(&ext, 0);
-        let nn_span =
-            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &nn_cycle));
+        let nn_span = path_weight(
+            &reduced.tsp,
+            &cycle_with_dummy_to_path(reduced.tsp.n(), &nn_cycle),
+        );
         let mut st = TourState::new(nn_cycle);
         local_opt(&ext, &mut st, &nl, &cfg);
-        let ls_span =
-            path_weight(&reduced.tsp, &cycle_with_dummy_to_path(reduced.tsp.n(), &st.order));
+        let ls_span = path_weight(
+            &reduced.tsp,
+            &cycle_with_dummy_to_path(reduced.tsp.n(), &st.order),
+        );
         let lk_cfg = ChainedLkConfig {
             kicks: if quick { 10 } else { 30 },
             ..ChainedLkConfig::default()

@@ -34,10 +34,7 @@ pub fn run(quick: bool) {
             "cograph(24)".into(),
             random::random_connected_cograph(&mut rng, 24, 0.45),
         ),
-        (
-            "G(14,.4)".into(),
-            random::connected_gnp(&mut rng, 14, 0.4),
-        ),
+        ("G(14,.4)".into(), random::connected_gnp(&mut rng, 14, 0.4)),
     ];
     if !quick {
         rows.push((

@@ -34,7 +34,10 @@ pub fn run(quick: bool) {
             let opt = solve_exact(&g, p).unwrap();
             let approx = solve_pmax_approx(&g, p, L1Engine::Exact);
             assert!(approx.labeling.validate(&g, p).is_ok());
-            assert!(approx.span <= p.pmax() * opt.span.max(1), "guarantee breach");
+            assert!(
+                approx.span <= p.pmax() * opt.span.max(1),
+                "guarantee breach"
+            );
             ratios.push(approx.span as f64 / opt.span.max(1) as f64);
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;

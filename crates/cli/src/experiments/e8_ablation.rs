@@ -27,10 +27,7 @@ pub fn run(quick: bool) {
     let reduced = reduce_to_path_tsp(&g, &p).unwrap();
     let lower = (n as u64 - 1) * p.pmin();
     println!("instance: n={n}, m={}, lower bound {lower}", g.m());
-    println!(
-        "{:<34} {:>10} {:>12}",
-        "configuration", "span", "time"
-    );
+    println!("{:<34} {:>10} {:>12}", "configuration", "span", "time");
     let base = LocalSearchConfig::default();
     let variants: Vec<(String, LocalSearchConfig, usize)> = vec![
         ("k=10, dlb, or-opt, kicks=20".into(), base.clone(), 20),
@@ -101,10 +98,7 @@ pub fn run(quick: bool) {
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         let max = ratios.iter().cloned().fold(0.0, f64::max);
-        println!(
-            "{:<12} {:>8} {:>12.3} {:>12.3}",
-            name, trials, mean, max
-        );
+        println!("{:<12} {:>8} {:>12.3} {:>12.3}", name, trials, mean, max);
     }
     println!("\nshape: exact-DP and blossom return equal-weight (optimal) matchings —");
     println!("tie-breaking picks different edges, so downstream shortcut tours can");

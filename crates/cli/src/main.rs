@@ -1,8 +1,14 @@
-//! `dclab` — experiment driver.
-//!
-//! Regenerates every table of `EXPERIMENTS.md`:
+//! `dclab` — unified CLI: engine-backed instance solving plus the paper's
+//! experiment tables.
 //!
 //! ```text
+//! dclab solve <file> [--p 2,1] [--strategy auto] [--format edgelist|dimacs]
+//!                    [--node-budget N] [--restarts N]
+//!      # solve one instance file, print a JSON SolveReport line
+//! dclab batch <dir>  [same flags]
+//!      # solve every instance file in <dir> in parallel (DCLAB_THREADS),
+//!      # one JSON line per instance, deterministic order
+//!
 //! dclab e1   # reduction correctness (Thm 2 / Claim 1 / Fig. 1)
 //! dclab e2   # exact scaling (Cor 1a: Held–Karp vs oracle)
 //! dclab e3   # 1.5-approximation quality (Cor 1b)
@@ -11,11 +17,12 @@
 //! dclab e6   # L(1,1) via coloring G², nd-FPT engine (Thm 4)
 //! dclab e7   # p_max-approximation measured ratios (Cor 3)
 //! dclab e8   # ablations (neighbor lists, don't-look bits, kicks, matching)
-//! dclab all  # everything
+//! dclab all  # every experiment
 //! ```
 //!
-//! `--quick` shrinks the sweeps for smoke runs.
+//! `--quick` shrinks the experiment sweeps for smoke runs.
 
+mod commands;
 mod experiments;
 
 fn main() {
@@ -25,6 +32,30 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
+
+    match which {
+        "solve" | "batch" => {
+            let rest: Vec<String> = args
+                .iter()
+                .skip_while(|a| a.as_str() != which)
+                .skip(1)
+                .cloned()
+                .collect();
+            let result = if which == "solve" {
+                commands::solve_cmd(&rest)
+            } else {
+                commands::batch_cmd(&rest)
+            };
+            if let Err(e) = result {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        _ => run_experiments(which, &args),
+    }
+}
+
+fn run_experiments(which: &str, args: &[String]) {
     let quick = args.iter().any(|a| a == "--quick");
     let run = |name: &str| which == "all" || which == name;
     let mut ran = false;
@@ -61,7 +92,10 @@ fn main() {
         ran = true;
     }
     if !ran {
-        eprintln!("unknown experiment '{which}'; use e1..e8 or all (optionally --quick)");
+        eprintln!(
+            "unknown command '{which}'; use solve <file>, batch <dir>, e1..e8 or all \
+             (experiments take --quick)"
+        );
         std::process::exit(2);
     }
 }

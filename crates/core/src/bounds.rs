@@ -24,6 +24,33 @@ pub fn span_lower_bound(g: &Graph, p: &PVec) -> u64 {
     best
 }
 
+/// [`span_lower_bound`] computed against an already-built reduction, so
+/// callers that hold a [`crate::reduction::ReducedInstance`] (the engine's
+/// portfolio dispatcher) do not pay for a second APSP. Combines the chain,
+/// degree, MST and 1-tree bounds; the reduced weight matrix is exactly the
+/// one [`mst_bound`] / [`held_karp_bound`] would rebuild.
+pub fn span_lower_bound_with_reduction(
+    g: &Graph,
+    p: &PVec,
+    reduced: &crate::reduction::ReducedInstance,
+    hk_iters: usize,
+) -> u64 {
+    let mut best = 0u64;
+    if g.n() >= 1 {
+        // Chain bound; the reduction's existence certifies diam(G) ≤ k.
+        best = best.max((g.n() as u64 - 1) * p.pmin());
+    }
+    best = best.max(degree_bound(g, p));
+    best = best.max(prim_mst(&reduced.tsp).1);
+    if hk_iters > 0 {
+        best = best.max(dclab_tsp::lowerbound::path_lower_bound(
+            &reduced.tsp,
+            hk_iters,
+        ));
+    }
+    best
+}
+
 /// Held–Karp 1-tree ascent bound on the reduced Path-TSP instance — the
 /// strongest certificate available at sizes beyond exact search. Requires
 /// `diam(G) ≤ k`; valid (as a lower bound) even without smoothness.
@@ -170,6 +197,21 @@ mod tests {
             assert!(combined >= hk);
             assert!(combined >= mst_bound(&g, &p).unwrap());
             assert!(combined >= chain_bound(&g, &p).unwrap());
+        }
+    }
+
+    #[test]
+    fn reduction_reusing_bound_matches_fresh_bound() {
+        let mut rng = StdRng::seed_from_u64(73);
+        for _ in 0..8 {
+            let g = random::gnp_with_diameter_at_most(&mut rng, 9, 0.5, 2);
+            let p = PVec::l21();
+            let reduced = crate::reduction::reduce_to_path_tsp(&g, &p).unwrap();
+            let with = span_lower_bound_with_reduction(&g, &p, &reduced, 50);
+            let fresh = span_lower_bound(&g, &p);
+            assert_eq!(with, fresh);
+            let (_, opt) = exact_labeling_bruteforce(&g, &p);
+            assert!(with <= opt);
         }
     }
 

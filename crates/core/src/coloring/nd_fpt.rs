@@ -53,9 +53,7 @@ fn maximal_independent_sets(q: &Graph) -> Vec<u64> {
     fn dfs(v: usize, t: usize, current: u64, banned: u64, adjacency: &[u64], out: &mut Vec<u64>) {
         if v == t {
             // Maximal iff no vertex outside is addable.
-            let addable = (0..t).any(|u| {
-                current & (1 << u) == 0 && adjacency[u] & current == 0
-            });
+            let addable = (0..t).any(|u| current & (1 << u) == 0 && adjacency[u] & current == 0);
             if !addable && current != 0 {
                 out.push(current);
             }

@@ -48,14 +48,51 @@ pub struct Diam2Solution {
 }
 
 /// Solve diameter-2 `L(p,q)`-labeling through PIP.
-pub fn solve_diam2_lpq(g: &Graph, p: u64, q: u64, solver: PipSolver) -> Result<Diam2Solution, Diam2Error> {
+pub fn solve_diam2_lpq(
+    g: &Graph,
+    p: u64,
+    q: u64,
+    solver: PipSolver,
+) -> Result<Diam2Solution, Diam2Error> {
+    Ok(solve_diam2_impl(g, p, q, solver, false)?.0)
+}
+
+/// [`solve_diam2_lpq`] returning a PIP witness alongside the solution: a
+/// valid path partition of the target graph (`G` or `Ḡ`), in the order the
+/// Fig. 2 labeling construction wants it. The witness is optimal for
+/// `SubsetDp` (`paths.len() == partition_size`) and a greedy upper bound
+/// for `Cotree` (the cotree DP proves the count; the paths may be more).
+/// Everything — the target complement included — is computed once.
+pub fn solve_diam2_lpq_with_witness(
+    g: &Graph,
+    p: u64,
+    q: u64,
+    solver: PipSolver,
+) -> Result<(Diam2Solution, PathPartition), Diam2Error> {
+    let (sol, paths) = solve_diam2_impl(g, p, q, solver, true)?;
+    Ok((sol, paths.expect("witness requested")))
+}
+
+/// A partition of the PIP target's vertices into vertex-disjoint paths.
+pub type PathPartition = Vec<Vec<usize>>;
+
+fn solve_diam2_impl(
+    g: &Graph,
+    p: u64,
+    q: u64,
+    solver: PipSolver,
+    want_witness: bool,
+) -> Result<(Diam2Solution, Option<PathPartition>), Diam2Error> {
     let n = g.n() as u64;
     if n == 0 {
-        return Ok(Diam2Solution {
-            span: 0,
-            partition_size: 0,
-            on_complement: false,
-        });
+        return Ok((
+            Diam2Solution {
+                span: 0,
+                partition_size: 0,
+                on_complement: false,
+            },
+            want_witness.then(Vec::new),
+        ));
     }
     match diameter(g) {
         Some(d) if d <= 2 => {}
@@ -66,25 +103,38 @@ pub fn solve_diam2_lpq(g: &Graph, p: u64, q: u64, solver: PipSolver) -> Result<D
     } else {
         (complement(g), true)
     };
-    let s = match solver {
+    let (s, paths) = match solver {
         PipSolver::SubsetDp => {
             if target.n() > 20 {
                 return Err(Diam2Error::TooLarge);
             }
-            exact_path_partition(&target)
+            if want_witness {
+                let paths = crate::partition_paths::exact_path_partition_witness(&target);
+                (paths.len() as u64, Some(paths))
+            } else {
+                (exact_path_partition(&target) as u64, None)
+            }
         }
-        PipSolver::Cotree => cograph_path_partition(&target).ok_or(Diam2Error::NotCograph)?,
-    } as u64;
+        PipSolver::Cotree => {
+            let s = cograph_path_partition(&target).ok_or(Diam2Error::NotCograph)? as u64;
+            let paths =
+                want_witness.then(|| crate::partition_paths::greedy_path_partition(&target));
+            (s, paths)
+        }
+    };
     let span = if p <= q {
         (n - 1) * p + (q - p) * (s - 1)
     } else {
         (n - 1) * q + (p - q) * (s - 1)
     };
-    Ok(Diam2Solution {
-        span,
-        partition_size: s as usize,
-        on_complement,
-    })
+    Ok((
+        Diam2Solution {
+            span,
+            partition_size: s as usize,
+            on_complement,
+        },
+        paths,
+    ))
 }
 
 #[cfg(test)]
@@ -157,6 +207,28 @@ mod tests {
             solve_diam2_lpq(&g, 2, 1, PipSolver::Cotree),
             Err(Diam2Error::NotCograph)
         );
+    }
+
+    #[test]
+    fn witness_variant_matches_and_partitions_target() {
+        use crate::partition_paths::is_valid_path_partition;
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..8 {
+            let g = random::gnp_with_diameter_at_most(&mut rng, 12, 0.5, 2);
+            for (p, q) in [(1u64, 2u64), (2, 1)] {
+                let plain = solve_diam2_lpq(&g, p, q, PipSolver::SubsetDp).unwrap();
+                let (sol, paths) =
+                    solve_diam2_lpq_with_witness(&g, p, q, PipSolver::SubsetDp).unwrap();
+                assert_eq!(sol, plain);
+                assert_eq!(paths.len(), sol.partition_size);
+                let target = if sol.on_complement {
+                    complement(&g)
+                } else {
+                    g.clone()
+                };
+                assert!(is_valid_path_partition(&target, &paths));
+            }
+        }
     }
 
     #[test]

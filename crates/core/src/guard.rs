@@ -1,0 +1,88 @@
+//! The single size/budget guard path shared by the legacy solver wrappers
+//! and the `dclab-engine` dispatcher.
+//!
+//! Every route with super-polynomial worst case funnels through here, so
+//! there is exactly one place where "too big for exact" is decided and one
+//! error type describing it.
+
+/// Maximum `n` accepted by the Held–Karp exact route (`O(2^n·n)` memory).
+pub const EXACT_MAX_N: usize = 24;
+
+/// Default branch-and-bound node budget used when a caller does not supply
+/// one (e.g. `Strategy::Auto`): large enough to close benign diameter-2
+/// instances well past [`EXACT_MAX_N`], small enough to fail fast on
+/// adversarial ones.
+pub const DEFAULT_NODE_BUDGET: u64 = 20_000_000;
+
+/// Why a guarded route refused to run (the one error type for all guards).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GuardError {
+    /// Held–Karp requested beyond [`EXACT_MAX_N`] (or a caller-tightened
+    /// maximum).
+    TooLargeForExact { n: usize, max: usize },
+    /// Branch and bound exhausted its node budget without proving
+    /// optimality.
+    BudgetExhausted { node_budget: u64 },
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardError::TooLargeForExact { n, max } => {
+                write!(f, "n = {n} exceeds the exact-solver guard ({max})")
+            }
+            GuardError::BudgetExhausted { node_budget } => {
+                write!(f, "branch-and-bound node budget ({node_budget}) exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+/// Check `n` against the Held–Karp guard.
+pub fn check_exact_size(n: usize) -> Result<(), GuardError> {
+    check_exact_size_with(n, EXACT_MAX_N)
+}
+
+/// [`check_exact_size`] with a caller-tightened maximum (never looser than
+/// [`EXACT_MAX_N`]).
+pub fn check_exact_size_with(n: usize, max: usize) -> Result<(), GuardError> {
+    let max = max.min(EXACT_MAX_N);
+    if n > max {
+        Err(GuardError::TooLargeForExact { n, max })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_boundary() {
+        assert!(check_exact_size(EXACT_MAX_N).is_ok());
+        assert_eq!(
+            check_exact_size(EXACT_MAX_N + 1),
+            Err(GuardError::TooLargeForExact {
+                n: EXACT_MAX_N + 1,
+                max: EXACT_MAX_N
+            })
+        );
+    }
+
+    #[test]
+    fn tightened_guard_never_loosens() {
+        assert!(check_exact_size_with(10, 10).is_ok());
+        assert!(check_exact_size_with(11, 10).is_err());
+        // Asking for a looser max than EXACT_MAX_N still clamps.
+        assert_eq!(
+            check_exact_size_with(EXACT_MAX_N + 5, usize::MAX),
+            Err(GuardError::TooLargeForExact {
+                n: EXACT_MAX_N + 5,
+                max: EXACT_MAX_N
+            })
+        );
+    }
+}

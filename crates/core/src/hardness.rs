@@ -154,8 +154,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(61);
         let mut yes = 0;
         let mut no = 0;
-        for _ in 0..20 {
-            let g = random::gnp(&mut rng, 8, 0.4);
+        for t in 0..20 {
+            // Sweep density so the corpus contains both Hamiltonian and
+            // non-Hamiltonian draws regardless of the RNG stream.
+            let dens = [0.2, 0.45, 0.75][t % 3];
+            let g = random::gnp(&mut rng, 8, dens);
             let hc = has_hamiltonian_cycle(&g);
             let (h, w, wprime) = ham_cycle_to_path_gadget(&g, 0);
             let hp = has_hamiltonian_path(&h, Some((w, wprime)));

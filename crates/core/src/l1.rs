@@ -8,7 +8,9 @@
 //! `L(1^k)`-labeling by `p_max` gives an `L(p)`-labeling within a factor
 //! `p_max` of optimal (Corollary 3).
 
-use crate::coloring::{chromatic_number_exact, chromatic_number_nd, dsatur_coloring, greedy_coloring};
+use crate::coloring::{
+    chromatic_number_exact, chromatic_number_nd, dsatur_coloring, greedy_coloring,
+};
 use crate::labeling::Labeling;
 use crate::pvec::PVec;
 use crate::solver::Solution;

@@ -25,17 +25,18 @@
 // kernels in this crate.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod baseline;
 pub mod bounds;
 pub mod coloring;
 pub mod diam2;
+pub mod guard;
 pub mod hardness;
 pub mod l1;
 pub mod labeling;
 pub mod partition_paths;
 pub mod pvec;
 pub mod reduction;
+pub mod routes;
 pub mod solver;
 
 pub use labeling::Labeling;

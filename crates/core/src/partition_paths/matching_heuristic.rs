@@ -41,7 +41,11 @@ pub fn maximum_matching(g: &Graph) -> Vec<usize> {
 
 /// Number of edges in a maximum matching, `ν(G)`.
 pub fn matching_number(g: &Graph) -> usize {
-    maximum_matching(g).iter().filter(|&&m| m != usize::MAX).count() / 2
+    maximum_matching(g)
+        .iter()
+        .filter(|&&m| m != usize::MAX)
+        .count()
+        / 2
 }
 
 /// Matching-seeded path partition: start from the linear forest of a

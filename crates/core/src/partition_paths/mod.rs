@@ -71,6 +71,90 @@ pub fn exact_path_partition(g: &Graph) -> usize {
         .expect("nonempty graph") as usize
 }
 
+/// [`exact_path_partition`] with a witness: returns an optimal partition
+/// itself (`paths.len()` paths), reconstructed by walking the subset DP
+/// backwards. Same `n ≤ 20` guard.
+pub fn exact_path_partition_witness(g: &Graph) -> Vec<Vec<usize>> {
+    let n = g.n();
+    assert!(n <= 20, "subset DP guarded at n ≤ 20");
+    if n == 0 {
+        return Vec::new();
+    }
+    let full: usize = (1 << n) - 1;
+    let mut dp = vec![u8::MAX; (full + 1) * n];
+    for v in 0..n {
+        dp[(1 << v) * n + v] = 1;
+    }
+    for mask in 1..=full {
+        let mut rem = mask;
+        while rem != 0 {
+            let v = rem.trailing_zeros() as usize;
+            rem &= rem - 1;
+            let cur = dp[mask * n + v];
+            if cur == u8::MAX {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                let u = u as usize;
+                if mask & (1 << u) == 0 {
+                    let nm = mask | (1 << u);
+                    if cur < dp[nm * n + u] {
+                        dp[nm * n + u] = cur;
+                    }
+                }
+            }
+            for u in 0..n {
+                if mask & (1 << u) == 0 {
+                    let nm = mask | (1 << u);
+                    if cur + 1 < dp[nm * n + u] {
+                        dp[nm * n + u] = cur + 1;
+                    }
+                }
+            }
+        }
+    }
+    // Backward reconstruction. The second DP index is always the most
+    // recently added vertex, so from (mask, v) the predecessor is either
+    // (mask \ v, u) with u ~ v and equal count (v extended u's path) or
+    // (mask \ v, u) with count − 1 (v opened a fresh path).
+    let (mut v, _) = (0..n)
+        .map(|v| (v, dp[full * n + v]))
+        .min_by_key(|&(_, c)| c)
+        .expect("nonempty graph");
+    let mut mask = full;
+    let mut paths: Vec<Vec<usize>> = Vec::new();
+    let mut current = vec![v];
+    while mask != 1 << v {
+        let c = dp[mask * n + v];
+        let prev_mask = mask & !(1 << v);
+        let extend_pred = g
+            .neighbors(v)
+            .iter()
+            .map(|&u| u as usize)
+            .find(|&u| prev_mask & (1 << u) != 0 && dp[prev_mask * n + u] == c);
+        match extend_pred {
+            Some(u) => {
+                // v was appended after u in the same path.
+                current.push(u);
+                mask = prev_mask;
+                v = u;
+            }
+            None => {
+                let u = (0..n)
+                    .filter(|&u| prev_mask & (1 << u) != 0)
+                    .find(|&u| dp[prev_mask * n + u] == c - 1)
+                    .expect("DP table must contain a predecessor");
+                paths.push(std::mem::take(&mut current));
+                current = vec![u];
+                mask = prev_mask;
+                v = u;
+            }
+        }
+    }
+    paths.push(current);
+    paths
+}
+
 /// Greedy upper bound: repeatedly strip a maximal path found by walking
 /// from an unvisited vertex of minimum degree, always preferring the
 /// unvisited neighbor of fewest unvisited neighbors (a cheap degree
@@ -203,12 +287,43 @@ mod tests {
         assert!(is_valid_path_partition(&g, &[vec![1, 0], vec![2, 3]]));
         assert!(!is_valid_path_partition(&g, &[vec![0, 2], vec![1, 3]])); // non-edges
         assert!(!is_valid_path_partition(&g, &[vec![0, 1, 2]])); // misses 3
-        assert!(!is_valid_path_partition(&g, &[vec![0, 1], vec![1, 2], vec![3]])); // reuse
+        assert!(!is_valid_path_partition(
+            &g,
+            &[vec![0, 1], vec![1, 2], vec![3]]
+        )); // reuse
     }
 
     #[test]
     fn empty_graph() {
         assert_eq!(exact_path_partition(&Graph::new(0)), 0);
         assert!(greedy_path_partition(&Graph::new(0)).is_empty());
+        assert!(exact_path_partition_witness(&Graph::new(0)).is_empty());
+    }
+
+    #[test]
+    fn witness_matches_exact_count_and_is_valid() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for trial in 0..12 {
+            let dens = [0.15, 0.35, 0.6][trial % 3];
+            let g = random::gnp(&mut rng, 12, dens);
+            let want = exact_path_partition(&g);
+            let paths = exact_path_partition_witness(&g);
+            assert!(is_valid_path_partition(&g, &paths), "trial {trial}");
+            assert_eq!(paths.len(), want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn witness_on_classic_families() {
+        for (g, want) in [
+            (classic::path(7), 1),
+            (classic::star(6), 4),
+            (classic::petersen(), 1),
+            (Graph::new(5), 5),
+        ] {
+            let paths = exact_path_partition_witness(&g);
+            assert!(is_valid_path_partition(&g, &paths));
+            assert_eq!(paths.len(), want);
+        }
     }
 }

@@ -73,10 +73,7 @@ pub fn reduce_unchecked(g: &Graph, p: &PVec) -> Result<ReducedInstance, Reductio
         Some(d) => d,
     };
     if diameter as usize > p.k() {
-        return Err(ReductionError::DiameterTooLarge {
-            diameter,
-            k: p.k(),
-        });
+        return Err(ReductionError::DiameterTooLarge { diameter, k: p.k() });
     }
     let mut w = vec![0u64; n * n];
     for u in 0..n {
@@ -99,6 +96,30 @@ pub fn labeling_from_order(reduced: &ReducedInstance, order: &[u32]) -> Labeling
     let mut labels = vec![0u64; order.len()];
     for (i, &v) in order.iter().enumerate() {
         labels[v as usize] = prefix[i];
+    }
+    Labeling::new(labels)
+}
+
+/// The tightest labeling whose sorted order is `order`, enforcing **every**
+/// pairwise constraint: `l(v_i) = max_{j<i} (l(v_j) + w(v_j, v_i))`.
+///
+/// Unlike [`labeling_from_order`] (prefix sums, valid only under Claim 1's
+/// smoothness hypothesis), this construction is valid for *any* `p` the
+/// reduction's weight matrix covers — at `O(n²)` instead of `O(n)`. For
+/// smooth `p` the two coincide.
+pub fn tight_labeling_for_order(reduced: &ReducedInstance, order: &[u32]) -> Labeling {
+    let n = order.len();
+    let mut labels = vec![0u64; n];
+    let mut along = vec![0u64; n]; // labels in order position
+    for i in 1..n {
+        let vi = order[i] as usize;
+        let mut l = 0u64;
+        for (j, &lj) in along[..i].iter().enumerate() {
+            let vj = order[j] as usize;
+            l = l.max(lj + reduced.tsp.weight(vj, vi));
+        }
+        along[i] = l;
+        labels[vi] = l;
     }
     Labeling::new(labels)
 }
@@ -171,6 +192,32 @@ mod tests {
         assert_eq!(l.labels(), &[4, 0, 1, 2]);
         assert!(l.validate(&g, &PVec::l21()).is_ok());
         assert_eq!(l.span(), span_for_permutation(&r, &[1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn tight_labeling_always_valid_even_without_smoothness() {
+        // C5 walked in distance-2 hops: every consecutive order pair costs
+        // q = 1, yet 0 and 1 are adjacent and need p = 7 apart.
+        let g = classic::cycle(5);
+        let p = PVec::lpq(7, 1).unwrap(); // wildly non-smooth
+        let r = reduce_unchecked(&g, &p).unwrap();
+        let order: Vec<u32> = vec![0, 2, 4, 1, 3];
+        let tight = tight_labeling_for_order(&r, &order);
+        assert!(tight.validate(&g, &p).is_ok());
+        // The prefix-sum labeling violates the center's p1-constraints here.
+        let prefix = labeling_from_order(&r, &order);
+        assert!(prefix.validate(&g, &p).is_err());
+    }
+
+    #[test]
+    fn tight_labeling_matches_prefix_sums_when_smooth() {
+        let g = classic::petersen();
+        let r = reduce_to_path_tsp(&g, &PVec::l21()).unwrap();
+        let order: Vec<u32> = (0..10).collect();
+        assert_eq!(
+            tight_labeling_for_order(&r, &order).labels(),
+            labeling_from_order(&r, &order).labels()
+        );
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Route layer: every TSP-backed solve path, expressed over a *precomputed*
+//! [`ReducedInstance`].
+//!
+//! The legacy [`crate::solver`] wrappers and the `dclab-engine` portfolio
+//! dispatcher both call these functions, so the Theorem 2 reduction is
+//! computed once per request and shared across candidate routes instead of
+//! being re-derived (APSP and all) on every call.
+
+use crate::guard::{check_exact_size, GuardError};
+use crate::reduction::{labeling_from_order, ReducedInstance};
+use crate::solver::Solution;
+use dclab_tsp::christofides::christofides_path;
+use dclab_tsp::driver::{solve_path_heuristic, HeuristicConfig};
+use dclab_tsp::exact::{branch_bound_path, held_karp_path};
+use dclab_tsp::matching::MatchingBackend;
+
+fn solution_from_order(reduced: &ReducedInstance, order: Vec<u32>, span: u64) -> Solution {
+    let labeling = labeling_from_order(reduced, &order);
+    debug_assert_eq!(labeling.span(), span);
+    Solution {
+        span,
+        labeling,
+        order,
+    }
+}
+
+/// Exact optimum via Held–Karp (Corollary 1a). Guarded by
+/// [`crate::guard::EXACT_MAX_N`].
+pub fn exact_route(reduced: &ReducedInstance) -> Result<Solution, GuardError> {
+    check_exact_size(reduced.tsp.n())?;
+    let (order, span) = held_karp_path(&reduced.tsp);
+    Ok(solution_from_order(reduced, order, span))
+}
+
+/// Exact optimum via MST-bounded branch and bound; `Err(BudgetExhausted)`
+/// when `node_budget` runs out before optimality is proved.
+pub fn branch_bound_route(
+    reduced: &ReducedInstance,
+    node_budget: u64,
+) -> Result<Solution, GuardError> {
+    match branch_bound_path(&reduced.tsp, node_budget) {
+        Some((order, span)) => Ok(solution_from_order(reduced, order, span)),
+        None => Err(GuardError::BudgetExhausted { node_budget }),
+    }
+}
+
+/// Hoogeveen/Christofides 1.5-approximation (Corollary 1b).
+pub fn approx15_route(reduced: &ReducedInstance, backend: MatchingBackend) -> Solution {
+    let (order, span) = christofides_path(&reduced.tsp, backend);
+    solution_from_order(reduced, order, span)
+}
+
+/// Multi-start chained-LK heuristic (paper §I-A practical route).
+pub fn heuristic_route(reduced: &ReducedInstance, cfg: &HeuristicConfig) -> Solution {
+    let (order, span) = solve_path_heuristic(&reduced.tsp, cfg);
+    solution_from_order(reduced, order, span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvec::PVec;
+    use crate::reduction::reduce_to_path_tsp;
+    use dclab_graph::generators::classic;
+
+    #[test]
+    fn all_routes_share_one_reduction() {
+        let g = classic::petersen();
+        let p = PVec::l21();
+        let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+        let exact = exact_route(&reduced).unwrap();
+        let bb = branch_bound_route(&reduced, u64::MAX).unwrap();
+        let approx = approx15_route(&reduced, MatchingBackend::Auto);
+        let heur = heuristic_route(&reduced, &HeuristicConfig::default());
+        assert_eq!(exact.span, 9);
+        assert_eq!(bb.span, 9);
+        for sol in [&exact, &bb, &approx, &heur] {
+            assert!(sol.labeling.validate(&g, &p).is_ok());
+            assert!(sol.span >= 9);
+        }
+    }
+
+    #[test]
+    fn exact_route_is_guarded() {
+        let g = classic::complete(30);
+        let reduced = reduce_to_path_tsp(&g, &PVec::l21()).unwrap();
+        assert!(matches!(
+            exact_route(&reduced),
+            Err(GuardError::TooLargeForExact { n: 30, .. })
+        ));
+    }
+
+    #[test]
+    fn branch_bound_route_reports_budget() {
+        let g = classic::petersen();
+        let reduced = reduce_to_path_tsp(&g, &PVec::l21()).unwrap();
+        assert_eq!(
+            branch_bound_route(&reduced, 3),
+            Err(GuardError::BudgetExhausted { node_budget: 3 })
+        );
+    }
+}

@@ -1,14 +1,23 @@
-//! Solver façade: every route from a `(G, p)` instance to a labeling.
+//! Solver façade: thin, API-stable wrappers over the shared route layer
+//! ([`crate::routes`]) — each wrapper runs the Theorem 2 reduction and
+//! forwards to the corresponding route.
+//!
+//! New code should prefer `dclab-engine`'s `SolveRequest`/`solve` front
+//! door, which computes the reduction once, dispatches between these routes
+//! (including the FPT ones) and attaches stats and lower-bound
+//! certificates. These wrappers remain for direct, single-route calls.
 
 use crate::baseline::greedy::best_greedy_span;
+use crate::guard::GuardError;
 use crate::labeling::Labeling;
 use crate::pvec::PVec;
-use crate::reduction::{labeling_from_order, reduce_to_path_tsp, ReductionError};
+use crate::reduction::{reduce_to_path_tsp, ReductionError};
+use crate::routes;
 use dclab_graph::Graph;
-use dclab_tsp::christofides::christofides_path;
-use dclab_tsp::driver::{solve_path_heuristic, HeuristicConfig};
-use dclab_tsp::exact::held_karp_path;
+use dclab_tsp::driver::HeuristicConfig;
 use dclab_tsp::matching::MatchingBackend;
+
+pub use crate::guard::EXACT_MAX_N;
 
 /// A solved `L(p)`-labeling instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,27 +58,23 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
-/// Maximum `n` accepted by [`solve_exact`] (Held–Karp memory guard).
-pub const EXACT_MAX_N: usize = 24;
-
 /// **Corollary 1 (exact)**: optimal `L(p)`-labeling in `O(2^n n²)` via the
 /// Theorem 2 reduction and Held–Karp Path TSP.
 pub fn solve_exact(g: &Graph, p: &PVec) -> Result<Solution, SolveError> {
-    if g.n() > EXACT_MAX_N {
-        return Err(SolveError::TooLargeForExact {
-            n: g.n(),
-            max: EXACT_MAX_N,
-        });
-    }
+    // Check the guard before paying for the reduction: the legacy contract
+    // is that an over-size request fails without touching the instance.
+    crate::guard::check_exact_size(g.n()).map_err(guard_to_solve_error)?;
     let reduced = reduce_to_path_tsp(g, p)?;
-    let (order, span) = held_karp_path(&reduced.tsp);
-    let labeling = labeling_from_order(&reduced, &order);
-    debug_assert_eq!(labeling.span(), span);
-    Ok(Solution {
-        span,
-        labeling,
-        order,
-    })
+    routes::exact_route(&reduced).map_err(guard_to_solve_error)
+}
+
+fn guard_to_solve_error(e: GuardError) -> SolveError {
+    match e {
+        GuardError::TooLargeForExact { n, max } => SolveError::TooLargeForExact { n, max },
+        // Budget exhaustion is reported as Ok(None) by the legacy branch-
+        // and-bound wrapper and never surfaces through SolveError.
+        GuardError::BudgetExhausted { .. } => unreachable!("guarded routes handle budgets"),
+    }
 }
 
 /// **Corollary 1 (approximation)**: polynomial-time 1.5-approximation via
@@ -86,14 +91,7 @@ pub fn solve_approx15_with_backend(
 ) -> Result<Solution, SolveError> {
     let reduced = reduce_to_path_tsp(g, p)?;
     debug_assert!(reduced.tsp.is_metric() || g.n() < 3);
-    let (order, span) = christofides_path(&reduced.tsp, backend);
-    let labeling = labeling_from_order(&reduced, &order);
-    debug_assert_eq!(labeling.span(), span);
-    Ok(Solution {
-        span,
-        labeling,
-        order,
-    })
+    Ok(routes::approx15_route(&reduced, backend))
 }
 
 /// **Practical route** (paper §I-A): chained Lin–Kernighan-style heuristic
@@ -109,14 +107,7 @@ pub fn solve_heuristic_with(
     cfg: &HeuristicConfig,
 ) -> Result<Solution, SolveError> {
     let reduced = reduce_to_path_tsp(g, p)?;
-    let (order, span) = solve_path_heuristic(&reduced.tsp, cfg);
-    let labeling = labeling_from_order(&reduced, &order);
-    debug_assert_eq!(labeling.span(), span);
-    Ok(Solution {
-        span,
-        labeling,
-        order,
-    })
+    Ok(routes::heuristic_route(&reduced, cfg))
 }
 
 /// Exact solve by MST-bounded **branch and bound** on the reduced instance
@@ -130,17 +121,10 @@ pub fn solve_exact_branch_bound(
     node_budget: u64,
 ) -> Result<Option<Solution>, SolveError> {
     let reduced = reduce_to_path_tsp(g, p)?;
-    match dclab_tsp::exact::branch_bound_path(&reduced.tsp, node_budget) {
-        None => Ok(None),
-        Some((order, span)) => {
-            let labeling = labeling_from_order(&reduced, &order);
-            debug_assert_eq!(labeling.span(), span);
-            Ok(Some(Solution {
-                span,
-                labeling,
-                order,
-            }))
-        }
+    match routes::branch_bound_route(&reduced, node_budget) {
+        Ok(sol) => Ok(Some(sol)),
+        Err(GuardError::BudgetExhausted { .. }) => Ok(None),
+        Err(e) => Err(guard_to_solve_error(e)),
     }
 }
 

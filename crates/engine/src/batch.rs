@@ -1,0 +1,48 @@
+//! Deterministic parallel batch execution over `dclab-par`.
+
+use crate::engine::{solve, EngineError};
+use crate::report::SolveReport;
+use crate::request::SolveRequest;
+
+/// Solve many requests in parallel (fan-out over `dclab-par`, which
+/// respects `DCLAB_THREADS`). Output order matches input order and every
+/// report is bit-identical regardless of thread count: each request is
+/// solved independently with its own budget, and reports carry no wall
+/// clock.
+pub fn solve_batch(requests: &[SolveRequest]) -> Vec<Result<SolveReport, EngineError>> {
+    dclab_par::par_map(requests, solve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Strategy;
+    use dclab_core::pvec::PVec;
+    use dclab_graph::generators::classic;
+
+    #[test]
+    fn batch_preserves_order_and_solves() {
+        let requests: Vec<SolveRequest> = (3..11)
+            .map(|n| SolveRequest::new(classic::complete(n), PVec::l21()))
+            .collect();
+        let reports = solve_batch(&requests);
+        assert_eq!(reports.len(), 8);
+        for (i, r) in reports.iter().enumerate() {
+            let r = r.as_ref().unwrap();
+            let n = (i + 3) as u64;
+            // λ_{2,1}(K_n) = 2(n−1).
+            assert_eq!(r.solution.span, 2 * (n - 1), "K_{n}");
+            assert_eq!(r.strategy_used, Strategy::Exact);
+        }
+    }
+
+    #[test]
+    fn batch_surfaces_per_request_errors() {
+        let ok = SolveRequest::new(classic::petersen(), PVec::l21());
+        let too_big =
+            SolveRequest::new(classic::complete(30), PVec::l21()).with_strategy(Strategy::Exact);
+        let reports = solve_batch(&[ok, too_big]);
+        assert!(reports[0].is_ok());
+        assert!(matches!(reports[1], Err(EngineError::Guard(_))));
+    }
+}

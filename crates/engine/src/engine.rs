@@ -1,0 +1,503 @@
+//! The dispatcher: one [`solve`] entry point over every route, with the
+//! Theorem 2 reduction computed **once** per request and shared across
+//! candidate routes.
+
+use dclab_core::bounds::{degree_bound, span_lower_bound_with_reduction};
+use dclab_core::diam2::{solve_diam2_lpq_with_witness, Diam2Error, PipSolver};
+use dclab_core::guard::{check_exact_size, GuardError, EXACT_MAX_N};
+use dclab_core::l1::{solve_pmax_approx, L1Engine};
+use dclab_core::labeling::Labeling;
+use dclab_core::pvec::PVec;
+use dclab_core::reduction::{
+    reduce_to_path_tsp, reduce_unchecked, tight_labeling_for_order, ReducedInstance, ReductionError,
+};
+use dclab_core::routes;
+use dclab_core::solver::{solve_greedy, Solution};
+use dclab_graph::Graph;
+use dclab_tsp::driver::HeuristicConfig;
+use dclab_tsp::matching::MatchingBackend;
+
+use crate::features::InstanceFeatures;
+use crate::report::{EngineStats, SolveReport};
+use crate::request::{SolveRequest, Strategy};
+
+/// Exact-coloring size guard for the `L1Coloring` route's `Exact` engine.
+const L1_EXACT_MAX_N: usize = 28;
+
+/// Largest `n` at which `Auto` also runs Christofides next to the LK
+/// heuristic (the blossom matching is cubic-ish; past this the heuristic
+/// runs alone).
+const AUTO_APPROX_MAX_N: usize = 400;
+
+/// Why the engine could not produce a solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The requested route needs the Theorem 2 reduction and the instance
+    /// is outside its scope.
+    Reduction(ReductionError),
+    /// A size/budget guard refused the requested route (single shared
+    /// guard path — see `dclab_core::guard`).
+    Guard(GuardError),
+    /// The requested route does not apply to this instance shape.
+    Unsupported { strategy: Strategy, reason: String },
+    /// A route produced an invalid labeling — a bug, surfaced loudly.
+    Internal(String),
+}
+
+impl From<ReductionError> for EngineError {
+    fn from(e: ReductionError) -> Self {
+        EngineError::Reduction(e)
+    }
+}
+
+impl From<GuardError> for EngineError {
+    fn from(e: GuardError) -> Self {
+        EngineError::Guard(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Reduction(e) => write!(f, "reduction failed: {e}"),
+            EngineError::Guard(e) => write!(f, "guard refused: {e}"),
+            EngineError::Unsupported { strategy, reason } => {
+                write!(f, "strategy '{strategy}' unsupported here: {reason}")
+            }
+            EngineError::Internal(msg) => write!(f, "engine invariant broken: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Per-request working state: owns the at-most-one reduction and the
+/// dispatch trace.
+struct Ctx<'a> {
+    g: &'a Graph,
+    p: &'a PVec,
+    reduced: Option<ReducedInstance>,
+    reductions_computed: usize,
+    routes_tried: Vec<Strategy>,
+    notes: Vec<String>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(g: &'a Graph, p: &'a PVec) -> Ctx<'a> {
+        Ctx {
+            g,
+            p,
+            reduced: None,
+            reductions_computed: 0,
+            routes_tried: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The request's single reduction (smoothness-checked), computed on
+    /// first use.
+    fn reduced(&mut self) -> Result<&ReducedInstance, ReductionError> {
+        if self.reduced.is_none() {
+            self.reduced = Some(reduce_to_path_tsp(self.g, self.p)?);
+            self.reductions_computed += 1;
+        }
+        Ok(self.reduced.as_ref().expect("just computed"))
+    }
+
+    /// The request's single reduction *without* the smoothness check (the
+    /// weight matrix is well-defined whenever `diam ≤ k`; routes using it
+    /// construct labelings via the always-valid tight recovery).
+    fn reduced_unchecked(&mut self) -> Result<&ReducedInstance, ReductionError> {
+        if self.reduced.is_none() {
+            self.reduced = Some(reduce_unchecked(self.g, self.p)?);
+            self.reductions_computed += 1;
+        }
+        Ok(self.reduced.as_ref().expect("just computed"))
+    }
+
+    fn note(&mut self, msg: impl Into<String>) {
+        self.notes.push(msg.into());
+    }
+}
+
+/// Solve one request. The single front door: every strategy, including the
+/// `Auto` portfolio, goes through here.
+pub fn solve(req: &SolveRequest) -> Result<SolveReport, EngineError> {
+    let g = &req.graph;
+    let p = &req.pvec;
+    let features = InstanceFeatures::extract(g, p);
+    let mut ctx = Ctx::new(g, p);
+
+    if g.n() <= 1 {
+        // Trivial instances short-circuit before any route machinery.
+        let labeling = Labeling::new(vec![0; g.n()]);
+        let solution = Solution {
+            span: 0,
+            order: (0..g.n() as u32).collect(),
+            labeling,
+        };
+        ctx.note("trivial instance (n ≤ 1)");
+        ctx.routes_tried.push(Strategy::Greedy);
+        return finish(req, ctx, features, solution, Strategy::Greedy, 0, true);
+    }
+
+    let (solution, used, lower_bound, proved_optimal) = match req.strategy {
+        Strategy::Exact => {
+            check_exact_size(g.n())?;
+            let reduced = ctx.reduced()?;
+            let sol = routes::exact_route(reduced)?;
+            ctx.routes_tried.push(Strategy::Exact);
+            let lb = sol.span;
+            (sol, Strategy::Exact, lb, true)
+        }
+        Strategy::BranchBound => {
+            let reduced = ctx.reduced()?;
+            let sol = routes::branch_bound_route(reduced, req.budget.node_budget())?;
+            ctx.routes_tried.push(Strategy::BranchBound);
+            let lb = sol.span;
+            (sol, Strategy::BranchBound, lb, true)
+        }
+        Strategy::Approx15 => {
+            let sol = routes::approx15_route(ctx.reduced()?, MatchingBackend::Auto);
+            ctx.routes_tried.push(Strategy::Approx15);
+            let lb = certificate(&mut ctx, req, true);
+            (sol, Strategy::Approx15, lb, false)
+        }
+        Strategy::Heuristic => {
+            let cfg = heuristic_config(req);
+            let sol = routes::heuristic_route(ctx.reduced()?, &cfg);
+            ctx.routes_tried.push(Strategy::Heuristic);
+            let lb = certificate(&mut ctx, req, true);
+            (sol, Strategy::Heuristic, lb, false)
+        }
+        Strategy::Greedy => {
+            let sol = solve_greedy(g, p);
+            ctx.routes_tried.push(Strategy::Greedy);
+            (sol, Strategy::Greedy, degree_bound(g, p), false)
+        }
+        Strategy::L1Coloring => {
+            let (sol, exact_coloring) = l1_route(&mut ctx, req);
+            let lb = if features.all_ones && exact_coloring {
+                sol.span
+            } else {
+                degree_bound(g, p)
+            };
+            let proved = features.all_ones && exact_coloring;
+            (sol, Strategy::L1Coloring, lb, proved)
+        }
+        Strategy::Diam2Pip => diam2_route(&mut ctx, &features, true)?,
+        Strategy::Auto => auto_route(&mut ctx, req, &features)?,
+    };
+
+    finish(
+        req,
+        ctx,
+        features,
+        solution,
+        used,
+        lower_bound,
+        proved_optimal,
+    )
+}
+
+/// The portfolio dispatcher behind `Strategy::Auto`.
+fn auto_route(
+    ctx: &mut Ctx<'_>,
+    req: &SolveRequest,
+    features: &InstanceFeatures,
+) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+    let g = ctx.g;
+    let n = g.n();
+
+    if !features.reducible() {
+        // Disconnected or diameter > k: outside Theorem 2 entirely.
+        ctx.note(match features.diameter {
+            None => "disconnected → reduction-free fallback".to_string(),
+            Some(d) => format!("diameter {d} > k={} → reduction-free fallback", features.k),
+        });
+        return Ok(fallback_portfolio(ctx, features));
+    }
+
+    if !features.smooth {
+        // Claim 1's equality needs p_max ≤ 2·p_min. Without it, prefer the
+        // certified diameter-2 PIP route when it applies, else the best of
+        // the reduction-free upper bounds, certified by the (still sound)
+        // TSP lower bound.
+        ctx.note("p not smooth → TSP equality unavailable");
+        if features.two_valued && diam2_applicable(ctx, features) {
+            return diam2_route(ctx, features, false);
+        }
+        let (sol, used, _, _) = fallback_portfolio(ctx, features);
+        let lb = certificate(ctx, req, false);
+        let proved = sol.span == lb;
+        return Ok((sol, used, lb, proved));
+    }
+
+    if n <= EXACT_MAX_N {
+        ctx.note(format!("n={n} ≤ exact guard {EXACT_MAX_N} → Held–Karp"));
+        let sol = routes::exact_route(ctx.reduced()?)?;
+        ctx.routes_tried.push(Strategy::Exact);
+        let lb = sol.span;
+        return Ok((sol, Strategy::Exact, lb, true));
+    }
+
+    if features.two_valued {
+        // Benign regime: two-valued weight matrix. Poly PIP route first
+        // when available, else budgeted branch and bound.
+        if diam2_applicable(ctx, features) {
+            ctx.note("diameter-2 L(p,q) with PIP solver available → Corollary 2");
+            return diam2_route(ctx, features, false);
+        }
+        ctx.note(format!(
+            "two-valued weights → branch and bound (budget {})",
+            req.budget.node_budget()
+        ));
+        match routes::branch_bound_route(ctx.reduced()?, req.budget.node_budget()) {
+            Ok(sol) => {
+                ctx.routes_tried.push(Strategy::BranchBound);
+                let lb = sol.span;
+                return Ok((sol, Strategy::BranchBound, lb, true));
+            }
+            Err(GuardError::BudgetExhausted { node_budget }) => {
+                ctx.routes_tried.push(Strategy::BranchBound);
+                ctx.note(format!("BB budget {node_budget} exhausted → heuristic"));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    } else {
+        ctx.note("general smooth instance → heuristic portfolio");
+    }
+
+    // Workhorse: chained LK, optionally raced against Christofides.
+    let cfg = heuristic_config(req);
+    let mut sol = routes::heuristic_route(ctx.reduced()?, &cfg);
+    let mut used = Strategy::Heuristic;
+    ctx.routes_tried.push(Strategy::Heuristic);
+    if n <= AUTO_APPROX_MAX_N {
+        let approx = routes::approx15_route(ctx.reduced()?, MatchingBackend::Auto);
+        ctx.routes_tried.push(Strategy::Approx15);
+        if approx.span < sol.span {
+            ctx.note(format!(
+                "christofides {} beat heuristic {}",
+                approx.span, sol.span
+            ));
+            sol = approx;
+            used = Strategy::Approx15;
+        }
+    }
+    let lb = certificate(ctx, req, true);
+    let proved = sol.span == lb;
+    Ok((sol, used, lb, proved))
+}
+
+/// Can Corollary 2 run here in polynomial/bounded time? (k = 2, diam ≤ 2,
+/// and either the subset DP fits or the PIP target is a cograph.)
+fn diam2_applicable(ctx: &Ctx<'_>, features: &InstanceFeatures) -> bool {
+    features.two_valued && (ctx.g.n() <= 20 || features.cograph)
+}
+
+/// Corollary 2: diameter-2 `L(p,q)` via Partition into Paths. The PIP
+/// formula's lower-bound direction holds for any `p, q` (sorted labelings
+/// decompose into PIP runs), so it is always reported as `lower_bound`;
+/// achieving it needs the smooth regime, where the witness labeling lands
+/// exactly on it. The labeling is rebuilt from a PIP witness through the
+/// request's single (unchecked) reduction via the always-valid tight
+/// recovery.
+fn diam2_route(
+    ctx: &mut Ctx<'_>,
+    features: &InstanceFeatures,
+    explicit: bool,
+) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+    let g = ctx.g;
+    let p = ctx.p;
+    if features.k != 2 {
+        return Err(EngineError::Unsupported {
+            strategy: Strategy::Diam2Pip,
+            reason: format!("needs |p| = 2, got {}", features.k),
+        });
+    }
+    let (pv, qv) = (p.at_distance(1), p.at_distance(2));
+    let solver = if g.n() <= 20 {
+        PipSolver::SubsetDp
+    } else if features.cograph {
+        // Cographs are closed under complement, so the cotree DP covers
+        // both PIP targets.
+        PipSolver::Cotree
+    } else if explicit {
+        return Err(EngineError::Unsupported {
+            strategy: Strategy::Diam2Pip,
+            reason: "needs n ≤ 20 (subset DP) or a cograph (cotree DP)".into(),
+        });
+    } else {
+        unreachable!("auto dispatch checks diam2_applicable first");
+    };
+    // One call computes the eligibility checks, the PIP target (complement
+    // included), the certified value, and the witness partition.
+    let (d2, paths) = solve_diam2_lpq_with_witness(g, pv, qv, solver).map_err(|e| match e {
+        Diam2Error::NotDiameter2 => EngineError::Unsupported {
+            strategy: Strategy::Diam2Pip,
+            reason: "graph is not connected with diameter ≤ 2".into(),
+        },
+        Diam2Error::TooLarge | Diam2Error::NotCograph => EngineError::Unsupported {
+            strategy: Strategy::Diam2Pip,
+            reason: format!("PIP solver rejected the instance: {e:?}"),
+        },
+    })?;
+    ctx.routes_tried.push(Strategy::Diam2Pip);
+    ctx.note(format!(
+        "PIP: {} paths on {} ({:?})",
+        d2.partition_size,
+        if d2.on_complement { "complement" } else { "G" },
+        solver
+    ));
+
+    // Rebuild a labeling from the witness: concatenate the partition's
+    // paths and take the tightest labeling realizing that order.
+    let order: Vec<u32> = paths.iter().flatten().map(|&v| v as u32).collect();
+    let reduced = ctx.reduced_unchecked()?;
+    let labeling = tight_labeling_for_order(reduced, &order);
+    let span = labeling.span();
+    if span != d2.span {
+        // Witness did not land on the PIP value (greedy partition on a
+        // big cograph, or non-smooth p where the formula is only a lower
+        // bound): keep the valid labeling, report the PIP value as the
+        // certificate.
+        ctx.note(format!(
+            "witness labeling span {span} above PIP bound {}",
+            d2.span
+        ));
+    }
+    let solution = Solution {
+        span,
+        order,
+        labeling,
+    };
+    let optimal = span == d2.span;
+    // The degree bound can beat a degenerate PIP value (e.g. q = 0); both
+    // are sound, so report the max.
+    let lb = d2.span.max(degree_bound(g, p));
+    Ok((solution, Strategy::Diam2Pip, lb, optimal))
+}
+
+/// Reduction-free upper bounds: greedy first-fit vs. the `p_max`-scaled
+/// coloring (Corollary 3), both valid on any graph. Deterministic pick:
+/// smaller span wins, ties to greedy.
+fn fallback_portfolio(
+    ctx: &mut Ctx<'_>,
+    _features: &InstanceFeatures,
+) -> (Solution, Strategy, u64, bool) {
+    let g = ctx.g;
+    let p = ctx.p;
+    let greedy = solve_greedy(g, p);
+    ctx.routes_tried.push(Strategy::Greedy);
+    let engine = if g.n() <= L1_EXACT_MAX_N {
+        L1Engine::Exact
+    } else {
+        L1Engine::Dsatur
+    };
+    let pmax = solve_pmax_approx(g, p, engine);
+    ctx.routes_tried.push(Strategy::L1Coloring);
+    let lb = degree_bound(g, p);
+    if pmax.span < greedy.span {
+        ctx.note(format!(
+            "p_max-coloring {} beat greedy {}",
+            pmax.span, greedy.span
+        ));
+        let proved = pmax.span == lb;
+        (pmax, Strategy::L1Coloring, lb, proved)
+    } else {
+        let proved = greedy.span == lb;
+        (greedy, Strategy::Greedy, lb, proved)
+    }
+}
+
+/// The `L1Coloring` strategy body: `p_max`-scaled coloring of `G^k`.
+/// Returns `(solution, coloring_was_exact)`.
+fn l1_route(ctx: &mut Ctx<'_>, req: &SolveRequest) -> (Solution, bool) {
+    let g = &req.graph;
+    let exact = g.n() <= L1_EXACT_MAX_N;
+    let engine = if exact {
+        L1Engine::Exact
+    } else {
+        L1Engine::Dsatur
+    };
+    ctx.note(format!("coloring G^{} with {:?}", req.pvec.k(), engine));
+    let sol = solve_pmax_approx(g, &req.pvec, engine);
+    ctx.routes_tried.push(Strategy::L1Coloring);
+    (sol, exact)
+}
+
+/// Lower-bound certificate from the request's single reduction (checked
+/// when the caller is on a smooth path, unchecked otherwise — both yield
+/// sound bounds; the unchecked one works without smoothness).
+fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool) -> u64 {
+    let ensured = if checked {
+        ctx.reduced().is_ok()
+    } else {
+        ctx.reduced_unchecked().is_ok()
+    };
+    if !ensured {
+        return degree_bound(ctx.g, ctx.p);
+    }
+    let reduced = ctx.reduced.as_ref().expect("just ensured");
+    span_lower_bound_with_reduction(ctx.g, ctx.p, reduced, req.budget.lb_iters())
+}
+
+fn heuristic_config(req: &SolveRequest) -> HeuristicConfig {
+    let mut cfg = HeuristicConfig::default();
+    if let Some(r) = req.budget.restarts {
+        cfg.restarts = r.max(1);
+    }
+    cfg
+}
+
+/// Validate, assemble the report, and enforce the engine's invariants
+/// (≤ 1 reduction; strategy_used is concrete).
+fn finish(
+    req: &SolveRequest,
+    ctx: Ctx<'_>,
+    features: InstanceFeatures,
+    solution: Solution,
+    used: Strategy,
+    lower_bound: u64,
+    proved_optimal: bool,
+) -> Result<SolveReport, EngineError> {
+    debug_assert_ne!(used, Strategy::Auto);
+    if ctx.reductions_computed > 1 {
+        return Err(EngineError::Internal(format!(
+            "reduction computed {} times for one request",
+            ctx.reductions_computed
+        )));
+    }
+    let valid = match &ctx.reduced {
+        Some(r) => solution
+            .labeling
+            .validate_with_distances(&r.dist, &req.pvec),
+        None => solution.labeling.validate(&req.graph, &req.pvec),
+    };
+    if let Err(v) = valid {
+        return Err(EngineError::Internal(format!(
+            "route {used} produced an invalid labeling: {v:?}"
+        )));
+    }
+    if solution.span < lower_bound {
+        return Err(EngineError::Internal(format!(
+            "span {} below its own lower bound {lower_bound}",
+            solution.span
+        )));
+    }
+    let optimal = proved_optimal || solution.span == lower_bound;
+    Ok(SolveReport {
+        solution,
+        strategy_requested: req.strategy,
+        strategy_used: used,
+        lower_bound,
+        optimal,
+        stats: EngineStats {
+            reductions_computed: ctx.reductions_computed,
+            routes_tried: ctx.routes_tried,
+            notes: ctx.notes,
+            features,
+        },
+    })
+}

@@ -1,0 +1,148 @@
+//! Minimal JSON emission (no external crates in this workspace): a small
+//! object/array builder producing deterministic field order, which is what
+//! lets `solve_batch` output be compared bit-for-bit across thread counts.
+
+/// Escape a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental JSON object writer with insertion-ordered fields.
+pub struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Raw pre-serialized JSON value (nested object/array).
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    pub fn str(self, k: &str, v: &str) -> Obj {
+        let quoted = format!("\"{}\"", escape(v));
+        self.raw(k, &quoted)
+    }
+
+    pub fn u64(self, k: &str, v: u64) -> Obj {
+        let s = v.to_string();
+        self.raw(k, &s)
+    }
+
+    pub fn usize(self, k: &str, v: usize) -> Obj {
+        self.u64(k, v as u64)
+    }
+
+    pub fn bool(self, k: &str, v: bool) -> Obj {
+        self.raw(k, if v { "true" } else { "false" })
+    }
+
+    /// `null`-able u64 (e.g. a diameter that may not exist).
+    pub fn opt_u64(self, k: &str, v: Option<u64>) -> Obj {
+        match v {
+            Some(v) => self.u64(k, v),
+            None => self.raw(k, "null"),
+        }
+    }
+
+    pub fn f64(self, k: &str, v: f64) -> Obj {
+        // Fixed precision keeps output deterministic and diff-friendly.
+        let s = format!("{v:.6}");
+        self.raw(k, &s)
+    }
+
+    pub fn u64_array(self, k: &str, vs: impl IntoIterator<Item = u64>) -> Obj {
+        let body = vs
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.raw(k, &format!("[{body}]"))
+    }
+
+    pub fn str_array<'a>(self, k: &str, vs: impl IntoIterator<Item = &'a str>) -> Obj {
+        let body = vs
+            .into_iter()
+            .map(|v| format!("\"{}\"", escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.raw(k, &format!("[{body}]"))
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Obj::new()
+    }
+}
+
+/// Serialize a sequence of pre-serialized JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let body = items.into_iter().collect::<Vec<_>>().join(",");
+    format!("[{body}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_shape_and_escaping() {
+        let j = Obj::new()
+            .str("name", "a\"b\\c\nd")
+            .u64("n", 7)
+            .bool("ok", true)
+            .opt_u64("diam", None)
+            .u64_array("xs", [1, 2, 3])
+            .str_array("routes", ["exact", "greedy"])
+            .finish();
+        assert_eq!(
+            j,
+            r#"{"name":"a\"b\\c\nd","n":7,"ok":true,"diam":null,"xs":[1,2,3],"routes":["exact","greedy"]}"#
+        );
+    }
+
+    #[test]
+    fn nested_and_array() {
+        let inner = Obj::new().u64("x", 1).finish();
+        let j = Obj::new().raw("inner", &inner).finish();
+        assert_eq!(j, r#"{"inner":{"x":1}}"#);
+        assert_eq!(array(["1".into(), "2".into()]), "[1,2]");
+    }
+}

@@ -1,0 +1,106 @@
+//! [`SolveReport`]: what the engine returns — solution, provenance, lower
+//! bound, and dispatch stats — plus its JSON form.
+
+use dclab_core::solver::Solution;
+
+use crate::features::InstanceFeatures;
+use crate::json::Obj;
+use crate::request::Strategy;
+
+/// How a request was executed. All counters are deterministic (no wall
+/// clock), so batch reports compare bit-for-bit across thread counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Theorem 2 reductions computed for this request. The engine's
+    /// contract is that this is ≤ 1: the reduction is computed once and
+    /// shared across every candidate route `Auto` tries.
+    pub reductions_computed: usize,
+    /// Concrete routes executed, in order (≥ 1; > 1 when `Auto` raced or
+    /// fell back).
+    pub routes_tried: Vec<Strategy>,
+    /// Human-readable dispatch trace ("n=30 > exact guard", …).
+    pub notes: Vec<String>,
+    /// The features the dispatch decision was based on.
+    pub features: InstanceFeatures,
+}
+
+impl EngineStats {
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .usize("reductions_computed", self.reductions_computed)
+            .str_array("routes_tried", self.routes_tried.iter().map(|s| s.name()))
+            .str_array("notes", self.notes.iter().map(String::as_str))
+            .raw("features", &self.features.to_json())
+            .finish()
+    }
+}
+
+/// A solved request with provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolveReport {
+    /// The labeling (validated before the report is built).
+    pub solution: Solution,
+    /// What the caller asked for (possibly `Auto`).
+    pub strategy_requested: Strategy,
+    /// The concrete route that produced `solution` (never `Auto`).
+    pub strategy_used: Strategy,
+    /// Best lower-bound certificate on `λ_p(G)` the engine obtained.
+    pub lower_bound: u64,
+    /// `solution.span` is proved optimal (exact route, or span ==
+    /// lower_bound).
+    pub optimal: bool,
+    pub stats: EngineStats,
+}
+
+impl SolveReport {
+    /// Deterministic single-line JSON (stable field order, no timings).
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("strategy_requested", self.strategy_requested.name())
+            .str("strategy_used", self.strategy_used.name())
+            .u64("span", self.solution.span)
+            .u64("lower_bound", self.lower_bound)
+            .bool("optimal", self.optimal)
+            .u64_array("labels", self.solution.labeling.labels().iter().copied())
+            .u64_array("order", self.solution.order.iter().map(|&v| v as u64))
+            .raw("stats", &self.stats.to_json())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dclab_core::labeling::Labeling;
+    use dclab_core::pvec::PVec;
+    use dclab_graph::generators::classic;
+
+    #[test]
+    fn report_json_shape() {
+        let g = classic::complete(3);
+        let labeling = Labeling::new(vec![0, 2, 4]);
+        let report = SolveReport {
+            solution: Solution {
+                span: labeling.span(),
+                order: labeling.sorted_order(),
+                labeling,
+            },
+            strategy_requested: Strategy::Auto,
+            strategy_used: Strategy::Exact,
+            lower_bound: 4,
+            optimal: true,
+            stats: EngineStats {
+                reductions_computed: 1,
+                routes_tried: vec![Strategy::Exact],
+                notes: vec!["n=3 within exact guard".into()],
+                features: crate::features::InstanceFeatures::extract(&g, &PVec::l21()),
+            },
+        };
+        let j = report.to_json();
+        assert!(j.starts_with("{\"strategy_requested\":\"auto\""));
+        assert!(j.contains("\"span\":4"));
+        assert!(j.contains("\"labels\":[0,2,4]"));
+        assert!(j.contains("\"reductions_computed\":1"));
+        assert!(j.contains("\"features\":{\"n\":3"));
+    }
+}

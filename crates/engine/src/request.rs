@@ -1,0 +1,165 @@
+//! The engine's request vocabulary: [`Strategy`], [`Budget`],
+//! [`SolveRequest`].
+
+use dclab_core::guard::DEFAULT_NODE_BUDGET;
+use dclab_core::pvec::PVec;
+use dclab_graph::Graph;
+
+/// Which solve route to run. `Auto` is the portfolio dispatcher: it
+/// inspects instance features (n, diameter, p-vector shape) and picks a
+/// route, computing the Theorem 2 reduction once and sharing it across
+/// candidate routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Held–Karp exact (Corollary 1a); guarded at `EXACT_MAX_N`.
+    Exact,
+    /// MST-bounded branch and bound with a node budget.
+    BranchBound,
+    /// Hoogeveen/Christofides 1.5-approximation (Corollary 1b).
+    Approx15,
+    /// Multi-start chained-LK heuristic (§I-A practical route).
+    Heuristic,
+    /// Greedy first-fit baseline (any graph, any p).
+    Greedy,
+    /// Diameter-2 `L(p,q)` via Partition into Paths (Corollary 2).
+    Diam2Pip,
+    /// `L(1^k)` / `p_max`-approximation via coloring `G^k` (Thm 4 / Cor 3).
+    L1Coloring,
+    /// Portfolio dispatch over the above.
+    Auto,
+}
+
+impl Strategy {
+    /// Stable lowercase name (used in JSON reports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Exact => "exact",
+            Strategy::BranchBound => "branch-bound",
+            Strategy::Approx15 => "approx15",
+            Strategy::Heuristic => "heuristic",
+            Strategy::Greedy => "greedy",
+            Strategy::Diam2Pip => "diam2-pip",
+            Strategy::L1Coloring => "l1-coloring",
+            Strategy::Auto => "auto",
+        }
+    }
+
+    /// All concrete (non-`Auto`) strategies.
+    pub const CONCRETE: [Strategy; 7] = [
+        Strategy::Exact,
+        Strategy::BranchBound,
+        Strategy::Approx15,
+        Strategy::Heuristic,
+        Strategy::Greedy,
+        Strategy::Diam2Pip,
+        Strategy::L1Coloring,
+    ];
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "exact" | "held-karp" | "hk" => Ok(Strategy::Exact),
+            "branch-bound" | "branchbound" | "bb" => Ok(Strategy::BranchBound),
+            "approx15" | "approx" | "christofides" => Ok(Strategy::Approx15),
+            "heuristic" | "lk" => Ok(Strategy::Heuristic),
+            "greedy" => Ok(Strategy::Greedy),
+            "diam2-pip" | "diam2" | "pip" => Ok(Strategy::Diam2Pip),
+            "l1-coloring" | "l1" | "coloring" => Ok(Strategy::L1Coloring),
+            "auto" => Ok(Strategy::Auto),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected one of: exact, branch-bound, \
+                 approx15, heuristic, greedy, diam2-pip, l1-coloring, auto)"
+            )),
+        }
+    }
+}
+
+/// Per-request resource budget. `Default` gives the engine's standard
+/// budgets; `solve_batch` callers can tighten per request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Branch-and-bound node budget (`None` → [`DEFAULT_NODE_BUDGET`]).
+    pub node_budget: Option<u64>,
+    /// Chained-LK restarts (`None` → the driver default).
+    pub restarts: Option<usize>,
+    /// Held–Karp ascent iterations for the lower-bound certificate
+    /// (`None` → 50; `Some(0)` skips the 1-tree bound).
+    pub lb_iters: Option<usize>,
+}
+
+impl Budget {
+    pub fn node_budget(&self) -> u64 {
+        self.node_budget.unwrap_or(DEFAULT_NODE_BUDGET)
+    }
+
+    pub fn lb_iters(&self) -> usize {
+        self.lb_iters.unwrap_or(50)
+    }
+}
+
+/// One unit of work for the engine: an instance plus how to attack it.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    pub graph: Graph,
+    pub pvec: PVec,
+    pub strategy: Strategy,
+    pub budget: Budget,
+}
+
+impl SolveRequest {
+    /// `Auto` strategy, default budget.
+    pub fn new(graph: Graph, pvec: PVec) -> SolveRequest {
+        SolveRequest {
+            graph,
+            pvec,
+            strategy: Strategy::Auto,
+            budget: Budget::default(),
+        }
+    }
+
+    pub fn with_strategy(mut self, strategy: Strategy) -> SolveRequest {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn with_budget(mut self, budget: Budget) -> SolveRequest {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in Strategy::CONCRETE.iter().chain([Strategy::Auto].iter()) {
+            assert_eq!(s.name().parse::<Strategy>().unwrap(), *s);
+        }
+        assert!("frobnicate".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn budget_defaults() {
+        let b = Budget::default();
+        assert_eq!(b.node_budget(), DEFAULT_NODE_BUDGET);
+        assert_eq!(b.lb_iters(), 50);
+        let tight = Budget {
+            node_budget: Some(10),
+            lb_iters: Some(0),
+            ..Budget::default()
+        };
+        assert_eq!(tight.node_budget(), 10);
+        assert_eq!(tight.lb_iters(), 0);
+    }
+}

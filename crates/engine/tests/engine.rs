@@ -1,0 +1,250 @@
+//! Engine acceptance tests (the ISSUE-1 criteria): `Auto` validity and
+//! exactness, reduction-once stats, batch determinism across thread
+//! counts, and strategy coverage.
+
+use dclab_core::bounds::span_lower_bound;
+use dclab_core::guard::EXACT_MAX_N;
+use dclab_core::pvec::PVec;
+use dclab_core::solver::solve_exact;
+use dclab_engine::{solve, solve_batch, Budget, EngineError, SolveRequest, Strategy};
+use dclab_graph::generators::{classic, random};
+use dclab_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mixed_corpus() -> Vec<(Graph, PVec)> {
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut out: Vec<(Graph, PVec)> = Vec::new();
+    // Small diameter-2 instances (exact route).
+    for n in [6usize, 9, 12] {
+        out.push((
+            random::gnp_with_diameter_at_most(&mut rng, n, 0.5, 2),
+            PVec::l21(),
+        ));
+    }
+    // Classic families.
+    out.push((classic::petersen(), PVec::l21()));
+    out.push((classic::complete(8), PVec::lpq(3, 2).unwrap()));
+    out.push((classic::star(9), PVec::ones(2)));
+    // Beyond the exact guard: benign multipartite + a bigger gnp.
+    out.push((classic::complete_multipartite(&[10, 8, 7, 5]), PVec::l21()));
+    out.push((
+        random::gnp_with_diameter_at_most(&mut rng, 40, 0.5, 2),
+        PVec::l21(),
+    ));
+    // Cograph (PIP cotree route at n > 20).
+    out.push((
+        random::random_connected_cograph(&mut rng, 30, 0.4),
+        PVec::lpq(2, 1).unwrap(),
+    ));
+    // Non-smooth p and a diameter-3 instance (fallback portfolio).
+    out.push((classic::cycle(5), PVec::lpq(7, 1).unwrap()));
+    out.push((classic::grid(3, 3), PVec::new(vec![2, 1, 1]).unwrap()));
+    // Disconnected.
+    out.push((Graph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]), PVec::l21()));
+    out
+}
+
+#[test]
+fn auto_always_valid_and_above_lower_bound() {
+    for (i, (g, p)) in mixed_corpus().into_iter().enumerate() {
+        let report = solve(&SolveRequest::new(g.clone(), p.clone()))
+            .unwrap_or_else(|e| panic!("instance {i}: {e}"));
+        assert!(
+            report.solution.labeling.validate(&g, &p).is_ok(),
+            "instance {i} invalid"
+        );
+        assert_eq!(report.solution.span, report.solution.labeling.span());
+        assert!(
+            report.solution.span >= span_lower_bound(&g, &p),
+            "instance {i}: span {} below bounds.rs lower bound {}",
+            report.solution.span,
+            span_lower_bound(&g, &p)
+        );
+        assert!(report.solution.span >= report.lower_bound);
+        assert_ne!(report.strategy_used, Strategy::Auto);
+        assert!(
+            report.stats.reductions_computed <= 1,
+            "instance {i}: reduction computed {} times",
+            report.stats.reductions_computed
+        );
+        assert!(!report.stats.routes_tried.is_empty());
+    }
+}
+
+#[test]
+fn auto_matches_exact_on_small_diam2_instances() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut checked = 0;
+    for trial in 0..20 {
+        let n = 5 + trial % (EXACT_MAX_N - 10);
+        let g = random::gnp_with_diameter_at_most(&mut rng, n, 0.5, 2);
+        for p in [PVec::l21(), PVec::lpq(3, 2).unwrap(), PVec::ones(2)] {
+            let exact = solve_exact(&g, &p).unwrap();
+            let report = solve(&SolveRequest::new(g.clone(), p.clone())).unwrap();
+            assert_eq!(
+                report.solution.span, exact.span,
+                "trial {trial} n={n} {p}: auto span {} != exact {}",
+                report.solution.span, exact.span
+            );
+            assert!(
+                report.optimal,
+                "trial {trial}: exact result not marked optimal"
+            );
+            // The reduction must have been computed exactly once.
+            assert_eq!(report.stats.reductions_computed, 1, "trial {trial}");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 30);
+}
+
+#[test]
+fn auto_closes_benign_instances_past_exact_guard() {
+    // n = 30 > EXACT_MAX_N, non-cograph multipartite: Auto goes through
+    // branch and bound and still proves optimality (Corollary 2 closed
+    // form gives 32).
+    let g = classic::complete_multipartite(&[10, 8, 7, 5]);
+    let report = solve(&SolveRequest::new(g, PVec::l21())).unwrap();
+    assert_eq!(report.solution.span, 32);
+    assert!(report.optimal);
+    assert_eq!(report.stats.reductions_computed, 1);
+}
+
+#[test]
+fn batch_is_bit_identical_across_thread_counts() {
+    let requests: Vec<SolveRequest> = mixed_corpus()
+        .into_iter()
+        .map(|(g, p)| SolveRequest::new(g, p))
+        .collect();
+    assert!(requests.len() >= 8, "acceptance needs ≥ 8 mixed instances");
+
+    let json_at = |threads: &str| -> Vec<String> {
+        std::env::set_var("DCLAB_THREADS", threads);
+        let out = solve_batch(&requests)
+            .into_iter()
+            .map(|r| match r {
+                Ok(rep) => rep.to_json(),
+                Err(e) => format!("error: {e}"),
+            })
+            .collect();
+        std::env::remove_var("DCLAB_THREADS");
+        out
+    };
+    let one = json_at("1");
+    let eight = json_at("8");
+    assert_eq!(one, eight, "batch output depends on thread count");
+}
+
+#[test]
+fn explicit_strategies_agree_on_petersen() {
+    let g = classic::petersen();
+    let p = PVec::l21();
+    for (strategy, want_span) in [
+        (Strategy::Exact, Some(9)),
+        (Strategy::BranchBound, Some(9)),
+        (Strategy::Approx15, None),
+        (Strategy::Heuristic, None),
+        (Strategy::Greedy, None),
+    ] {
+        let report = solve(&SolveRequest::new(g.clone(), p.clone()).with_strategy(strategy))
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        assert_eq!(report.strategy_used, strategy);
+        assert!(report.solution.labeling.validate(&g, &p).is_ok());
+        match want_span {
+            Some(s) => assert_eq!(report.solution.span, s, "{strategy}"),
+            None => assert!(report.solution.span >= 9, "{strategy}"),
+        }
+    }
+}
+
+#[test]
+fn diam2_pip_route_produces_optimal_labeling_with_witness() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..6 {
+        let g = random::gnp_with_diameter_at_most(&mut rng, 14, 0.5, 2);
+        let p = PVec::lpq(2, 1).unwrap();
+        let exact = solve_exact(&g, &p).unwrap();
+        let report =
+            solve(&SolveRequest::new(g.clone(), p.clone()).with_strategy(Strategy::Diam2Pip))
+                .unwrap();
+        assert_eq!(report.strategy_used, Strategy::Diam2Pip);
+        assert_eq!(report.solution.span, exact.span);
+        assert_eq!(report.lower_bound, exact.span);
+        assert!(report.optimal);
+        assert!(report.solution.labeling.validate(&g, &p).is_ok());
+    }
+}
+
+#[test]
+fn diam2_pip_rejects_wrong_shapes() {
+    // k != 2.
+    let r = solve(
+        &SolveRequest::new(classic::petersen(), PVec::ones(3)).with_strategy(Strategy::Diam2Pip),
+    );
+    assert!(matches!(r, Err(EngineError::Unsupported { .. })));
+    // Diameter 3.
+    let r = solve(
+        &SolveRequest::new(classic::grid(3, 3), PVec::l21()).with_strategy(Strategy::Diam2Pip),
+    );
+    assert!(matches!(r, Err(EngineError::Unsupported { .. })));
+}
+
+#[test]
+fn l1_route_is_exact_coloring_on_small_all_ones() {
+    // L(1,1) on Petersen = χ(G²) − 1; G² = K10 for Petersen, so span 9.
+    let g = classic::petersen();
+    let p = PVec::ones(2);
+    let report =
+        solve(&SolveRequest::new(g.clone(), p.clone()).with_strategy(Strategy::L1Coloring))
+            .unwrap();
+    assert_eq!(report.solution.span, 9);
+    assert!(report.optimal);
+    assert!(report.solution.labeling.validate(&g, &p).is_ok());
+}
+
+#[test]
+fn guard_errors_flow_through_single_error_type() {
+    let big = classic::complete(30);
+    let r = solve(&SolveRequest::new(big.clone(), PVec::l21()).with_strategy(Strategy::Exact));
+    assert!(matches!(
+        r,
+        Err(EngineError::Guard(
+            dclab_core::guard::GuardError::TooLargeForExact { n: 30, .. }
+        ))
+    ));
+    let r = solve(
+        &SolveRequest::new(classic::petersen(), PVec::l21())
+            .with_strategy(Strategy::BranchBound)
+            .with_budget(Budget {
+                node_budget: Some(3),
+                ..Budget::default()
+            }),
+    );
+    assert!(matches!(
+        r,
+        Err(EngineError::Guard(
+            dclab_core::guard::GuardError::BudgetExhausted { node_budget: 3 }
+        ))
+    ));
+}
+
+#[test]
+fn trivial_instances() {
+    for n in [0usize, 1] {
+        let report = solve(&SolveRequest::new(Graph::new(n), PVec::l21())).unwrap();
+        assert_eq!(report.solution.span, 0);
+        assert!(report.optimal);
+    }
+}
+
+#[test]
+fn report_json_is_parseable_shape() {
+    let report = solve(&SolveRequest::new(classic::petersen(), PVec::l21())).unwrap();
+    let j = report.to_json();
+    assert!(j.starts_with('{') && j.ends_with('}'));
+    assert!(j.contains("\"span\":9"));
+    assert!(j.contains("\"strategy_used\":\"exact\""));
+    assert!(j.contains("\"reductions_computed\":1"));
+    assert!(!j.contains('\n'));
+}

@@ -11,12 +11,12 @@
 // kernels in this crate.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod apsp;
 pub mod csr;
 pub mod diameter;
 pub mod generators;
 pub mod graph;
+pub mod io;
 pub mod ops;
 pub mod params;
 pub mod traversal;

@@ -3,7 +3,7 @@
 use dclab_graph::generators::{classic, random};
 use dclab_graph::ops::{complement, disjoint_union, induced_subgraph, join, power};
 use dclab_graph::params::cotree::is_cograph;
-use dclab_graph::params::nd::{neighborhood_diversity, nd};
+use dclab_graph::params::nd::{nd, neighborhood_diversity};
 use dclab_graph::traversal::{bfs_distances, connected_components, is_connected};
 use dclab_graph::{DistanceMatrix, Graph, INF};
 use proptest::prelude::*;

@@ -1,0 +1,199 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API the dclab benches use with a plain
+//! wall-clock runner: each bench warms up once, then runs up to
+//! `sample_size` timed iterations under a per-bench time budget and prints
+//! one summary line. Measurements are also recorded on the [`Criterion`]
+//! value so harness-less bench mains can emit machine-readable output
+//! (see [`Criterion::measurements`]).
+
+use std::time::{Duration, Instant};
+
+/// Per-bench time budget: stop sampling after this much measured time.
+const TIME_BUDGET: Duration = Duration::from_millis(800);
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/bench` path.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed iterations behind the mean.
+    pub iterations: u64,
+}
+
+/// Bench registry & runner (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Open a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// All measurements recorded so far (for machine-readable emission).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+}
+
+/// Identifier for one bench within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Bench named after a sweep parameter (`BenchmarkId::from_parameter(n)`).
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benches sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per bench (upper bound; the
+    /// per-bench time budget may stop sampling earlier).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run a bench.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(id.0, &mut f);
+        self
+    }
+
+    /// Register and immediately run a bench closed over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iterations == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iterations as f64
+        };
+        let full = format!("{}/{}", self.name, id);
+        println!(
+            "bench {full:<48} {:>12.1} ns/iter  ({} iters)",
+            mean_ns, b.iterations
+        );
+        self.parent.measurements.push(Measurement {
+            id: full,
+            mean_ns,
+            iterations: b.iterations,
+        });
+    }
+
+    /// End the group (kept for API compatibility; groups run eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// The timing handle passed to each bench closure.
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then up to `sample_size` timed calls
+    /// within the time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            self.total += t0.elapsed();
+            self.iterations += 1;
+            if start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Build the group-runner fn criterion_main! calls.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build `fn main()` for a harness-less bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 2);
+        assert_eq!(c.measurements()[0].id, "g/noop");
+        assert_eq!(c.measurements()[1].id, "g/7");
+        assert!(c.measurements().iter().all(|m| m.iterations >= 1));
+    }
+}

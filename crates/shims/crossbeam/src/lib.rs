@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate: just [`scope`], implemented
+//! on `std::thread::scope` (which did not exist when crossbeam's scoped
+//! threads were introduced, and fully covers dclab's usage).
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scope handle passed to [`scope`]'s closure; mirrors
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker. The closure receives the scope handle (unused by
+    /// dclab, hence the `|_|` pattern at call sites).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns. Returns `Err` with the panic
+/// payload if the closure or any spawned thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `parking_lot`: a [`Mutex`] with the poison-free
+//! `lock()` signature, wrapping `std::sync::Mutex`.
+
+use std::sync::MutexGuard;
+
+/// Mutex whose `lock` never returns a poison error (matching parking_lot's
+/// API): a poisoned std mutex means a worker already panicked, and that
+/// panic is what surfaces — so propagating it again here is correct.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poison) => poison.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(5);
+        *m.lock() += 2;
+        assert_eq!(m.into_inner(), 7);
+    }
+}

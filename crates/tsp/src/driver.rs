@@ -118,6 +118,9 @@ mod tests {
     #[test]
     fn single_city() {
         let t = TspInstance::from_matrix(1, vec![0]);
-        assert_eq!(solve_path_heuristic(&t, &HeuristicConfig::default()).0, vec![0]);
+        assert_eq!(
+            solve_path_heuristic(&t, &HeuristicConfig::default()).0,
+            vec![0]
+        );
     }
 }

@@ -24,7 +24,6 @@
 // kernels in this crate.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod christofides;
 pub mod construct;
 pub mod driver;

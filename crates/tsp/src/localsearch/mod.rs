@@ -250,8 +250,7 @@ pub fn or_opt(
                 if prev == s1 || next == s0 {
                     continue; // segment covers whole tour
                 }
-                let removal_gain =
-                    w(inst, prev, s0) + w(inst, s1, next) - w(inst, prev, next);
+                let removal_gain = w(inst, prev, s0) + w(inst, s1, next) - w(inst, prev, next);
                 if removal_gain <= 0 {
                     continue;
                 }
@@ -270,7 +269,11 @@ pub fn or_opt(
                     let base = w(inst, c, d);
                     let fwd = w(inst, c, s0) + w(inst, s1, d) - base;
                     let rev = w(inst, c, s1) + w(inst, s0, d) - base;
-                    let (cost, reversed) = if fwd <= rev { (fwd, false) } else { (rev, true) };
+                    let (cost, reversed) = if fwd <= rev {
+                        (fwd, false)
+                    } else {
+                        (rev, true)
+                    };
                     if removal_gain - cost > 0 {
                         apply_or_opt(state, i, j, c, reversed);
                         total_gain += removal_gain - cost;
@@ -408,8 +411,14 @@ mod tests {
         let t = random_instance(3, 0);
         let mut state = TourState::new(vec![0, 1, 2]);
         let nl = t.neighbor_lists(2);
-        assert_eq!(two_opt(&t, &mut state, &nl, &LocalSearchConfig::default()), 0);
-        assert_eq!(or_opt(&t, &mut state, &nl, &LocalSearchConfig::default()), 0);
+        assert_eq!(
+            two_opt(&t, &mut state, &nl, &LocalSearchConfig::default()),
+            0
+        );
+        assert_eq!(
+            or_opt(&t, &mut state, &nl, &LocalSearchConfig::default()),
+            0
+        );
         assert_eq!(state.order, vec![0, 1, 2]);
     }
 }

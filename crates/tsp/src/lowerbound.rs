@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn degenerate_sizes() {
-        assert_eq!(path_lower_bound(&TspInstance::from_matrix(1, vec![0]), 10), 0);
+        assert_eq!(
+            path_lower_bound(&TspInstance::from_matrix(1, vec![0]), 10),
+            0
+        );
         let t2 = TspInstance::from_matrix(2, vec![0, 5, 5, 0]);
         assert_eq!(held_karp_ascent_bound(&t2, 10), 10);
         assert_eq!(path_lower_bound(&t2, 10), 5);

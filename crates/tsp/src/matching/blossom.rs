@@ -216,8 +216,7 @@ impl Blossom {
         let members = self.flower[b].clone();
         for &xs in &members {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
+                if self.g[b][x].w == 0 || self.e_delta(&self.g[xs][x]) < self.e_delta(&self.g[b][x])
                 {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];
@@ -437,7 +436,10 @@ pub fn min_weight_perfect_matching_blossom(
     let mut pairs = Vec::with_capacity(k / 2);
     for v in 0..k {
         let m = mate[v];
-        assert!(m != usize::MAX, "blossom failed to produce perfect matching");
+        assert!(
+            m != usize::MAX,
+            "blossom failed to produce perfect matching"
+        );
         if v < m {
             pairs.push((v as u32, m as u32));
         }

@@ -41,7 +41,10 @@ pub fn min_weight_perfect_matching(
     w: &dyn Fn(usize, usize) -> Weight,
     backend: MatchingBackend,
 ) -> Vec<(u32, u32)> {
-    assert!(k.is_multiple_of(2), "perfect matching needs an even vertex count");
+    assert!(
+        k.is_multiple_of(2),
+        "perfect matching needs an even vertex count"
+    );
     if k == 0 {
         return vec![];
     }
@@ -121,10 +124,7 @@ pub fn min_weight_near_perfect_matching(
 
 /// Total weight of a matching under the oracle.
 pub fn matching_weight(pairs: &[(u32, u32)], w: &dyn Fn(usize, usize) -> Weight) -> Weight {
-    pairs
-        .iter()
-        .map(|&(a, b)| w(a as usize, b as usize))
-        .sum()
+    pairs.iter().map(|&(a, b)| w(a as usize, b as usize)).sum()
 }
 
 /// Check that `pairs` is a perfect matching on `0..k`.
@@ -167,8 +167,7 @@ mod tests {
     #[test]
     fn near_perfect_leaves_two() {
         let w = oracle(5);
-        let (pairs, (a, b)) =
-            min_weight_near_perfect_matching(10, &w, MatchingBackend::ExactDp);
+        let (pairs, (a, b)) = min_weight_near_perfect_matching(10, &w, MatchingBackend::ExactDp);
         assert_eq!(pairs.len(), 4);
         assert_ne!(a, b);
         let mut covered: Vec<u32> = pairs.iter().flat_map(|&(x, y)| [x, y]).collect();

@@ -26,9 +26,8 @@ fn main() {
 
     for n in [50usize, 120, 250, 500] {
         let density = (2.8 * (n as f64).ln() / n as f64).sqrt().min(0.6);
-        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(
-            &mut rng, n, density, 2,
-        );
+        let g =
+            dclab::graph::generators::random::gnp_with_diameter_at_most(&mut rng, n, density, 2);
         let heur = solve_heuristic(&g, &p).expect("diameter-2 instance");
         assert!(heur.labeling.validate(&g, &p).is_ok());
 
@@ -40,7 +39,10 @@ fn main() {
         let certified = if heur.span == best_lb {
             "OPTIMAL".to_string()
         } else {
-            format!("≤{}·opt", (heur.span as f64 / best_lb as f64 * 100.0).round() / 100.0)
+            format!(
+                "≤{}·opt",
+                (heur.span as f64 / best_lb as f64 * 100.0).round() / 100.0
+            )
         };
         println!(
             "{:>6} {:>8} | {:>8} {:>8} {:>8} {:>8} | {:>9} {:>10}",

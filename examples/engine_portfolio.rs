@@ -1,0 +1,61 @@
+//! The engine front door: one request API over every route, with `Auto`
+//! portfolio dispatch, lower-bound certificates, and deterministic batch
+//! fan-out.
+//!
+//! Run with: `cargo run --release --example engine_portfolio`
+
+use dclab::prelude::*;
+
+fn main() {
+    // 1) One request, Auto dispatch: small diameter-2 instance → Held–Karp.
+    let g = dclab::graph::generators::classic::petersen();
+    let report = solve(&SolveRequest::new(g, PVec::l21())).expect("in scope");
+    println!(
+        "Petersen L(2,1): span {} via {} (optimal: {}, reduction computed {}×)",
+        report.solution.span,
+        report.strategy_used,
+        report.optimal,
+        report.stats.reductions_computed
+    );
+
+    // 2) Past the exact guard: a benign 30-vertex multipartite instance.
+    //    Auto picks the Corollary 2 PIP route and still proves optimality.
+    let g = dclab::graph::generators::classic::complete_multipartite(&[10, 8, 7, 5]);
+    let report = solve(&SolveRequest::new(g, PVec::l21())).expect("in scope");
+    println!(
+        "K(10,8,7,5) L(2,1): span {} via {} (lower bound {})",
+        report.solution.span, report.strategy_used, report.lower_bound
+    );
+    for note in &report.stats.notes {
+        println!("  note: {note}");
+    }
+
+    // 3) Explicit strategy + budget control.
+    let g = dclab::graph::generators::classic::petersen();
+    let tight = SolveRequest::new(g, PVec::l21())
+        .with_strategy(Strategy::BranchBound)
+        .with_budget(Budget {
+            node_budget: Some(3),
+            ..Budget::default()
+        });
+    match solve(&tight) {
+        Err(EngineError::Guard(e)) => println!("tight budget refused as expected: {e}"),
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // 4) Batch fan-out: deterministic reports regardless of DCLAB_THREADS.
+    let requests: Vec<SolveRequest> = (4..12)
+        .map(|n| SolveRequest::new(dclab::graph::generators::classic::complete(n), PVec::l21()))
+        .collect();
+    let reports = solve_batch(&requests);
+    println!("batch of {} complete graphs:", reports.len());
+    for (n, r) in (4..12).zip(&reports) {
+        let r = r.as_ref().expect("complete graphs are in scope");
+        println!(
+            "  K{n}: span {} ({}, json: {} bytes)",
+            r.solution.span,
+            r.strategy_used,
+            r.to_json().len()
+        );
+    }
+}

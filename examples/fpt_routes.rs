@@ -24,9 +24,7 @@ fn main() {
         "n", "family", "λ(2,1) PIP", "λ(2,1) TSP", "s(paths)"
     );
     for n in [8usize, 10, 12, 14] {
-        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(
-            &mut rng, n, 0.5, 2,
-        );
+        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(&mut rng, n, 0.5, 2);
         let pip = solve_diam2_lpq(&g, 2, 1, PipSolver::SubsetDp).unwrap();
         let tsp = solve_exact(&g, &PVec::l21()).unwrap();
         assert_eq!(pip.span, tsp.span);
@@ -78,9 +76,7 @@ fn main() {
     println!("\n=== Corollary 3: p_max-approximation from L(1) ===\n");
     let p = PVec::l21();
     for n in [8usize, 10, 12] {
-        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(
-            &mut rng, n, 0.5, 2,
-        );
+        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(&mut rng, n, 0.5, 2);
         let opt = solve_exact(&g, &p).unwrap();
         let approx = solve_pmax_approx(&g, &p, L1Engine::Exact);
         assert!(approx.labeling.validate(&g, &p).is_ok());

@@ -26,9 +26,7 @@ fn main() {
 
     for n in [8usize, 12, 16, 20] {
         // Urban cell: dense random network, resampled to diameter ≤ 2.
-        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(
-            &mut rng, n, 0.55, 2,
-        );
+        let g = dclab::graph::generators::random::gnp_with_diameter_at_most(&mut rng, n, 0.55, 2);
         let exact = solve_exact(&g, &p).expect("diameter-2 instance");
         let approx = solve_approx15(&g, &p).unwrap();
         let heur = solve_heuristic(&g, &p).unwrap();
@@ -49,9 +47,7 @@ fn main() {
 
     // A larger deployment where exact search is hopeless: heuristic only.
     println!("\nlarge deployment (exact intractable):");
-    let g = dclab::graph::generators::random::gnp_with_diameter_at_most(
-        &mut rng, 300, 0.24, 2,
-    );
+    let g = dclab::graph::generators::random::gnp_with_diameter_at_most(&mut rng, 300, 0.24, 2);
     let cfg = HeuristicConfig::default();
     let heur = solve_heuristic_with(&g, &p, &cfg).unwrap();
     let greedy = solve_greedy(&g, &p);

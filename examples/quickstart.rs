@@ -3,15 +3,19 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dclab::prelude::*;
 use dclab::core::reduction::labeling_from_order;
+use dclab::prelude::*;
 
 fn main() {
     // The Petersen graph: 10 vertices, 3-regular, diameter 2 — squarely in
     // Theorem 2's scope for p = (2, 1).
     let g = dclab::graph::generators::classic::petersen();
     let p = PVec::l21();
-    println!("graph: Petersen (n={}, m={}), constraint: {p}", g.n(), g.m());
+    println!(
+        "graph: Petersen (n={}, m={}), constraint: {p}",
+        g.n(),
+        g.m()
+    );
 
     // 1) The reduction itself (Theorem 2): a complete weighted graph H.
     let reduced = reduce_to_path_tsp(&g, &p).expect("Petersen is eligible");

@@ -18,6 +18,7 @@
 //! ```
 
 pub use dclab_core as core;
+pub use dclab_engine as engine;
 pub use dclab_graph as graph;
 pub use dclab_par as par;
 pub use dclab_tsp as tsp;
@@ -29,6 +30,9 @@ pub mod prelude {
     pub use dclab_core::reduction::reduce_to_path_tsp;
     pub use dclab_core::solver::{
         solve_approx15, solve_exact, solve_greedy, solve_heuristic, Solution,
+    };
+    pub use dclab_engine::{
+        solve, solve_batch, Budget, EngineError, SolveReport, SolveRequest, Strategy,
     };
     pub use dclab_graph::Graph;
 }

@@ -91,10 +91,7 @@ fn error_paths_are_reported() {
     let p = PVec::l21();
     // Disconnected.
     let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
-    assert!(matches!(
-        solve_exact(&g, &p),
-        Err(SolveError::Reduction(_))
-    ));
+    assert!(matches!(solve_exact(&g, &p), Err(SolveError::Reduction(_))));
     // Diameter too large.
     let path = dclab::graph::generators::classic::path(6);
     assert!(matches!(

@@ -1,0 +1,116 @@
+//! E10 bench — the solve service end to end: cold vs. warm latency over a
+//! live HTTP server, exercising the canonical-instance report cache.
+//!
+//! Replays the loadgen corpora against an in-process `dclab-serve` server
+//! on an ephemeral port:
+//!
+//! * **exact corpus** (Held–Karp-range instances, `strategy=exact`): pass 1
+//!   is all cache misses (real solves), pass 2 all hits. The interesting
+//!   number is the warm-p50 speedup — the whole point of the cache.
+//! * **mixed corpus** (several strategies, isomorphic relabelings,
+//!   adversarial guard 422s): the warm pass must run ≥ 90 % hits with
+//!   bit-identical report bodies.
+//!
+//! Writes machine-readable results to `BENCH_serve.json` at the workspace
+//! root and exits non-zero if the acceptance invariants fail (warm p50 at
+//! least 10× faster than cold on the exact corpus; warm hit rate ≥ 0.9).
+
+use dclab_engine::json::{array, Obj};
+use dclab_serve::loadgen::{exact_corpus, mixed_corpus, run_pass, PassStats};
+use dclab_serve::{start, ServeConfig};
+
+fn pass_json(name: &str, stats: &PassStats) -> String {
+    Obj::new()
+        .str("pass", name)
+        .raw("stats", &stats.to_json())
+        .finish()
+}
+
+fn main() {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_mb: 64,
+        queue_cap: 0,
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // --- Exact-strategy corpus: cold (all solves) vs. warm (all hits). ---
+    let exact = exact_corpus(2024, 10);
+    let cold = run_pass(addr, &exact).expect("cold exact pass");
+    let warm = run_pass(addr, &exact).expect("warm exact pass");
+    let (cold_p50, warm_p50) = (cold.percentile_us(0.5), warm.percentile_us(0.5));
+    let speedup = cold_p50 as f64 / warm_p50.max(1) as f64;
+    println!(
+        "bench e10_serve/exact: cold p50 {cold_p50} us, warm p50 {warm_p50} us, \
+         speedup {speedup:.1}x (hits {}/{})",
+        warm.hits, warm.requests
+    );
+
+    // --- Mixed corpus: warm hit rate and bit-identical reports. ---
+    let mixed = mixed_corpus(2024, 16);
+    let mixed_cold = run_pass(addr, &mixed).expect("cold mixed pass");
+    let mixed_warm = run_pass(addr, &mixed).expect("warm mixed pass");
+    println!(
+        "bench e10_serve/mixed: warm hit rate {:.3}, unexpected {}",
+        mixed_warm.hit_rate(),
+        mixed_cold.unexpected + mixed_warm.unexpected
+    );
+
+    let passes = array(vec![
+        pass_json("exact_cold", &cold),
+        pass_json("exact_warm", &warm),
+        pass_json("mixed_cold", &mixed_cold),
+        pass_json("mixed_warm", &mixed_warm),
+    ]);
+    let json = format!(
+        "{}\n",
+        Obj::new()
+            .str("bench", "e10_serve")
+            .u64("exact_cold_p50_us", cold_p50)
+            .u64("exact_warm_p50_us", warm_p50)
+            .f64("exact_warm_speedup_p50", speedup)
+            .f64("mixed_warm_hit_rate", mixed_warm.hit_rate())
+            .raw("passes", &passes)
+            .finish()
+    );
+    // Land at the workspace root regardless of the bench CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+
+    handle.shutdown();
+    handle.join();
+
+    // Acceptance invariants (ISSUE 2): fail loudly rather than reporting a
+    // regressed cache as a passing bench.
+    let mut failures = Vec::new();
+    if speedup < 10.0 {
+        failures.push(format!("warm p50 speedup {speedup:.1}x < 10x"));
+    }
+    if warm.hit_rate() < 1.0 {
+        failures.push(format!(
+            "exact warm pass hit rate {:.3} < 1",
+            warm.hit_rate()
+        ));
+    }
+    if mixed_warm.hit_rate() < 0.9 {
+        failures.push(format!(
+            "mixed warm pass hit rate {:.3} < 0.9",
+            mixed_warm.hit_rate()
+        ));
+    }
+    for ((name, cold_body), (_, warm_body)) in cold.bodies.iter().zip(&warm.bodies) {
+        if cold_body != warm_body {
+            failures.push(format!("report for '{name}' differs between passes"));
+        }
+    }
+    if cold.unexpected + warm.unexpected + mixed_cold.unexpected + mixed_warm.unexpected > 0 {
+        failures.push("unexpected HTTP statuses".into());
+    }
+    if !failures.is_empty() {
+        eprintln!("e10_serve FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -1,4 +1,5 @@
-//! `dclab solve` / `dclab batch`: the engine-backed instance commands.
+//! `dclab solve` / `dclab batch` / `dclab serve`: the engine-backed
+//! instance commands and the long-running solve service.
 
 use dclab_core::pvec::PVec;
 use dclab_engine::json::Obj;
@@ -13,6 +14,38 @@ struct Opts {
     budget: Budget,
     format: Option<io::Format>,
 }
+
+/// The `--help` text for the instance commands (including the worker
+/// thread-count precedence contract).
+pub const HELP: &str = "\
+dclab — distance-constrained labeling via TSP
+
+USAGE:
+  dclab solve <file> [FLAGS]     solve one instance, print a JSON SolveReport
+  dclab batch <dir>  [FLAGS]     solve every instance file in <dir> in parallel
+  dclab serve [SERVE FLAGS]      run the HTTP solve service
+  dclab e1..e8 | all [--quick]   the paper's experiment tables
+
+SOLVE/BATCH FLAGS:
+  --p <p1,p2,...>       constraint vector (default 2,1)
+  --strategy <name>     exact | branch-bound | approx15 | heuristic | greedy |
+                        diam2-pip | l1-coloring | auto (default auto)
+  --format <fmt>        edgelist | dimacs (default: guess from extension)
+  --node-budget <N>     branch-and-bound node budget
+  --restarts <N>        chained-LK restarts
+  --threads <N>         worker threads for this run. Precedence:
+                        --threads beats the DCLAB_THREADS environment
+                        variable, which beats available_parallelism.
+
+SERVE FLAGS:
+  --addr <host:port>    bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+  --workers <N>         worker threads (default: like --threads precedence)
+  --cache-mb <N>        report-cache budget in MiB (default 64)
+  --queue-cap <N>       bounded connection queue (default 4 x workers)
+  --self-test           start on an ephemeral port, replay the loadgen corpus
+                        (~2 s), assert cache hits + clean shutdown, then exit
+  --duration-ms <N>     self-test duration (default 2000)
+";
 
 fn parse_pvec(s: &str) -> Result<PVec, String> {
     let entries: Result<Vec<u64>, _> = s.split(',').map(|t| t.trim().parse::<u64>()).collect();
@@ -47,6 +80,16 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
             "--restarts" => {
                 let v = flag_value("--restarts")?;
                 opts.budget.restarts = Some(v.parse().map_err(|e| format!("bad --restarts: {e}"))?);
+            }
+            "--threads" => {
+                let v = flag_value("--threads")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                // Beats DCLAB_THREADS, which beats available_parallelism
+                // (see `dclab_par::default_threads`).
+                dclab_par::set_thread_override(Some(n));
             }
             "--format" => {
                 opts.format = Some(match flag_value("--format")?.as_str() {
@@ -178,5 +221,73 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
     for (_, line) in lines {
         println!("{line}");
     }
+    Ok(())
+}
+
+/// `dclab serve [--addr A] [--workers N] [--cache-mb M] [--queue-cap Q]
+/// [--self-test [--duration-ms D]]` — run the HTTP solve service (see
+/// `dclab_serve`), or its CI smoke mode.
+pub fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = dclab_serve::ServeConfig::default();
+    let mut self_test = false;
+    let mut duration_ms: u64 = 2000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = flag_value("--addr")?,
+            "--workers" => {
+                let v = flag_value("--workers")?;
+                cfg.workers = v.parse().map_err(|e| format!("bad --workers: {e}"))?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--cache-mb" => {
+                let v = flag_value("--cache-mb")?;
+                cfg.cache_mb = v.parse().map_err(|e| format!("bad --cache-mb: {e}"))?;
+            }
+            "--queue-cap" => {
+                let v = flag_value("--queue-cap")?;
+                cfg.queue_cap = v.parse().map_err(|e| format!("bad --queue-cap: {e}"))?;
+            }
+            "--threads" => {
+                let v = flag_value("--threads")?;
+                let n: usize = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                dclab_par::set_thread_override(Some(n.max(1)));
+                cfg.workers = n.max(1);
+            }
+            "--self-test" => self_test = true,
+            "--duration-ms" => {
+                let v = flag_value("--duration-ms")?;
+                duration_ms = v.parse().map_err(|e| format!("bad --duration-ms: {e}"))?;
+            }
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+
+    if self_test {
+        let summary = dclab_serve::self_test(std::time::Duration::from_millis(duration_ms))?;
+        println!("{summary}");
+        return Ok(());
+    }
+
+    let handle = dclab_serve::start(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    // One machine-readable line so scripts can find the (possibly
+    // ephemeral) port; humans get a hint about the admin endpoint.
+    println!(
+        "{}",
+        Obj::new()
+            .str("serving", &handle.addr().to_string())
+            .usize("workers", cfg.workers.max(1))
+            .usize("cache_mb", cfg.cache_mb)
+            .finish()
+    );
+    eprintln!("dclab serve: POST /shutdown for graceful shutdown");
+    handle.join();
     Ok(())
 }

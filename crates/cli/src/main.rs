@@ -8,6 +8,9 @@
 //! dclab batch <dir>  [same flags]
 //!      # solve every instance file in <dir> in parallel (DCLAB_THREADS),
 //!      # one JSON line per instance, deterministic order
+//! dclab serve [--addr host:port] [--workers N] [--cache-mb M]
+//!      # long-running HTTP solve service with a canonical-instance report
+//!      # cache (POST /solve, POST /batch, GET /healthz, GET /metrics)
 //!
 //! dclab e1   # reduction correctness (Thm 2 / Claim 1 / Fig. 1)
 //! dclab e2   # exact scaling (Cor 1a: Held–Karp vs oracle)
@@ -27,6 +30,12 @@ mod experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h")
+        || args.first().map(String::as_str) == Some("help")
+    {
+        print!("{}", commands::HELP);
+        return;
+    }
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -34,17 +43,17 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "solve" | "batch" => {
+        "solve" | "batch" | "serve" => {
             let rest: Vec<String> = args
                 .iter()
                 .skip_while(|a| a.as_str() != which)
                 .skip(1)
                 .cloned()
                 .collect();
-            let result = if which == "solve" {
-                commands::solve_cmd(&rest)
-            } else {
-                commands::batch_cmd(&rest)
+            let result = match which {
+                "solve" => commands::solve_cmd(&rest),
+                "batch" => commands::batch_cmd(&rest),
+                _ => commands::serve_cmd(&rest),
             };
             if let Err(e) = result {
                 eprintln!("error: {e}");
@@ -93,8 +102,8 @@ fn run_experiments(which: &str, args: &[String]) {
     }
     if !ran {
         eprintln!(
-            "unknown command '{which}'; use solve <file>, batch <dir>, e1..e8 or all \
-             (experiments take --quick)"
+            "unknown command '{which}'; use solve <file>, batch <dir>, serve, e1..e8 or all \
+             (experiments take --quick; see --help)"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,109 @@
+//! End-to-end tests for the `dclab` binary: guard failures must exit
+//! non-zero with the `GuardError` message on stderr, successes must print
+//! a JSON `SolveReport`, and `--help` must document the thread precedence.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use dclab_graph::generators::classic;
+use dclab_graph::io as graph_io;
+
+fn dclab(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dclab"))
+        .args(args)
+        .output()
+        .expect("run dclab binary")
+}
+
+/// Write an instance file under a test-unique temp directory.
+fn write_instance(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dclab-cli-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write instance");
+    path
+}
+
+#[test]
+fn oversized_exact_instance_fails_with_guard_error_on_stderr() {
+    // n = 30 > EXACT_MAX_N with an explicit exact request → GuardError.
+    let path = write_instance(
+        "oversized.edges",
+        &graph_io::write_edge_list(&classic::complete(30)),
+    );
+    let out = dclab(&["solve", path.to_str().unwrap(), "--strategy", "exact"]);
+    assert!(!out.status.success(), "guard failure must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("exceeds the exact-solver guard"),
+        "GuardError message surfaces on stderr, got: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "no report on stdout for a failed solve"
+    );
+}
+
+#[test]
+fn degenerate_instance_fails_with_reduction_error_on_stderr() {
+    // Diameter > 2: the Theorem 2 reduction refuses the instance.
+    let path = write_instance(
+        "degenerate.edges",
+        &graph_io::write_edge_list(&classic::path(9)),
+    );
+    let out = dclab(&["solve", path.to_str().unwrap(), "--strategy", "exact"]);
+    assert!(!out.status.success(), "degenerate instance exits non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "stderr explains: {stderr}");
+}
+
+#[test]
+fn solve_succeeds_and_prints_json_report() {
+    let path = write_instance(
+        "petersen.edges",
+        &graph_io::write_edge_list(&classic::petersen()),
+    );
+    let out = dclab(&["solve", path.to_str().unwrap(), "--p", "2,1"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"span\":9"),
+        "λ_2,1(Petersen) = 9: {stdout}"
+    );
+}
+
+#[test]
+fn threads_flag_accepted_and_zero_rejected() {
+    let path = write_instance(
+        "k5.edges",
+        &graph_io::write_edge_list(&classic::complete(5)),
+    );
+    let ok = dclab(&["solve", path.to_str().unwrap(), "--threads", "2"]);
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let bad = dclab(&["solve", path.to_str().unwrap(), "--threads", "0"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--threads"));
+}
+
+#[test]
+fn help_documents_thread_precedence_and_serve() {
+    let out = dclab(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("--threads beats the DCLAB_THREADS"),
+        "help states the precedence contract: {stdout}"
+    );
+    assert!(
+        stdout.contains("dclab serve"),
+        "help covers serve: {stdout}"
+    );
+}

@@ -68,6 +68,12 @@ impl SolveReport {
     }
 }
 
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SolveReport>();
+    assert_send_sync::<EngineStats>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,7 +9,7 @@ use dclab_graph::Graph;
 /// inspects instance features (n, diameter, p-vector shape) and picks a
 /// route, computing the Theorem 2 reduction once and sharing it across
 /// candidate routes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Held–Karp exact (Corollary 1a); guarded at `EXACT_MAX_N`.
     Exact,
@@ -85,7 +85,7 @@ impl std::str::FromStr for Strategy {
 
 /// Per-request resource budget. `Default` gives the engine's standard
 /// budgets; `solve_batch` callers can tighten per request.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Budget {
     /// Branch-and-bound node budget (`None` → [`DEFAULT_NODE_BUDGET`]).
     pub node_budget: Option<u64>,
@@ -136,6 +136,16 @@ impl SolveRequest {
         self
     }
 }
+
+// The serve layer moves requests and reports across worker threads and
+// caches reports behind shared state; keep thread-safety a compile-time
+// contract rather than an accident of field types.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SolveRequest>();
+    assert_send_sync::<Strategy>();
+    assert_send_sync::<Budget>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,325 @@
+//! Canonical instance forms for caching: degree-refinement (1-WL) colors,
+//! an isomorphism-invariant FNV-1a hash, and a canonical relabeling.
+//!
+//! The serve layer keys its report cache on [`CanonicalForm`]: two requests
+//! whose graphs are isomorphic relabelings of each other should land on the
+//! same cache entry. The contract is split in two so correctness never
+//! depends on solving graph isomorphism:
+//!
+//! * [`CanonicalForm::hash`] is computed **only** from refinement-invariant
+//!   data (vertex/edge counts, the stable color histogram, and the edge
+//!   color-pair multiset), so it is *guaranteed* equal for isomorphic
+//!   graphs. Non-isomorphic graphs may collide (1-WL is not a complete
+//!   invariant); callers must confirm a hit by comparing canonical edges.
+//! * [`CanonicalForm::edges`] is the edge list after a canonical relabeling
+//!   built by refinement plus orbit individualization. It is exact for
+//!   graphs whose stable classes are automorphism orbits (everything the
+//!   generators here produce); in the rare case two isomorphic labelings
+//!   canonize differently, the cache merely misses — it never serves a
+//!   wrong entry.
+//!
+//! [`CanonicalForm::perm`] maps original vertex ids to canonical ids, which
+//! lets a cache translate a stored labeling back into the requester's
+//! vertex numbering.
+
+use crate::graph::Graph;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over `u64` words (each word is fed as 8
+/// little-endian bytes, so the stream is unambiguous).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        let mut h = self.0;
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &byte in bytes {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// A graph's canonical form: invariant hash, canonical relabeling, and the
+/// relabeled edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// Isomorphism-invariant 64-bit hash (equal for isomorphic graphs).
+    pub hash: u64,
+    /// `perm[old] = canonical` relabeling.
+    pub perm: Vec<u32>,
+    /// Edge list under `perm`, each pair `(u, v)` with `u < v`, sorted.
+    pub edges: Vec<(u32, u32)>,
+    /// Vertex count (canonical ids are `0..n`).
+    pub n: usize,
+}
+
+impl CanonicalForm {
+    /// Compute the canonical form of `g`.
+    pub fn of(g: &Graph) -> CanonicalForm {
+        let colors = refine_to_stable(g, None);
+        let hash = invariant_hash(g, &colors);
+        let perm = canonical_perm(g, colors);
+        let mut edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (perm[u], perm[v]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        edges.sort_unstable();
+        CanonicalForm {
+            hash,
+            perm,
+            edges,
+            n: g.n(),
+        }
+    }
+
+    /// `true` iff `other` canonizes to the same graph (same `n` and same
+    /// canonical edge list) — the exact check behind a cache hit.
+    pub fn same_canonical_graph(&self, other: &CanonicalForm) -> bool {
+        self.n == other.n && self.edges == other.edges
+    }
+}
+
+/// The isomorphism-invariant hash alone (no relabeling work).
+pub fn canon_hash(g: &Graph) -> u64 {
+    let colors = refine_to_stable(g, None);
+    invariant_hash(g, &colors)
+}
+
+/// One round of color refinement: recolor every vertex by
+/// `(old color, sorted multiset of neighbor colors)`, with new color ids
+/// assigned in lexicographic signature order (an invariant ordering, since
+/// signatures are built from invariant ids). Returns the refined colors and
+/// the number of distinct colors.
+fn refine_round(g: &Graph, colors: &[u32]) -> (Vec<u32>, usize) {
+    let n = g.n();
+    let mut sigs: Vec<(Vec<u32>, usize)> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut sig = Vec::with_capacity(1 + g.degree(v));
+        sig.push(colors[v]);
+        let mut nbr: Vec<u32> = g.neighbors(v).iter().map(|&u| colors[u as usize]).collect();
+        nbr.sort_unstable();
+        sig.extend(nbr);
+        sigs.push((sig, v));
+    }
+    sigs.sort();
+    let mut new_colors = vec![0u32; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if i > 0 && sigs[i].0 != sigs[i - 1].0 {
+            next += 1;
+        }
+        new_colors[sigs[i].1] = next;
+    }
+    (new_colors, next as usize + 1)
+}
+
+/// Iterate refinement to the stable partition. `start` seeds the initial
+/// coloring (defaults to all-equal; individualization passes a coloring
+/// with one vertex split off).
+fn refine_to_stable(g: &Graph, start: Option<Vec<u32>>) -> Vec<u32> {
+    let n = g.n();
+    let mut colors = start.unwrap_or_else(|| vec![0u32; n]);
+    let mut distinct = colors
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    loop {
+        let (next, next_distinct) = refine_round(g, &colors);
+        if next_distinct == distinct {
+            // A refinement round never merges classes, so an unchanged
+            // class count means the partition is stable.
+            return next;
+        }
+        colors = next;
+        distinct = next_distinct;
+        if distinct == n {
+            return colors;
+        }
+    }
+}
+
+/// Hash only refinement-invariant data: `n`, `m`, the sorted stable color
+/// histogram, and the sorted multiset of edge color pairs.
+fn invariant_hash(g: &Graph, colors: &[u32]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(g.n() as u64);
+    h.write_u64(g.m() as u64);
+    let distinct = colors.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let mut histogram = vec![0u64; distinct];
+    for &c in colors {
+        histogram[c as usize] += 1;
+    }
+    // Color ids are already invariant (assigned in signature order), so the
+    // histogram can be hashed in id order.
+    for (c, count) in histogram.iter().enumerate() {
+        h.write_u64(c as u64);
+        h.write_u64(*count);
+    }
+    let mut edge_pairs: Vec<(u32, u32)> = g
+        .edges()
+        .map(|(u, v)| {
+            let (a, b) = (colors[u], colors[v]);
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    edge_pairs.sort_unstable();
+    for (a, b) in edge_pairs {
+        h.write_u64(((a as u64) << 32) | b as u64);
+    }
+    h.finish()
+}
+
+/// Canonical relabeling: refine, and while classes remain non-singleton,
+/// individualize the smallest-id non-singleton class (splitting off one
+/// member) and re-refine. For classes that are automorphism orbits any
+/// representative yields the same canonical graph; the member with the
+/// smallest original id keeps the procedure deterministic.
+fn canonical_perm(g: &Graph, mut colors: Vec<u32>) -> Vec<u32> {
+    let n = g.n();
+    loop {
+        let distinct = colors.iter().copied().max().map_or(0, |c| c as usize + 1);
+        if distinct == n {
+            break;
+        }
+        // Find the smallest color with ≥ 2 members and its first member.
+        let mut class_size = vec![0u32; distinct];
+        for &c in &colors {
+            class_size[c as usize] += 1;
+        }
+        let target = class_size
+            .iter()
+            .position(|&s| s >= 2)
+            .expect("non-discrete partition has a non-singleton class") as u32;
+        let chosen = (0..n)
+            .find(|&v| colors[v] == target)
+            .expect("class member exists");
+        // Split `chosen` off: give it a fresh color below its old class so
+        // the seeded coloring stays a refinement of the stable one, then
+        // re-refine (ids are re-normalized by the next round anyway).
+        let mut seeded: Vec<u32> = colors.iter().map(|&c| 2 * c + 1).collect();
+        seeded[chosen] = 2 * target;
+        colors = refine_to_stable(g, Some(seeded));
+    }
+    colors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn hash_invariant_under_relabeling() {
+        let g = classic::petersen();
+        let perm = vec![9, 3, 7, 0, 5, 1, 8, 2, 6, 4];
+        let h = g.relabeled(&perm);
+        assert_eq!(canon_hash(&g), canon_hash(&h));
+        assert!(CanonicalForm::of(&g).same_canonical_graph(&CanonicalForm::of(&h)));
+    }
+
+    #[test]
+    fn different_graphs_usually_differ() {
+        let path = classic::path(6);
+        let cycle = classic::cycle(6);
+        let star = classic::star(6);
+        assert_ne!(canon_hash(&path), canon_hash(&cycle));
+        assert_ne!(canon_hash(&path), canon_hash(&star));
+        assert_ne!(canon_hash(&cycle), canon_hash(&star));
+    }
+
+    #[test]
+    fn perm_is_a_permutation_and_preserves_edges() {
+        let g = classic::grid(3, 4);
+        let c = CanonicalForm::of(&g);
+        let mut seen = vec![false; g.n()];
+        for &p in &c.perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert_eq!(c.edges.len(), g.m());
+        // Mapping the canonical edges back through the inverse permutation
+        // recovers the original graph.
+        let mut inv = vec![0usize; g.n()];
+        for (old, &new) in c.perm.iter().enumerate() {
+            inv[new as usize] = old;
+        }
+        let back: Vec<(usize, usize)> = c
+            .edges
+            .iter()
+            .map(|&(u, v)| (inv[u as usize], inv[v as usize]))
+            .collect();
+        let rebuilt = Graph::from_edges(g.n(), &back);
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn symmetric_graphs_canonize_consistently() {
+        // Complete graphs, cycles, and bipartite doubles have huge
+        // automorphism groups; any individualization choice must land on
+        // the same canonical edge list.
+        for (g, perm) in [
+            (classic::complete(7), vec![6, 0, 5, 1, 4, 2, 3]),
+            (classic::cycle(8), vec![3, 4, 5, 6, 7, 0, 1, 2]),
+            (classic::complete_bipartite(3, 4), vec![4, 2, 6, 0, 3, 5, 1]),
+        ] {
+            let h = g.relabeled(&perm);
+            let (cg, ch) = (CanonicalForm::of(&g), CanonicalForm::of(&h));
+            assert_eq!(cg.hash, ch.hash);
+            assert!(cg.same_canonical_graph(&ch), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let empty = Graph::new(0);
+        let one = Graph::new(1);
+        let c0 = CanonicalForm::of(&empty);
+        let c1 = CanonicalForm::of(&one);
+        assert_ne!(c0.hash, c1.hash);
+        assert!(c0.edges.is_empty() && c1.edges.is_empty());
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

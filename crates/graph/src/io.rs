@@ -145,6 +145,12 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
 }
 
 /// Parse the DIMACS `.col` format (1-based `e u v` lines).
+///
+/// Tolerant of the formatting noise found in real `.col` files: leading and
+/// trailing whitespace (including CR from CRLF line endings), blank lines,
+/// and `c` comment lines anywhere — before the `p` line, interleaved with
+/// `e` lines, or after them — including the glued `cComment text` form.
+/// Malformed directives still fail with the exact 1-based source line.
 pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
     let mut n: Option<usize> = None;
     let mut declared_m: Option<usize> = None;
@@ -156,9 +162,12 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
         if line.is_empty() {
             continue;
         }
+        // Comment lines: `c` as its own token, or glued (`cGraph from ...`).
+        if line.starts_with('c') {
+            continue;
+        }
         let mut it = line.split_whitespace();
         match it.next().unwrap() {
-            "c" => continue,
             "p" => {
                 if n.is_some() {
                     return Err(err(lineno, "duplicate p line"));
@@ -182,6 +191,9 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
                     nm.parse()
                         .map_err(|_| err(lineno, format!("bad m '{nm}'")))?,
                 );
+                if it.next().is_some() {
+                    return Err(err(lineno, "trailing tokens after p line"));
+                }
                 p_line = lineno;
             }
             "e" => {
@@ -202,6 +214,9 @@ pub fn parse_dimacs(text: &str) -> Result<Graph, ParseError> {
                 }
                 if u == v {
                     return Err(err(lineno, format!("self-loop at vertex {u}")));
+                }
+                if it.next().is_some() {
+                    return Err(err(lineno, "trailing tokens after e line"));
                 }
                 edges.push((lineno, u - 1, v - 1));
             }
@@ -325,6 +340,40 @@ mod tests {
         let g = parse_dimacs("c comment\np edge 3 2\ne 1 2\ne 2 3\n").unwrap();
         assert_eq!((g.n(), g.m()), (3, 2));
         assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn dimacs_tolerates_real_world_noise() {
+        // Trailing whitespace (spaces, tabs, CR), blank lines, and comment
+        // lines — plain and glued — interleaved with the e lines.
+        let text = "c generated by dclab \r\n\
+                    \n\
+                    p edge 4 4   \t\r\n\
+                    e 1 2\t\n\
+                    cInterleaved glued comment\n\
+                    e 2 3   \n\
+                    \n\
+                    c another one\n\
+                    e 3 4\r\n\
+                    e 4 1\n\
+                    c trailing comment\n";
+        let g = parse_dimacs(text).unwrap();
+        assert_eq!((g.n(), g.m()), (4, 4));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(2, 3) && g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn dimacs_errors_stay_line_accurate() {
+        // Noise lines still count toward the reported line number.
+        let bad_e = parse_dimacs("c head\n\np edge 3 2\nc mid\ne 1 2\ne 2 9\n").unwrap_err();
+        assert_eq!(bad_e.line, 6);
+        assert!(bad_e.message.contains("out of range"));
+        let trailing = parse_dimacs("p edge 3 1\ne 1 2 7\n").unwrap_err();
+        assert_eq!(trailing.line, 2);
+        assert!(trailing.message.contains("trailing tokens"));
+        let trailing_p = parse_dimacs("p edge 3 1 extra\n").unwrap_err();
+        assert_eq!(trailing_p.line, 1);
+        assert!(trailing_p.message.contains("trailing tokens"));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Property tests for `graph::canon`: the cache-key hash must be invariant
+//! under vertex relabeling and edge-list reordering (ISSUE 2 satellite,
+//! ≥ 1000 cases).
+
+use dclab_graph::generators::random;
+use dclab_graph::io;
+use dclab_graph::{canon_hash, CanonicalForm, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn gnp_from(seed: u64, n: usize, p: f64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random::gnp(&mut rng, n, p)
+}
+
+/// Serialize `g` as an edge list with lines in a seed-shuffled order and
+/// per-edge endpoint order flipped pseudo-randomly.
+fn shuffled_edge_list(g: &Graph, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lines: Vec<String> = g
+        .edges()
+        .map(|(u, v)| {
+            if rng.random_range(0u32..2) == 0 {
+                format!("{u} {v}")
+            } else {
+                format!("{v} {u}")
+            }
+        })
+        .collect();
+    // Fisher–Yates on the line order.
+    for i in (1..lines.len()).rev() {
+        let j = rng.random_range(0usize..i + 1);
+        lines.swap(i, j);
+    }
+    format!("n {}\n{}\n", g.n(), lines.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    #[test]
+    fn hash_invariant_under_relabeling(seed in any::<u64>(), n in 1usize..24) {
+        let density = 0.15 + (seed % 7) as f64 * 0.1;
+        let g = gnp_from(seed, n, density);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let perm = random::random_permutation(&mut rng, n);
+        let h = g.relabeled(&perm);
+        prop_assert_eq!(canon_hash(&g), canon_hash(&h));
+    }
+
+    #[test]
+    fn canonical_form_stable_under_relabeling(seed in any::<u64>(), n in 1usize..20) {
+        let g = gnp_from(seed, n, 0.35);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let perm = random::random_permutation(&mut rng, n);
+        let h = g.relabeled(&perm);
+        let (cg, ch) = (CanonicalForm::of(&g), CanonicalForm::of(&h));
+        prop_assert_eq!(cg.hash, ch.hash);
+        prop_assert!(
+            cg.same_canonical_graph(&ch),
+            "canonical edges diverged for seed {} n {}", seed, n
+        );
+    }
+
+    #[test]
+    fn hash_invariant_under_edge_reordering(seed in any::<u64>(), n in 2usize..24) {
+        let g = gnp_from(seed, n, 0.4);
+        let text = shuffled_edge_list(&g, seed ^ 0xF00D);
+        let reparsed = io::parse_edge_list(&text).unwrap();
+        prop_assert_eq!(&g, &reparsed);
+        prop_assert_eq!(canon_hash(&g), canon_hash(&reparsed));
+    }
+}

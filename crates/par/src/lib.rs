@@ -13,11 +13,30 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod pool;
+
+pub use pool::{SubmitError, WorkerPool};
+
+/// Process-wide thread-count override (0 = unset). Takes precedence over
+/// `DCLAB_THREADS`; set from `dclab --threads N`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker-thread count for this process, beating the
+/// `DCLAB_THREADS` environment variable. `None` clears the override.
+pub fn set_thread_override(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
 /// Maximum number of worker threads used by default.
 ///
-/// Respects the `DCLAB_THREADS` environment variable when set; otherwise uses
-/// [`std::thread::available_parallelism`], capped at 64.
+/// Precedence: [`set_thread_override`] (the CLI's `--threads N`) beats the
+/// `DCLAB_THREADS` environment variable, which beats
+/// [`std::thread::available_parallelism`] (capped at 64).
 pub fn default_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
     if let Ok(v) = std::env::var("DCLAB_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);

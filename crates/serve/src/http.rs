@@ -1,0 +1,309 @@
+//! Minimal HTTP/1.1 on `std::net` — exactly what the solve service needs
+//! and nothing more: request parsing with bounded header/body sizes,
+//! percent-decoded query strings, keep-alive, and response writing.
+//!
+//! Not a general web server: no chunked transfer encoding, no multipart,
+//! no TLS. Clients that need those get a clean 4xx, not undefined behavior.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body (instances beyond this are absurd for
+/// small-diameter graphs and would only stall a worker).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/solve`.
+    pub path: String,
+    /// Percent-decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value (name matched case-insensitively at parse time).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Does the client ask to keep the connection open? (HTTP/1.1 default
+    /// is keep-alive unless `Connection: close`.)
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be parsed. `ConnectionClosed` is the clean
+/// end-of-keep-alive case, not an error to report.
+#[derive(Debug)]
+pub enum ParseError {
+    ConnectionClosed,
+    Io(std::io::Error),
+    /// Malformed request; the `&'static str` is a safe-to-echo reason.
+    Bad(&'static str),
+    /// Head or body over the fixed limits (→ 431/413).
+    TooLarge(&'static str),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one `\n`-terminated line into `buf`, buffering at most `limit`
+/// bytes. `BufRead::read_line` alone would grow without bound on a line
+/// that never terminates — a trivial memory-exhaustion attack on a
+/// long-running service.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut String,
+    limit: usize,
+) -> Result<usize, ParseError> {
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            break;
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if raw.len() + pos + 1 > limit {
+                return Err(ParseError::TooLarge("header line too large"));
+            }
+            raw.extend_from_slice(&chunk[..=pos]);
+            reader.consume(pos + 1);
+            break;
+        }
+        if raw.len() + chunk.len() > limit {
+            return Err(ParseError::TooLarge("header line too large"));
+        }
+        raw.extend_from_slice(chunk);
+        let n = chunk.len();
+        reader.consume(n);
+    }
+    let s = std::str::from_utf8(&raw).map_err(|_| ParseError::Bad("non-UTF-8 header bytes"))?;
+    buf.push_str(s);
+    Ok(s.len())
+}
+
+/// Read one request from the stream (blocking; honors the stream's read
+/// timeout). Returns `ConnectionClosed` on EOF before any byte.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
+    let mut head = String::new();
+    let mut first_line = String::new();
+    let n = read_line_bounded(reader, &mut first_line, MAX_HEAD_BYTES)?;
+    if n == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    loop {
+        let mut line = String::new();
+        let remaining = MAX_HEAD_BYTES.saturating_sub(head.len() + first_line.len());
+        let n = read_line_bounded(reader, &mut line, remaining.max(2))?;
+        if n == 0 {
+            return Err(ParseError::Bad("truncated header block"));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+        if head.len() + first_line.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("header block too large"));
+        }
+    }
+
+    let mut parts = first_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Bad("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Bad("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad("unsupported HTTP version"));
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw).ok_or(ParseError::Bad("bad percent-encoding in path"))?;
+    let query = match query_raw {
+        Some(q) => parse_query(q).ok_or(ParseError::Bad("bad percent-encoding in query"))?,
+        None => Vec::new(),
+    };
+
+    let mut headers = Vec::new();
+    for line in head.lines() {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Bad("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ParseError::Bad("transfer-encoding not supported"));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::Bad("bad content-length"))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Parse `a=1&b=x%20y` (missing `=` means empty value).
+fn parse_query(q: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = match pair.split_once('=') {
+            Some((k, v)) => (k, v),
+            None => (pair, ""),
+        };
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Some(out)
+}
+
+/// Decode `%XX` escapes and `+`-as-space. Returns `None` on malformed
+/// escapes or non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Canonical reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Write one response. `extra_headers` are `(name, value)` pairs appended
+/// after the standard set.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").as_deref(), Some("a b c"));
+        assert_eq!(percent_decode("2%2C1").as_deref(), Some("2,1"));
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert!(percent_decode("bad%zz").is_none());
+        assert!(percent_decode("trunc%2").is_none());
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("p=2%2C1&strategy=auto&flag").unwrap();
+        assert_eq!(
+            q,
+            vec![
+                ("p".into(), "2,1".into()),
+                ("strategy".into(), "auto".into()),
+                ("flag".into(), "".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reasons_cover_served_codes() {
+        for code in [200, 400, 404, 405, 413, 422, 431, 500, 503] {
+            assert!(!reason(code).is_empty(), "{code}");
+        }
+    }
+}

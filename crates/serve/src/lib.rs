@@ -1,0 +1,40 @@
+//! # dclab-serve — the production solve service.
+//!
+//! PR 1 built the engine's single front door ([`dclab_engine::solve`]);
+//! this crate keeps it open: a long-running, dependency-free HTTP/1.1
+//! service over `std::net` that converts repeated solves of the same
+//! small-diameter instance into O(1) cache lookups.
+//!
+//! The load-bearing idea is the **canonical-instance cache**
+//! ([`cache::ReportCache`]): requests are keyed by the graph's
+//! degree-refinement canonical form (`dclab_graph::canon`) combined with
+//! the p-vector, strategy, and budget, so isomorphic relabelings of the
+//! same edge list share one entry. Reports are stored in canonical vertex
+//! space and translated back through each requester's own permutation —
+//! a cached labeling is always valid for the exact graph the client sent.
+//! Hash collisions are confirmed against the canonical edge list, so 1-WL
+//! incompleteness can only cost a miss, never a wrong answer. Concurrent
+//! identical requests are single-flighted: one solve runs, everyone
+//! shares the result.
+//!
+//! Layers:
+//!
+//! * [`http`] — minimal HTTP/1.1 parsing/writing (bounded, keep-alive).
+//! * [`cache`] — sharded LRU keyed by canonical instance identity, with
+//!   single-flight deduplication.
+//! * [`metrics`] — lock-free counters + log-scale latency histogram.
+//! * [`server`] — accept loop over a bounded [`dclab_par::WorkerPool`],
+//!   routing, graceful shutdown.
+//! * [`loadgen`] — replay harness (mixed + exact corpora, per-pass stats,
+//!   the CI `--self-test`).
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use cache::{CacheKey, CacheStatus, ReportCache};
+pub use loadgen::{self_test, Client, CorpusItem, PassStats};
+pub use metrics::Metrics;
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,419 @@
+//! Load-test harness: a minimal blocking HTTP client, a mixed request
+//! corpus (cold solves, warm repeats, isomorphic relabelings, adversarial
+//! guard instances), and per-pass latency/hit statistics.
+//!
+//! Used three ways: the `e10_serve` bench (cold-vs-warm latency →
+//! `BENCH_serve.json`), the CI smoke job (`dclab serve --self-test`), and
+//! ad-hoc load tests against a live server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dclab_engine::json::Obj;
+use dclab_graph::generators::{classic, random};
+use dclab_graph::io as graph_io;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A response as the client sees it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    /// Lower-cased header names.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Blocking keep-alive HTTP/1.1 client for one server.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr, conn: None }
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Send one request; retries once on a stale keep-alive connection.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        match self.request_once(method, target, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                // Server may have closed the idle connection; reconnect.
+                self.conn = None;
+                self.request_once(method, target, body)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        let addr = self.addr;
+        let reader = self.connect()?;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        match read_response(reader) {
+            Ok((response, close)) => {
+                if close {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Read one response; the flag reports a `Connection: close` server side.
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<(ClientResponse, bool)> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed",
+        ));
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("truncated headers"));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+        }
+        if name == "connection" && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+        headers.push((name, value));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?;
+    Ok((
+        ClientResponse {
+            status,
+            headers,
+            body,
+        },
+        close,
+    ))
+}
+
+/// One scripted request.
+#[derive(Clone, Debug)]
+pub struct CorpusItem {
+    pub name: String,
+    /// Path + query, e.g. `/solve?p=2,1&strategy=exact`.
+    pub target: String,
+    pub body: String,
+    pub expect_status: u16,
+}
+
+/// A deterministic mixed corpus: solvable diameter-2 instances under
+/// several strategies, isomorphic relabelings of some of them (exercising
+/// canonical-cache hits), and adversarial guard instances that must come
+/// back as HTTP 422.
+pub fn mixed_corpus(seed: u64, instances: usize) -> Vec<CorpusItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items = Vec::new();
+    for i in 0..instances.max(1) {
+        let n = 10 + (i % 8) * 2;
+        let g = random::gnp_with_diameter_at_most(&mut rng, n, 0.55, 2);
+        let strategy = ["auto", "exact", "greedy", "heuristic"][i % 4];
+        items.push(CorpusItem {
+            name: format!("gnp{n}-{i}-{strategy}"),
+            target: format!("/solve?p=2,1&strategy={strategy}"),
+            body: graph_io::write_edge_list(&g),
+            expect_status: 200,
+        });
+        // Every third instance also appears as an isomorphic relabeling:
+        // a different byte body that must hit the same cache entry.
+        if i % 3 == 0 {
+            let perm = random::random_permutation(&mut rng, n);
+            let h = g.relabeled(&perm);
+            items.push(CorpusItem {
+                name: format!("gnp{n}-{i}-{strategy}-relabel"),
+                target: format!("/solve?p=2,1&strategy={strategy}"),
+                body: graph_io::write_edge_list(&h),
+                expect_status: 200,
+            });
+        }
+    }
+    // Adversarial guard requests: exact beyond EXACT_MAX_N must 422.
+    for i in 0..(instances / 8).max(1) {
+        let g = classic::complete(30 + i);
+        items.push(CorpusItem {
+            name: format!("guard-k{}", 30 + i),
+            target: "/solve?p=2,1&strategy=exact".into(),
+            body: graph_io::write_edge_list(&g),
+            expect_status: 422,
+        });
+    }
+    // DIMACS-format coverage.
+    let g = classic::petersen();
+    items.push(CorpusItem {
+        name: "petersen-dimacs".into(),
+        target: "/solve?p=2,1&strategy=auto&format=dimacs".into(),
+        body: graph_io::write_dimacs(&g),
+        expect_status: 200,
+    });
+    items
+}
+
+/// An exact-strategy-only corpus of small instances (the cold-vs-warm
+/// latency benchmark: Held–Karp solves are expensive, cache hits are not).
+pub fn exact_corpus(seed: u64, instances: usize) -> Vec<CorpusItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..instances.max(1))
+        .map(|i| {
+            let n = 16 + (i % 5) * 2; // 16..24: squarely in Held–Karp range
+            let g = random::gnp_with_diameter_at_most(&mut rng, n, 0.6, 2);
+            CorpusItem {
+                name: format!("exact{n}-{i}"),
+                target: "/solve?p=2,1&strategy=exact".into(),
+                body: graph_io::write_edge_list(&g),
+                expect_status: 200,
+            }
+        })
+        .collect()
+}
+
+/// Statistics from one pass over a corpus.
+#[derive(Clone, Debug, Default)]
+pub struct PassStats {
+    pub requests: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    /// Responses whose status did not match the item's `expect_status`.
+    pub unexpected: u64,
+    /// Per-request wall latencies, microseconds, request order.
+    pub latencies_us: Vec<u64>,
+    /// Response bodies keyed by item name (for bit-identical comparisons).
+    pub bodies: Vec<(String, String)>,
+}
+
+impl PassStats {
+    pub fn hit_rate(&self) -> f64 {
+        let denom = self.hits + self.misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.hits as f64 / denom as f64
+        }
+    }
+
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("requests", self.requests)
+            .u64("hits", self.hits)
+            .u64("misses", self.misses)
+            .u64("coalesced", self.coalesced)
+            .u64("unexpected", self.unexpected)
+            .f64("hit_rate", self.hit_rate())
+            .u64("p50_us", self.percentile_us(0.50))
+            .u64("p90_us", self.percentile_us(0.90))
+            .u64("p99_us", self.percentile_us(0.99))
+            .finish()
+    }
+}
+
+/// Replay `corpus` once against `addr` over a keep-alive connection.
+pub fn run_pass(addr: SocketAddr, corpus: &[CorpusItem]) -> std::io::Result<PassStats> {
+    let mut client = Client::new(addr);
+    let mut stats = PassStats::default();
+    for item in corpus {
+        let started = Instant::now();
+        let resp = client.request("POST", &item.target, &item.body)?;
+        let elapsed = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        stats.requests += 1;
+        stats.latencies_us.push(elapsed);
+        if resp.status != item.expect_status {
+            stats.unexpected += 1;
+        }
+        match resp.header("x-dclab-cache") {
+            Some("hit") => stats.hits += 1,
+            Some("miss") => stats.misses += 1,
+            Some("coalesced") => stats.coalesced += 1,
+            _ => {}
+        }
+        stats.bodies.push((item.name.clone(), resp.body));
+    }
+    Ok(stats)
+}
+
+/// Replay the corpus `passes` times; returns per-pass stats.
+pub fn run(
+    addr: SocketAddr,
+    corpus: &[CorpusItem],
+    passes: usize,
+) -> std::io::Result<Vec<PassStats>> {
+    (0..passes).map(|_| run_pass(addr, corpus)).collect()
+}
+
+/// In-process smoke test (the CI job behind `dclab serve --self-test`):
+/// start a server on an ephemeral port, replay a mixed corpus for roughly
+/// `duration`, then shut down cleanly. Returns a JSON summary, or an error
+/// describing which invariant failed.
+pub fn self_test(duration: Duration) -> Result<String, String> {
+    let handle = crate::server::start(crate::server::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_mb: 16,
+        queue_cap: 0,
+    })
+    .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr();
+    let corpus = mixed_corpus(42, 12);
+    let deadline = Instant::now() + duration;
+    let mut passes: Vec<PassStats> = Vec::new();
+    loop {
+        let pass = run_pass(addr, &corpus).map_err(|e| format!("loadgen pass failed: {e}"))?;
+        passes.push(pass);
+        if Instant::now() >= deadline && passes.len() >= 2 {
+            break;
+        }
+    }
+
+    // Invariants the smoke test asserts.
+    let warm = &passes[passes.len() - 1];
+    let total_hits: u64 = passes.iter().map(|p| p.hits).sum();
+    if total_hits == 0 {
+        return Err("no cache hits across passes".into());
+    }
+    if warm.hit_rate() < 0.9 {
+        return Err(format!(
+            "warm-pass hit rate {:.2} below 0.9",
+            warm.hit_rate()
+        ));
+    }
+    if let Some(bad) = passes.iter().position(|p| p.unexpected > 0) {
+        return Err(format!(
+            "pass {bad} had {} unexpected statuses",
+            passes[bad].unexpected
+        ));
+    }
+    // Warm reports must be byte-identical to cold ones (same instance
+    // bytes → same JSON, cache or not).
+    let cold = &passes[0];
+    for ((name, cold_body), (_, warm_body)) in cold.bodies.iter().zip(&warm.bodies) {
+        if cold_body != warm_body {
+            return Err(format!("report for '{name}' changed between passes"));
+        }
+    }
+
+    // Clean shutdown via the admin endpoint, then join.
+    let mut client = Client::new(addr);
+    let resp = client
+        .request("POST", "/shutdown", "")
+        .map_err(|e| format!("shutdown request failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("shutdown returned {}", resp.status));
+    }
+    // Close our connection before joining so no worker is left blocked on
+    // a keep-alive read.
+    drop(client);
+    handle.join();
+
+    let passes_json: Vec<String> = passes.iter().map(PassStats::to_json).collect();
+    Ok(Obj::new()
+        .str("status", "ok")
+        .usize("passes", passes_json.len())
+        .u64("total_hits", total_hits)
+        .f64("warm_hit_rate", warm.hit_rate())
+        .raw("per_pass", &dclab_engine::json::array(passes_json))
+        .finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic_and_shaped() {
+        let a = mixed_corpus(7, 12);
+        let b = mixed_corpus(7, 12);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.body == y.body));
+        assert!(a.iter().any(|i| i.expect_status == 422), "has guard items");
+        assert!(a.iter().any(|i| i.name.ends_with("relabel")));
+        assert!(a.iter().any(|i| i.target.contains("format=dimacs")));
+        let e = exact_corpus(7, 10);
+        assert!(e.iter().all(|i| i.target.contains("strategy=exact")));
+    }
+
+    #[test]
+    fn pass_stats_percentiles() {
+        let stats = PassStats {
+            latencies_us: vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+            ..Default::default()
+        };
+        assert_eq!(stats.percentile_us(0.5), 50);
+        assert_eq!(stats.percentile_us(0.9), 90);
+        assert_eq!(stats.percentile_us(1.0), 100);
+    }
+}

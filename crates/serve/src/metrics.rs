@@ -1,0 +1,214 @@
+//! Service metrics: lock-free counters and a log-scale latency histogram,
+//! rendered as deterministic JSON for `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use dclab_engine::json::Obj;
+use dclab_engine::Strategy;
+
+use crate::cache::CacheCounters;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^{i+1})` microseconds, the last bucket is open-ended (≥ ~35 min).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Histogram over microsecond latencies with power-of-two buckets.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile from the histogram: the upper bound (in µs) of
+    /// the bucket containing the `q`-quantile sample.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+
+    pub fn to_json(&self) -> String {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Trim trailing empty buckets for readability; keep at least one.
+        let last = counts.iter().rposition(|&c| c > 0).map_or(1, |i| i + 1);
+        let count = self.count();
+        let mean = self
+            .sum_us
+            .load(Ordering::Relaxed)
+            .checked_div(count)
+            .unwrap_or(0);
+        Obj::new()
+            .u64("count", count)
+            .u64("mean_us", mean)
+            .u64("p50_us", self.quantile_us(0.50))
+            .u64("p90_us", self.quantile_us(0.90))
+            .u64("p99_us", self.quantile_us(0.99))
+            .u64_array("bucket_counts_pow2_us", counts[..last].iter().copied())
+            .finish()
+    }
+}
+
+/// All counters the service exposes.
+#[derive(Default)]
+pub struct Metrics {
+    pub requests_total: AtomicU64,
+    pub solve_requests: AtomicU64,
+    pub batch_requests: AtomicU64,
+    pub health_requests: AtomicU64,
+    pub metrics_requests: AtomicU64,
+    pub responses_2xx: AtomicU64,
+    pub responses_4xx: AtomicU64,
+    pub responses_5xx: AtomicU64,
+    pub rejected_overload: AtomicU64,
+    /// Solves completed, by concrete strategy (index into
+    /// [`Strategy::CONCRETE`]).
+    pub per_strategy: [AtomicU64; 7],
+    /// End-to-end `/solve` handling latency (includes cache hits).
+    pub solve_latency: LatencyHistogram,
+}
+
+impl Metrics {
+    pub fn record_strategy(&self, used: Strategy) {
+        if let Some(i) = Strategy::CONCRETE.iter().position(|&s| s == used) {
+            self.per_strategy[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one finished request. This is the single place
+    /// `requests_total` is incremented — every path that answers a client
+    /// (routed, parse failure, overload shed) calls it exactly once, so
+    /// `requests_total == responses_2xx + responses_4xx + responses_5xx`
+    /// always reconciles.
+    pub fn record_status(&self, status: u16) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `/metrics` JSON body.
+    pub fn to_json(&self, cache: CacheCounters) -> String {
+        let strategies = Strategy::CONCRETE
+            .iter()
+            .zip(self.per_strategy.iter())
+            .fold(Obj::new(), |obj, (s, count)| {
+                obj.u64(s.name(), count.load(Ordering::Relaxed))
+            })
+            .finish();
+        let cache_json = Obj::new()
+            .u64("hits", cache.hits)
+            .u64("misses", cache.misses)
+            .u64("coalesced", cache.coalesced)
+            .u64("evictions", cache.evictions)
+            .u64("entries", cache.entries)
+            .u64("bytes", cache.bytes)
+            .finish();
+        Obj::new()
+            .u64(
+                "requests_total",
+                self.requests_total.load(Ordering::Relaxed),
+            )
+            .u64(
+                "solve_requests",
+                self.solve_requests.load(Ordering::Relaxed),
+            )
+            .u64(
+                "batch_requests",
+                self.batch_requests.load(Ordering::Relaxed),
+            )
+            .u64(
+                "health_requests",
+                self.health_requests.load(Ordering::Relaxed),
+            )
+            .u64(
+                "metrics_requests",
+                self.metrics_requests.load(Ordering::Relaxed),
+            )
+            .u64("responses_2xx", self.responses_2xx.load(Ordering::Relaxed))
+            .u64("responses_4xx", self.responses_4xx.load(Ordering::Relaxed))
+            .u64("responses_5xx", self.responses_5xx.load(Ordering::Relaxed))
+            .u64(
+                "rejected_overload",
+                self.rejected_overload.load(Ordering::Relaxed),
+            )
+            .raw("cache", &cache_json)
+            .raw("strategies", &strategies)
+            .raw("solve_latency", &self.solve_latency.to_json())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 3, 3, 3, 100, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        // p50 falls in the [2,4) bucket → upper bound 4.
+        assert_eq!(h.quantile_us(0.50), 4);
+        assert!(h.quantile_us(0.99) >= 4096);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":7"));
+        assert!(json.contains("\"p50_us\":4"));
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let m = Metrics::default();
+        m.record_strategy(Strategy::Exact);
+        m.record_strategy(Strategy::Exact);
+        m.record_status(200);
+        m.record_status(422);
+        m.record_status(200);
+        let json = m.to_json(CacheCounters::default());
+        assert!(json.contains("\"requests_total\":3"));
+        assert!(json.contains("\"responses_2xx\":2"));
+        assert!(json.contains("\"exact\":2"));
+        assert!(json.contains("\"responses_4xx\":1"));
+        assert!(json.contains("\"cache\":{\"hits\":0"));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert!(h.to_json().contains("\"count\":0"));
+    }
+}

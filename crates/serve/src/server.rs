@@ -1,0 +1,516 @@
+//! The solve service: accept loop, request routing, and handlers.
+//!
+//! Architecture: one accept thread hands connections to a fixed
+//! [`WorkerPool`] (bounded queue → back-pressure; overflow is shed with
+//! `503`). Each worker speaks HTTP/1.1 with keep-alive on its connection
+//! and routes requests through the shared [`ReportCache`].
+//!
+//! | Endpoint         | Semantics                                            |
+//! |------------------|------------------------------------------------------|
+//! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts` → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced` |
+//! | `POST /batch`    | body = instances separated by `%%` lines, same query params → JSON array |
+//! | `GET /healthz`   | liveness                                             |
+//! | `GET /metrics`   | counters, cache stats, per-strategy counts, latency histogram |
+//! | `POST /shutdown` | graceful shutdown (drain queue, join workers)        |
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dclab_engine::json::{array, Obj};
+use dclab_engine::{solve, Budget, EngineError, SolveRequest, Strategy};
+use dclab_graph::io as graph_io;
+use dclab_graph::Graph;
+use dclab_par::{SubmitError, WorkerPool};
+
+use crate::cache::{CacheKey, CacheStatus, ReportCache};
+use crate::http::{read_request, write_response, ParseError, Request};
+use crate::metrics::Metrics;
+
+/// Server configuration (the CLI's `dclab serve` flags).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Report-cache budget in MiB.
+    pub cache_mb: usize,
+    /// Bounded connection-queue capacity (0 → `4 × workers`).
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: dclab_par::default_threads(),
+            cache_mb: 64,
+            queue_cap: 0,
+        }
+    }
+}
+
+/// Shared server state.
+pub struct ServeCtx {
+    pub cache: ReportCache,
+    pub metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl ServeCtx {
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`ServerHandle::shutdown`] (or hit `POST /shutdown`) then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServeCtx>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn ctx(&self) -> &Arc<ServeCtx> {
+        &self.ctx
+    }
+
+    /// Request graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the accept loop and all workers to finish.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind and start serving in background threads.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let ctx = Arc::new(ServeCtx {
+        cache: ReportCache::new(cfg.cache_mb.max(1) * 1024 * 1024),
+        metrics: Metrics::default(),
+        shutdown: AtomicBool::new(false),
+    });
+    let workers = cfg.workers.max(1);
+    let queue_cap = if cfg.queue_cap == 0 {
+        workers * 4
+    } else {
+        cfg.queue_cap
+    };
+    let accept_ctx = Arc::clone(&ctx);
+    let accept_thread = std::thread::Builder::new()
+        .name("dclab-accept".into())
+        .spawn(move || accept_loop(listener, accept_ctx, workers, queue_cap))?;
+    Ok(ServerHandle {
+        addr,
+        ctx,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize, queue_cap: usize) {
+    let mut pool = WorkerPool::new(workers, queue_cap);
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                // Idle keep-alive connections time out rather than pinning
+                // a worker forever (also bounds graceful-shutdown latency).
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_nodelay(true);
+                let conn_ctx = Arc::clone(&ctx);
+                let shed_stream = stream.try_clone().ok();
+                match pool.try_submit(move || handle_connection(conn_ctx, stream)) {
+                    Ok(()) => {}
+                    Err(SubmitError::QueueFull(job)) => {
+                        // Shed load: drop the queued job (it owns the
+                        // stream) and answer 503 on the clone without
+                        // reading the request.
+                        drop(job);
+                        ctx.metrics
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        ctx.metrics.record_status(503);
+                        if let Some(mut s) = shed_stream {
+                            let body = error_json("server overloaded", "overload");
+                            let _ = write_response(&mut s, 503, &[], body.as_bytes(), false);
+                        }
+                    }
+                    Err(SubmitError::ShuttingDown) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if ctx.shutdown_requested() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                if ctx.shutdown_requested() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    // Graceful: drain queued connections, join workers.
+    pool.shutdown();
+}
+
+/// Serve one connection until close/EOF/timeout.
+fn handle_connection(ctx: Arc<ServeCtx>, stream: TcpStream) {
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let (status, extra, body) = route(&ctx, &req);
+                // Re-check shutdown *after* routing so the `/shutdown`
+                // response itself closes the connection and frees this
+                // worker for the pool drain.
+                let keep_alive = req.keep_alive() && !ctx.shutdown_requested();
+                ctx.metrics.record_status(status);
+                let header_refs: Vec<(&str, &str)> =
+                    extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+                if write_response(
+                    &mut write_half,
+                    status,
+                    &header_refs,
+                    body.as_bytes(),
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(ParseError::ConnectionClosed) | Err(ParseError::Io(_)) => return,
+            Err(ParseError::Bad(reason)) => {
+                ctx.metrics.record_status(400);
+                let body = error_json(reason, "bad-request");
+                let _ = write_response(&mut write_half, 400, &[], body.as_bytes(), false);
+                return;
+            }
+            Err(ParseError::TooLarge(reason)) => {
+                let status = if reason.contains("header") { 431 } else { 413 };
+                ctx.metrics.record_status(status);
+                let body = error_json(reason, "too-large");
+                let _ = write_response(&mut write_half, status, &[], body.as_bytes(), false);
+                return;
+            }
+        }
+    }
+}
+
+fn error_json(message: &str, kind: &str) -> String {
+    Obj::new().str("error", message).str("kind", kind).finish()
+}
+
+type Response = (u16, Vec<(&'static str, String)>, String);
+
+// `requests_total` is bumped by `record_status` in every answer path
+// (routed, parse failure, overload shed), so totals always reconcile.
+fn route(ctx: &ServeCtx, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
+            (200, vec![], Obj::new().str("status", "ok").finish())
+        }
+        ("GET", "/metrics") => {
+            ctx.metrics.metrics_requests.fetch_add(1, Ordering::Relaxed);
+            (200, vec![], ctx.metrics.to_json(ctx.cache.counters()))
+        }
+        ("POST", "/solve") => {
+            ctx.metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
+            let started = Instant::now();
+            let resp = solve_endpoint(ctx, req);
+            ctx.metrics.solve_latency.record(started.elapsed());
+            resp
+        }
+        ("POST", "/batch") => {
+            ctx.metrics.batch_requests.fetch_add(1, Ordering::Relaxed);
+            batch_endpoint(ctx, req)
+        }
+        ("POST", "/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            (
+                200,
+                vec![],
+                Obj::new().str("status", "shutting-down").finish(),
+            )
+        }
+        (_, "/healthz" | "/metrics" | "/solve" | "/batch" | "/shutdown") => (
+            405,
+            vec![],
+            error_json("method not allowed for this path", "method"),
+        ),
+        _ => (404, vec![], error_json("no such endpoint", "not-found")),
+    }
+}
+
+/// Query parameters shared by `/solve` and `/batch`.
+struct SolveParams {
+    pvec: dclab_core::pvec::PVec,
+    strategy: Strategy,
+    budget: Budget,
+    format: Option<graph_io::Format>,
+}
+
+fn parse_params(req: &Request) -> Result<SolveParams, String> {
+    let pvec = match req.query_param("p") {
+        Some(raw) => {
+            let entries: Result<Vec<u64>, _> =
+                raw.split(',').map(|t| t.trim().parse::<u64>()).collect();
+            let entries = entries.map_err(|e| format!("bad p-vector '{raw}': {e}"))?;
+            dclab_core::pvec::PVec::new(entries).ok_or_else(|| {
+                format!("bad p-vector '{raw}': must be non-empty and not all-zero")
+            })?
+        }
+        None => dclab_core::pvec::PVec::l21(),
+    };
+    let strategy = match req.query_param("strategy") {
+        Some(raw) => raw.parse::<Strategy>()?,
+        None => Strategy::Auto,
+    };
+    let mut budget = Budget::default();
+    if let Some(raw) = req.query_param("node-budget") {
+        budget.node_budget = Some(raw.parse().map_err(|e| format!("bad node-budget: {e}"))?);
+    }
+    if let Some(raw) = req.query_param("restarts") {
+        budget.restarts = Some(raw.parse().map_err(|e| format!("bad restarts: {e}"))?);
+    }
+    let format = match req.query_param("format") {
+        None | Some("auto") => None,
+        Some("edgelist") | Some("edge-list") => Some(graph_io::Format::EdgeList),
+        Some("dimacs") | Some("col") => Some(graph_io::Format::Dimacs),
+        Some(other) => return Err(format!("unknown format '{other}'")),
+    };
+    Ok(SolveParams {
+        pvec,
+        strategy,
+        budget,
+        format,
+    })
+}
+
+/// Sniff DIMACS vs. edge list when the client did not say: DIMACS bodies
+/// open with a `c` comment or the `p` problem line.
+fn sniff_format(text: &str) -> graph_io::Format {
+    for line in text.lines() {
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        return if t.starts_with('c') || t.starts_with("p ") || t.starts_with("e ") {
+            graph_io::Format::Dimacs
+        } else {
+            graph_io::Format::EdgeList
+        };
+    }
+    graph_io::Format::EdgeList
+}
+
+fn parse_instance(body: &str, format: Option<graph_io::Format>) -> Result<Graph, String> {
+    let format = format.unwrap_or_else(|| sniff_format(body));
+    graph_io::parse(body, format).map_err(|e| e.to_string())
+}
+
+/// `(status, kind)` for an engine failure; guard refusals are the
+/// unprocessable-instance contract (HTTP 422).
+fn engine_error_meta(e: &EngineError) -> (u16, &'static str) {
+    match e {
+        EngineError::Guard(_) => (422, "guard"),
+        EngineError::Reduction(_) => (422, "reduction"),
+        EngineError::Unsupported { .. } => (422, "unsupported"),
+        EngineError::Internal(_) => (500, "internal"),
+    }
+}
+
+/// Cache-through solve of one instance. Returns the report JSON and cache
+/// status, or an error response triple.
+fn cached_solve(
+    ctx: &ServeCtx,
+    graph: Graph,
+    params: &SolveParams,
+) -> Result<(String, CacheStatus), (u16, &'static str, String)> {
+    let key = CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
+    let (result, status) = ctx.cache.get_or_solve(&key, || {
+        let req = SolveRequest {
+            graph,
+            pvec: params.pvec.clone(),
+            strategy: params.strategy,
+            budget: params.budget,
+        };
+        match solve(&req) {
+            Ok(report) => {
+                ctx.metrics.record_strategy(report.strategy_used);
+                Ok(report)
+            }
+            Err(e) => {
+                let (code, kind) = engine_error_meta(&e);
+                // Encode the HTTP meta in the shared error string so
+                // coalesced waiters reconstruct the same response.
+                Err(format!("{code}\x1f{kind}\x1f{e}"))
+            }
+        }
+    });
+    match result {
+        Ok(report) => Ok((report.to_json(), status)),
+        Err(encoded) => {
+            let mut parts = encoded.splitn(3, '\x1f');
+            let code: u16 = parts.next().and_then(|c| c.parse().ok()).unwrap_or(500);
+            let kind = match parts.next() {
+                Some("guard") => "guard",
+                Some("reduction") => "reduction",
+                Some("unsupported") => "unsupported",
+                _ => "internal",
+            };
+            let message = parts.next().unwrap_or("solve failed").to_string();
+            Err((code, kind, message))
+        }
+    }
+}
+
+fn solve_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
+    let params = match parse_params(req) {
+        Ok(p) => p,
+        Err(e) => return (400, vec![], error_json(&e, "bad-request")),
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return (400, vec![], error_json("body is not UTF-8", "bad-request")),
+    };
+    let graph = match parse_instance(body, params.format) {
+        Ok(g) => g,
+        Err(e) => return (400, vec![], error_json(&e, "parse")),
+    };
+    match cached_solve(ctx, graph, &params) {
+        Ok((report_json, status)) => (
+            200,
+            vec![("x-dclab-cache", status.name().to_string())],
+            report_json,
+        ),
+        Err((code, kind, message)) => (code, vec![], error_json(&message, kind)),
+    }
+}
+
+/// Batch body separator: a line containing only `%%`.
+const BATCH_SEPARATOR: &str = "%%";
+
+fn batch_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
+    let params = match parse_params(req) {
+        Ok(p) => p,
+        Err(e) => return (400, vec![], error_json(&e, "bad-request")),
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return (400, vec![], error_json("body is not UTF-8", "bad-request")),
+    };
+    let instances: Vec<&str> = split_batch(body);
+    if instances.is_empty() {
+        return (400, vec![], error_json("empty batch", "bad-request"));
+    }
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut items = Vec::with_capacity(instances.len());
+    for text in &instances {
+        let item = match parse_instance(text, params.format) {
+            Ok(graph) => match cached_solve(ctx, graph, &params) {
+                Ok((report_json, status)) => {
+                    match status {
+                        CacheStatus::Miss => misses += 1,
+                        _ => hits += 1,
+                    }
+                    Obj::new()
+                        .str("cache", status.name())
+                        .raw("report", &report_json)
+                        .finish()
+                }
+                Err((_, kind, message)) => {
+                    Obj::new().str("error", &message).str("kind", kind).finish()
+                }
+            },
+            Err(e) => Obj::new().str("error", &e).str("kind", "parse").finish(),
+        };
+        items.push(item);
+    }
+    (
+        200,
+        vec![
+            ("x-dclab-cache-hits", hits.to_string()),
+            ("x-dclab-cache-misses", misses.to_string()),
+        ],
+        array(items),
+    )
+}
+
+/// Split a batch body into instance chunks on `%%` lines, dropping blank
+/// chunks.
+fn split_batch(body: &str) -> Vec<&str> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut pos = 0usize;
+    for line in body.split_inclusive('\n') {
+        if line.trim() == BATCH_SEPARATOR {
+            chunks.push(&body[start..pos]);
+            start = pos + line.len();
+        }
+        pos += line.len();
+    }
+    chunks.push(&body[start..]);
+    chunks
+        .into_iter()
+        .filter(|c| !c.trim().is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_splitting() {
+        let body = "0 1\n1 2\n%%\n0 1\n%%\n\n%%\nn 3\n0 2\n";
+        let chunks = split_batch(body);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks[0].contains("1 2"));
+        assert_eq!(chunks[1].trim(), "0 1");
+        assert!(chunks[2].contains("n 3"));
+    }
+
+    #[test]
+    fn format_sniffing() {
+        assert_eq!(
+            sniff_format("c hi\np edge 2 1\ne 1 2\n"),
+            graph_io::Format::Dimacs
+        );
+        assert_eq!(
+            sniff_format("p edge 2 1\ne 1 2\n"),
+            graph_io::Format::Dimacs
+        );
+        assert_eq!(sniff_format("\n\n0 1\n"), graph_io::Format::EdgeList);
+        assert_eq!(sniff_format("n 4\n0 1\n"), graph_io::Format::EdgeList);
+        assert_eq!(sniff_format(""), graph_io::Format::EdgeList);
+    }
+}

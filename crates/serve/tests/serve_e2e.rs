@@ -1,0 +1,225 @@
+//! End-to-end tests: a real server on an ephemeral port, a real TCP
+//! client, full request/response cycles.
+
+use std::time::Duration;
+
+use dclab_graph::generators::classic;
+use dclab_graph::io as graph_io;
+use dclab_serve::loadgen::{self, Client};
+use dclab_serve::server::{start, ServeConfig};
+use dclab_serve::ServerHandle;
+
+fn test_server() -> (ServerHandle, Client) {
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_mb: 8,
+        queue_cap: 0,
+    })
+    .expect("bind ephemeral port");
+    let client = Client::new(handle.addr());
+    (handle, client)
+}
+
+fn stop(handle: ServerHandle, client: Client) {
+    drop(client);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let (handle, mut client) = test_server();
+    let health = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "{\"status\":\"ok\"}");
+    let metrics = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("\"requests_total\":"));
+    assert!(metrics.body.contains("\"cache\":{"));
+    assert!(metrics.body.contains("\"solve_latency\":{"));
+    stop(handle, client);
+}
+
+#[test]
+fn solve_cold_then_warm_is_bit_identical() {
+    let (handle, mut client) = test_server();
+    let body = graph_io::write_edge_list(&classic::petersen());
+    let cold = client
+        .request("POST", "/solve?p=2,1&strategy=auto", &body)
+        .unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-dclab-cache"), Some("miss"));
+    assert!(cold.body.contains("\"span\":9"), "λ_{{2,1}}(Petersen) = 9");
+    let warm = client
+        .request("POST", "/solve?p=2,1&strategy=auto", &body)
+        .unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-dclab-cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body, "cached report is bit-identical");
+    stop(handle, client);
+}
+
+#[test]
+fn isomorphic_relabeling_hits_the_cache() {
+    let (handle, mut client) = test_server();
+    let g = classic::petersen();
+    let perm = vec![5, 0, 8, 2, 9, 1, 7, 3, 6, 4];
+    let h = g.relabeled(&perm);
+    let first = client
+        .request("POST", "/solve?p=2,1", &graph_io::write_edge_list(&g))
+        .unwrap();
+    assert_eq!(first.header("x-dclab-cache"), Some("miss"));
+    let second = client
+        .request("POST", "/solve?p=2,1", &graph_io::write_edge_list(&h))
+        .unwrap();
+    assert_eq!(
+        second.header("x-dclab-cache"),
+        Some("hit"),
+        "relabeled instance must hit the canonical entry"
+    );
+    // Same span, and a labeling valid for the *relabeled* graph.
+    assert!(second.body.contains("\"span\":9"));
+    stop(handle, client);
+}
+
+#[test]
+fn guard_failure_returns_422_with_json_error() {
+    let (handle, mut client) = test_server();
+    // n = 30 > EXACT_MAX_N with an explicit exact request → GuardError.
+    let body = graph_io::write_edge_list(&classic::complete(30));
+    let resp = client
+        .request("POST", "/solve?p=2,1&strategy=exact", &body)
+        .unwrap();
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(resp.body.contains("\"kind\":\"guard\""), "{}", resp.body);
+    assert!(
+        resp.body.contains("exceeds the exact-solver guard"),
+        "GuardError message surfaces verbatim: {}",
+        resp.body
+    );
+    stop(handle, client);
+}
+
+#[test]
+fn unsupported_and_parse_errors_are_typed() {
+    let (handle, mut client) = test_server();
+    // Path graph has diameter > 2: the Theorem 2 reduction refuses.
+    let body = graph_io::write_edge_list(&classic::path(8));
+    let resp = client
+        .request("POST", "/solve?p=2,1&strategy=exact", &body)
+        .unwrap();
+    assert_eq!(resp.status, 422);
+    assert!(
+        resp.body.contains("\"kind\":\"reduction\""),
+        "{}",
+        resp.body
+    );
+    // Garbage body → 400 with line-accurate parse error.
+    let resp = client
+        .request("POST", "/solve?p=2,1", "0 1\nnot an edge\n")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("\"kind\":\"parse\""));
+    assert!(resp.body.contains("line 2"), "{}", resp.body);
+    // Bad query params → 400.
+    let resp = client
+        .request("POST", "/solve?strategy=frobnicate", "0 1\n")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    stop(handle, client);
+}
+
+#[test]
+fn dimacs_bodies_sniffed_and_explicit() {
+    let (handle, mut client) = test_server();
+    let dimacs = graph_io::write_dimacs(&classic::petersen());
+    let sniffed = client.request("POST", "/solve?p=2,1", &dimacs).unwrap();
+    assert_eq!(sniffed.status, 200, "{}", sniffed.body);
+    let explicit = client
+        .request("POST", "/solve?p=2,1&format=dimacs", &dimacs)
+        .unwrap();
+    assert_eq!(explicit.status, 200);
+    assert_eq!(explicit.header("x-dclab-cache"), Some("hit"));
+    stop(handle, client);
+}
+
+#[test]
+fn batch_endpoint_solves_many_and_reports_cache_headers() {
+    let (handle, mut client) = test_server();
+    let a = graph_io::write_edge_list(&classic::complete(5));
+    let b = graph_io::write_edge_list(&classic::petersen());
+    let body = format!("{a}%%\n{b}%%\nthis is not a graph\n");
+    let resp = client.request("POST", "/batch?p=2,1", &body).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-dclab-cache-hits"), Some("0"));
+    assert_eq!(resp.header("x-dclab-cache-misses"), Some("2"));
+    assert!(resp.body.starts_with('['));
+    assert!(
+        resp.body.contains("\"kind\":\"parse\""),
+        "third item errored"
+    );
+    // Replaying the batch is all hits.
+    let again = client.request("POST", "/batch?p=2,1", &body).unwrap();
+    assert_eq!(again.header("x-dclab-cache-hits"), Some("2"));
+    assert_eq!(again.header("x-dclab-cache-misses"), Some("0"));
+    stop(handle, client);
+}
+
+#[test]
+fn unknown_paths_and_methods_rejected() {
+    let (handle, mut client) = test_server();
+    let resp = client.request("GET", "/nope", "").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.request("GET", "/solve", "").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client.request("POST", "/healthz", "").unwrap();
+    assert_eq!(resp.status, 405);
+    stop(handle, client);
+}
+
+#[test]
+fn metrics_reflect_traffic_and_strategies() {
+    let (handle, mut client) = test_server();
+    let body = graph_io::write_edge_list(&classic::complete(8));
+    for _ in 0..3 {
+        let r = client
+            .request("POST", "/solve?p=2,1&strategy=exact", &body)
+            .unwrap();
+        assert_eq!(r.status, 200);
+    }
+    let metrics = client.request("GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.body.contains("\"solve_requests\":3"),
+        "{}",
+        metrics.body
+    );
+    assert!(metrics.body.contains("\"hits\":2"), "{}", metrics.body);
+    assert!(metrics.body.contains("\"misses\":1"), "{}", metrics.body);
+    assert!(metrics.body.contains("\"exact\":1"), "one actual solve");
+    stop(handle, client);
+}
+
+#[test]
+fn shutdown_endpoint_drains_gracefully() {
+    let (handle, mut client) = test_server();
+    let resp = client.request("POST", "/shutdown", "").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("shutting-down"));
+    drop(client);
+    // join() must return promptly (accept loop polls the flag).
+    let start = std::time::Instant::now();
+    handle.join();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "graceful shutdown took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn loadgen_self_test_passes() {
+    let summary = loadgen::self_test(Duration::from_millis(500)).expect("self test passes");
+    assert!(summary.contains("\"status\":\"ok\""));
+    assert!(summary.contains("\"warm_hit_rate\":1.000000"), "{summary}");
+}

@@ -1,0 +1,92 @@
+//! E11 bench — the APSP baseline: scalar one-BFS-per-source vs. the
+//! bit-parallel blocked kernel (single-threaded) vs. the blocked kernel
+//! fanned across threads, on the paper's small-diameter G(n,p) corpus and
+//! a sparse preferential-attachment corpus, n ∈ {256, 1024, 4096}.
+//!
+//! Besides the criterion output, writes machine-readable timings to
+//! `BENCH_apsp.json` at the workspace root so the perf trajectory has an
+//! APSP baseline across PRs. Set `DCLAB_BENCH_QUICK=1` (the CI smoke
+//! mode) to skip the n = 4096 sweep.
+
+use criterion::{criterion_main, Criterion};
+use dclab_graph::generators::random;
+use dclab_graph::{DistanceMatrix, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Dense-enough G(n,p) that the diameter lands at 2–3 — the Theorem 2
+/// regime where the distance matrix is the whole cost of the reduction.
+fn small_diameter_gnp(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = 1.5 * (2.0 * (n as f64).ln() / n as f64).sqrt();
+    random::gnp(&mut rng, n, p.clamp(0.0, 0.6))
+}
+
+/// Sparse small-world corpus: preferential attachment, diameter ~4–5.
+fn ba_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random::barabasi_albert(&mut rng, n, 8)
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let quick = std::env::var("DCLAB_BENCH_QUICK").is_ok();
+    let sizes: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
+    type Corpus = fn(usize, u64) -> Graph;
+    let corpora: [(&str, Corpus); 2] = [("smalldiam", small_diameter_gnp), ("ba", ba_graph)];
+    for (corpus, make) in corpora {
+        let mut group = c.benchmark_group(format!("e11_apsp_{corpus}"));
+        group.sample_size(10);
+        for &n in sizes {
+            let g = make(n, 0xA95F + n as u64);
+            group.bench_function(format!("scalar/{n}"), |b| {
+                b.iter(|| DistanceMatrix::compute_sequential(black_box(&g)))
+            });
+            dclab_par::set_thread_override(Some(1));
+            group.bench_function(format!("bit64/{n}"), |b| {
+                b.iter(|| DistanceMatrix::compute(black_box(&g)))
+            });
+            dclab_par::set_thread_override(None);
+            group.bench_function(format!("bit64-threaded/{n}"), |b| {
+                b.iter(|| DistanceMatrix::compute(black_box(&g)))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn write_bench_json(c: &Criterion) {
+    let body: Vec<String> = c
+        .measurements()
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iterations\":{}}}",
+                m.id, m.mean_ns, m.iterations
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"bench\":\"e11_apsp\",\"results\":[{}]}}\n",
+        body.join(",")
+    );
+    // Land at the workspace root regardless of the bench CWD.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apsp.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path} ({} entries)", c.measurements().len());
+    }
+}
+
+fn benches_with_json() {
+    let mut criterion = Criterion::default();
+    bench_apsp(&mut criterion);
+    write_bench_json(&criterion);
+}
+
+criterion_main!(benches_with_json);

@@ -30,9 +30,12 @@ pub struct InstanceFeatures {
 }
 
 impl InstanceFeatures {
-    /// Extract features. Runs one APSP-free diameter computation plus the
-    /// linear-time cotree test; the expensive per-pair structure lives in
-    /// the reduction, which the engine computes separately (and once).
+    /// Extract features. The diameter comes from the streaming
+    /// bit-parallel BFS (`dclab_graph::diameter`): blocks of 64 BFS waves
+    /// folded into an eccentricity maximum without materializing the
+    /// `n × n` matrix, so `Strategy::Auto` dispatch stays cheap even on
+    /// large instances. The full distance matrix lives in the reduction,
+    /// which the engine computes separately (and once).
     pub fn extract(g: &Graph, p: &PVec) -> InstanceFeatures {
         let diam = diameter(g);
         let k = p.k();

@@ -1,14 +1,23 @@
-//! All-pairs shortest paths by parallel BFS.
+//! All-pairs shortest paths by bit-parallel blocked BFS.
 //!
-//! This is the `O(nm)` half of the Theorem 2 reduction: the distance matrix
-//! of `G` becomes the weight matrix of the TSP instance `H`. One BFS per
-//! source, fanned out across threads with [`dclab_par::par_map_indexed`]
-//! (deterministic row order, dynamic scheduling).
+//! This is the workhorse of the Theorem 2 reduction: the distance matrix
+//! of `G` becomes the weight matrix of the TSP instance `H`, and on the
+//! paper's small-diameter instances computing it dominates everything the
+//! TSP machinery does afterwards. Sources are processed in blocks of
+//! [`BLOCK`] by [`bfs64_distances_csr`] — one `u64` word per vertex
+//! advances 64 BFS waves per neighbor-list scan — and blocks (not single
+//! sources) are fanned across threads with [`dclab_par::par_map_chunks`]
+//! (deterministic row order, dynamic scheduling). The scalar
+//! one-BFS-per-source path survives as [`DistanceMatrix::compute_sequential`],
+//! the differential-test oracle.
 
 use crate::csr::Csr;
 use crate::graph::Graph;
-use crate::traversal::bfs_distances_csr;
+use crate::traversal::{bfs64_distances_csr, bfs_distances_csr};
 use crate::INF;
+
+/// Sources per bit-parallel BFS block (the word width of the kernel).
+pub const BLOCK: usize = 64;
 
 /// Flat `n × n` matrix of hop distances; `INF` marks unreachable pairs.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,21 +27,33 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Compute APSP for `g` with one BFS per source, in parallel.
+    /// Compute APSP for `g`: bit-parallel BFS in blocks of [`BLOCK`]
+    /// sources, blocks fanned across threads.
     pub fn compute(g: &Graph) -> Self {
-        let n = g.n();
         let csr = Csr::from_graph(g);
-        let rows = dclab_par::par_map_indexed(n, |s| bfs_distances_csr(&csr, s));
+        Self::compute_csr(&csr)
+    }
+
+    /// Blocked bit-parallel APSP over an existing CSR view.
+    pub fn compute_csr(csr: &Csr) -> Self {
+        let n = csr.n();
+        let blocks = dclab_par::par_map_chunks(n, BLOCK, |range| {
+            let sources: Vec<usize> = range.collect();
+            let mut rows = vec![0u32; sources.len() * n];
+            bfs64_distances_csr(csr, &sources, &mut rows);
+            rows
+        });
         let mut d = Vec::with_capacity(n * n);
-        for row in rows {
-            debug_assert_eq!(row.len(), n);
-            d.extend_from_slice(&row);
+        for block in blocks {
+            d.extend_from_slice(&block);
         }
+        debug_assert_eq!(d.len(), n * n);
         DistanceMatrix { n, d }
     }
 
-    /// Sequential reference implementation (used by tests to validate the
-    /// parallel driver).
+    /// Sequential scalar reference — one classic BFS per source. This is
+    /// the oracle the differential tests pin [`DistanceMatrix::compute`]
+    /// against, and the scalar baseline of the `e11_apsp` bench.
     pub fn compute_sequential(g: &Graph) -> Self {
         let n = g.n();
         let csr = Csr::from_graph(g);
@@ -61,10 +82,14 @@ impl DistanceMatrix {
         &self.d[u * self.n..(u + 1) * self.n]
     }
 
-    /// Largest finite entry; `None` if the graph is disconnected
-    /// (some entry is `INF`) or has no vertex pair.
+    /// Largest finite entry; `None` if the graph is disconnected (some
+    /// entry is `INF`) or empty (`n = 0`, where no distance exists at
+    /// all). A single vertex has diameter 0.
     pub fn diameter(&self) -> Option<u32> {
-        if self.n <= 1 {
+        if self.n == 0 {
+            return None;
+        }
+        if self.n == 1 {
             return Some(0);
         }
         let mut max = 0;
@@ -140,6 +165,32 @@ mod tests {
                 DistanceMatrix::compute_sequential(&g)
             );
         }
+    }
+
+    #[test]
+    fn blocked_matches_sequential_across_block_boundaries() {
+        // n straddling one and several 64-source blocks.
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [63usize, 64, 65, 128, 130, 200] {
+            let g = random::gnp(&mut rng, n, 0.08);
+            assert_eq!(
+                DistanceMatrix::compute(&g),
+                DistanceMatrix::compute_sequential(&g),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        let empty = DistanceMatrix::compute(&Graph::new(0));
+        assert_eq!(empty.n(), 0);
+        assert_eq!(empty.diameter(), None, "no vertex pair → None");
+        empty.validate().unwrap();
+        let single = DistanceMatrix::compute(&Graph::new(1));
+        assert_eq!(single.diameter(), Some(0));
+        assert_eq!(single.eccentricity(0), Some(0));
+        single.validate().unwrap();
     }
 
     #[test]

@@ -1,13 +1,43 @@
 //! Diameter and eccentricity helpers.
 
-use crate::apsp::DistanceMatrix;
+use crate::apsp::BLOCK;
+use crate::csr::Csr;
 use crate::graph::Graph;
-use crate::traversal::bfs_distances;
+use crate::traversal::{bfs64_distances_csr, bfs_distances};
 use crate::INF;
 
-/// Diameter of `g`, or `None` when `g` is disconnected.
+/// Diameter of `g`, or `None` when `g` is disconnected or empty (`n = 0`
+/// — no vertex pair, matching [`crate::DistanceMatrix::diameter`]).
+///
+/// Runs the same bit-parallel BFS kernel as APSP, but streams blocks of
+/// 64 sources and folds their eccentricities instead of materializing the
+/// `n × n` matrix — `O(n)` words of memory per thread, which is what makes
+/// feature extraction (`Strategy::Auto` dispatch) cheap on large instances.
 pub fn diameter(g: &Graph) -> Option<u32> {
-    DistanceMatrix::compute(g).diameter()
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(0);
+    }
+    let csr = Csr::from_graph(g);
+    let per_block: Vec<Option<u32>> = dclab_par::par_map_chunks(n, BLOCK, |range| {
+        let sources: Vec<usize> = range.collect();
+        let mut rows = vec![0u32; sources.len() * n];
+        bfs64_distances_csr(&csr, &sources, &mut rows);
+        let mut max = 0u32;
+        for &d in &rows {
+            if d == INF {
+                return None;
+            }
+            max = max.max(d);
+        }
+        Some(max)
+    });
+    per_block
+        .into_iter()
+        .try_fold(0u32, |acc, ecc| ecc.map(|e| acc.max(e)))
 }
 
 /// Eccentricity of a single vertex via one BFS; `None` when some vertex is
@@ -29,7 +59,8 @@ pub fn eccentricity(g: &Graph, v: usize) -> Option<u32> {
 /// true diameter on connected graphs.
 pub fn diameter_lower_bound(g: &Graph, start: usize) -> Option<u32> {
     if g.n() == 0 {
-        return Some(0);
+        // Align with `diameter`: an empty graph has no vertex pair.
+        return None;
     }
     let d1 = bfs_distances(g, start);
     let (far, &best) = d1
@@ -87,5 +118,37 @@ mod tests {
         assert_eq!(diameter(&g), None);
         assert_eq!(eccentricity(&g, 0), None);
         assert!(!has_diameter_at_most(&g, 5));
+    }
+
+    #[test]
+    fn empty_and_singleton_edges() {
+        // n = 0: no vertex pair → None everywhere, matching the
+        // DistanceMatrix doc.
+        assert_eq!(diameter(&Graph::new(0)), None);
+        assert_eq!(diameter_lower_bound(&Graph::new(0), 0), None);
+        assert!(!has_diameter_at_most(&Graph::new(0), 0));
+        // n = 1: a single vertex has diameter 0.
+        assert_eq!(diameter(&Graph::new(1)), Some(0));
+        assert_eq!(eccentricity(&Graph::new(1), 0), Some(0));
+        assert!(has_diameter_at_most(&Graph::new(1), 0));
+    }
+
+    #[test]
+    fn streaming_diameter_matches_matrix_across_blocks() {
+        use crate::apsp::DistanceMatrix;
+        use crate::generators::random;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(13);
+        for n in [30usize, 64, 65, 150] {
+            for p in [0.02f64, 0.15] {
+                let g = random::gnp(&mut rng, n, p);
+                assert_eq!(
+                    diameter(&g),
+                    DistanceMatrix::compute_sequential(&g).diameter(),
+                    "n={n} p={p}"
+                );
+            }
+        }
     }
 }

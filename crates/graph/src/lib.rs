@@ -12,6 +12,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod apsp;
+pub mod bitset;
 pub mod canon;
 pub mod csr;
 pub mod diameter;
@@ -24,6 +25,7 @@ pub mod traversal;
 pub mod unionfind;
 
 pub use apsp::DistanceMatrix;
+pub use bitset::BitRows;
 pub use canon::{canon_hash, CanonicalForm};
 pub use csr::Csr;
 pub use graph::Graph;

@@ -1,0 +1,70 @@
+//! Differential property tests pinning the bit-parallel blocked APSP
+//! ([`DistanceMatrix::compute`]) to the scalar one-BFS-per-source oracle
+//! ([`DistanceMatrix::compute_sequential`]) across the corpora the paper's
+//! pipeline actually sees: G(n,p) at several densities, cycles, complete
+//! graphs, and forced-disconnected instances.
+
+use dclab_graph::generators::{classic, random};
+use dclab_graph::ops::disjoint_union;
+use dclab_graph::{DistanceMatrix, Graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One corpus instance per case, spread over the four families.
+fn corpus_graph(kind: usize, n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match kind % 4 {
+        0 => {
+            // G(n,p) sweeping sparse → dense (diameter large → small).
+            let p = [0.03, 0.1, 0.3, 0.7][(seed % 4) as usize];
+            random::gnp(&mut rng, n, p)
+        }
+        1 => classic::cycle(n.max(3)),
+        2 => classic::complete(n),
+        _ => {
+            // Forced disconnected: two G(n,p) halves with no cross edges.
+            let half = (n / 2).max(1);
+            let a = random::gnp(&mut rng, half, 0.3);
+            let b = random::gnp(&mut rng, n - half + 1, 0.3);
+            disjoint_union(&a, &b)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    // The acceptance gate: bit-parallel blocked compute is bit-identical
+    // to the scalar oracle on every corpus family, including sizes that
+    // straddle the 64-source block boundary.
+    #[test]
+    fn bit_parallel_apsp_matches_sequential_oracle(
+        kind in 0usize..4,
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let blocked = DistanceMatrix::compute(&g);
+        let oracle = DistanceMatrix::compute_sequential(&g);
+        prop_assert_eq!(blocked, oracle);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    // Metric sanity (zero diagonal, symmetry, triangle inequality) and
+    // diameter agreement between the streaming fold and the full matrix.
+    #[test]
+    fn blocked_apsp_is_a_metric_and_diameters_agree(
+        kind in 0usize..4,
+        n in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let g = corpus_graph(kind, n, seed);
+        let d = DistanceMatrix::compute(&g);
+        prop_assert!(d.validate().is_ok());
+        prop_assert_eq!(dclab_graph::diameter::diameter(&g), d.diameter());
+    }
+}

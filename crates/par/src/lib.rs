@@ -108,6 +108,26 @@ where
         .collect()
 }
 
+/// Parallel map over `0..n` in contiguous chunks of `chunk_size`, with
+/// deterministic output order (one result per chunk, in chunk order).
+///
+/// This is the fan-out shape of blocked kernels — e.g. the bit-parallel
+/// APSP, which processes sources in blocks of 64 — where the unit of work
+/// is a *range* of indices, not a single index. The final chunk may be
+/// shorter than `chunk_size`.
+pub fn par_map_chunks<U, F>(n: usize, chunk_size: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let chunks = n.div_ceil(chunk_size);
+    par_map_indexed(chunks, |b| {
+        let lo = b * chunk_size;
+        f(lo..(lo + chunk_size).min(n))
+    })
+}
+
 /// Parallel reduction: map each index through `f` and fold results with
 /// `reduce`, starting from `identity`. The reduction order is unspecified, so
 /// `reduce` must be commutative and associative (min/max/sum of spans etc.).
@@ -181,6 +201,16 @@ mod tests {
             let v = par_map_indexed(257, |i| i * 3);
             assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
         }
+    }
+
+    #[test]
+    fn par_map_chunks_covers_range_in_order() {
+        let chunks = par_map_chunks(250, 64, |r| r);
+        assert_eq!(chunks, vec![0..64, 64..128, 128..192, 192..250]);
+        // Exact multiple and degenerate cases.
+        assert_eq!(par_map_chunks(128, 64, |r| r.len()), vec![64, 64]);
+        assert!(par_map_chunks(0, 64, |r| r).is_empty());
+        assert_eq!(par_map_chunks(3, 0, |r| r), vec![0..1, 1..2, 2..3]);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct Request {
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Minor HTTP version from the request line (`0` for HTTP/1.0, `1`
+    /// for HTTP/1.1). Decides the keep-alive default.
+    pub version_minor: u8,
 }
 
 impl Request {
@@ -44,10 +47,16 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Does the client ask to keep the connection open? (HTTP/1.1 default
-    /// is keep-alive unless `Connection: close`.)
+    /// Does the client ask to keep the connection open? HTTP/1.1 defaults
+    /// to keep-alive unless `Connection: close`; HTTP/1.0 defaults to
+    /// close unless `Connection: keep-alive` — a 1.0 client without that
+    /// header would otherwise hang waiting for EOF.
     pub fn keep_alive(&self) -> bool {
-        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version_minor >= 1,
+        }
     }
 }
 
@@ -140,9 +149,11 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseE
     let version = parts
         .next()
         .ok_or(ParseError::Bad("missing HTTP version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(ParseError::Bad("unsupported HTTP version"));
-    }
+    let version_minor = match version {
+        "HTTP/1.0" => 0,
+        "HTTP/1.1" => 1,
+        _ => return Err(ParseError::Bad("unsupported HTTP version")),
+    };
 
     let (path_raw, query_raw) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
@@ -186,6 +197,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseE
         query,
         headers,
         body,
+        version_minor,
     })
 }
 
@@ -247,7 +259,10 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Write one response. `extra_headers` are `(name, value)` pairs appended
-/// after the standard set.
+/// after the standard set. The default `content-type` is
+/// `application/json`; an `extra_headers` entry named `content-type`
+/// (case-insensitive) **replaces** the default instead of duplicating it,
+/// so non-JSON endpoints (Prometheus `/metrics`) can declare themselves.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
@@ -255,13 +270,18 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
-        status,
-        reason(status),
+    let caller_sets_content_type = extra_headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
+    let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
+    if !caller_sets_content_type {
+        head.push_str("content-type: application/json\r\n");
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    );
+    ));
     for (k, v) in extra_headers {
         head.push_str(k);
         head.push_str(": ");
@@ -305,5 +325,75 @@ mod tests {
         for code in [200, 400, 404, 405, 413, 422, 431, 500, 503] {
             assert!(!reason(code).is_empty(), "{code}");
         }
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_http_version() {
+        let req = |version_minor, connection: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            query: vec![],
+            headers: connection
+                .map(|v| vec![("connection".to_string(), v.to_string())])
+                .unwrap_or_default(),
+            body: vec![],
+            version_minor,
+        };
+        // HTTP/1.1: keep-alive unless told otherwise.
+        assert!(req(1, None).keep_alive());
+        assert!(!req(1, Some("close")).keep_alive());
+        // HTTP/1.0: close unless the client opts in.
+        assert!(!req(0, None).keep_alive());
+        assert!(req(0, Some("keep-alive")).keep_alive());
+        assert!(req(0, Some("Keep-Alive")).keep_alive());
+        assert!(!req(0, Some("close")).keep_alive());
+    }
+
+    /// Feed raw bytes to `read_request` over a real socket, optionally
+    /// closing the write side mid-request (EOF injection).
+    fn parse_raw(bytes: &'static [u8]) -> Result<Request, ParseError> {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(bytes).unwrap();
+            // EOF: close the stream without completing the request.
+            drop(s);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        let result = read_request(&mut reader);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn truncated_request_line_does_not_parse() {
+        // EOF in the middle of the request line: the bytes so far must
+        // never come back as a complete request.
+        let r = parse_raw(b"GET /healthz HT");
+        assert!(
+            matches!(r, Err(ParseError::Bad(_))),
+            "mid-request-line EOF parsed as {r:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_header_block_does_not_parse() {
+        // Full request line but EOF before the blank line.
+        let r = parse_raw(b"GET /healthz HTTP/1.1\r\nhost: x\r\n");
+        assert!(
+            matches!(r, Err(ParseError::Bad("truncated header block"))),
+            "mid-headers EOF parsed as {r:?}"
+        );
+    }
+
+    #[test]
+    fn complete_request_still_parses() {
+        let r = parse_raw(b"GET /healthz?x=1 HTTP/1.0\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.version_minor, 0);
+        assert!(!r.keep_alive());
     }
 }

@@ -1,5 +1,7 @@
 //! Service metrics: lock-free counters and a log-scale latency histogram,
-//! rendered as deterministic JSON for `GET /metrics`.
+//! rendered as Prometheus text exposition (the `GET /metrics` default,
+//! `text/plain; version=0.0.4`) or deterministic JSON
+//! (`GET /metrics?format=json`).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -50,6 +52,34 @@ impl LatencyHistogram {
             }
         }
         u64::MAX
+    }
+
+    /// Prometheus histogram lines (`*_bucket{le=…}` cumulative counts in
+    /// seconds, `*_sum`, `*_count`) for a metric named `name`.
+    pub fn to_prometheus(&self, name: &str) -> String {
+        let mut out = format!("# TYPE {name} histogram\n");
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let count = bucket.load(Ordering::Relaxed);
+            cumulative += count;
+            // The last bucket is open-ended: its samples belong to +Inf
+            // only — a finite `le` would claim slow solves finished early.
+            if count == 0 || i + 1 == LATENCY_BUCKETS {
+                continue;
+            }
+            let le_seconds = (1u64 << (i + 1)) as f64 / 1e6;
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{le_seconds}\"}} {cumulative}\n"
+            ));
+        }
+        let count = self.count();
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!(
+            "{name}_sum {}\n",
+            self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!("{name}_count {count}\n"));
+        out
     }
 
     pub fn to_json(&self) -> String {
@@ -118,7 +148,66 @@ impl Metrics {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The `/metrics` JSON body.
+    /// The `/metrics` body in Prometheus text exposition format 0.0.4
+    /// (served with `content-type: text/plain; version=0.0.4`).
+    pub fn to_prometheus(&self, cache: CacheCounters) -> String {
+        let counter = |name: &str, value: u64| format!("# TYPE {name} counter\n{name} {value}\n");
+        let gauge = |name: &str, value: u64| format!("# TYPE {name} gauge\n{name} {value}\n");
+        let mut out = String::new();
+        out.push_str(&counter(
+            "dclab_requests_total",
+            self.requests_total.load(Ordering::Relaxed),
+        ));
+        out.push_str("# TYPE dclab_endpoint_requests_total counter\n");
+        for (name, v) in [
+            ("solve", &self.solve_requests),
+            ("batch", &self.batch_requests),
+            ("health", &self.health_requests),
+            ("metrics", &self.metrics_requests),
+        ] {
+            out.push_str(&format!(
+                "dclab_endpoint_requests_total{{endpoint=\"{name}\"}} {}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE dclab_responses_total counter\n");
+        for (class, v) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            out.push_str(&format!(
+                "dclab_responses_total{{class=\"{class}\"}} {}\n",
+                v.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&counter(
+            "dclab_rejected_overload_total",
+            self.rejected_overload.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter("dclab_cache_hits_total", cache.hits));
+        out.push_str(&counter("dclab_cache_misses_total", cache.misses));
+        out.push_str(&counter("dclab_cache_coalesced_total", cache.coalesced));
+        out.push_str(&counter("dclab_cache_evictions_total", cache.evictions));
+        out.push_str(&gauge("dclab_cache_entries", cache.entries));
+        out.push_str(&gauge("dclab_cache_bytes", cache.bytes));
+        out.push_str("# TYPE dclab_solves_total counter\n");
+        for (s, count) in Strategy::CONCRETE.iter().zip(self.per_strategy.iter()) {
+            out.push_str(&format!(
+                "dclab_solves_total{{strategy=\"{}\"}} {}\n",
+                s.name(),
+                count.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            &self
+                .solve_latency
+                .to_prometheus("dclab_solve_latency_seconds"),
+        );
+        out
+    }
+
+    /// The `/metrics?format=json` body.
     pub fn to_json(&self, cache: CacheCounters) -> String {
         let strategies = Strategy::CONCRETE
             .iter()
@@ -210,5 +299,28 @@ mod tests {
         let h = LatencyHistogram::default();
         assert_eq!(h.quantile_us(0.5), 0);
         assert!(h.to_json().contains("\"count\":0"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let m = Metrics::default();
+        m.record_strategy(Strategy::Exact);
+        m.record_status(200);
+        m.record_status(422);
+        m.solve_latency.record(Duration::from_micros(100));
+        let text = m.to_prometheus(CacheCounters::default());
+        assert!(text.contains("# TYPE dclab_requests_total counter\ndclab_requests_total 2\n"));
+        assert!(text.contains("dclab_responses_total{class=\"2xx\"} 1\n"));
+        assert!(text.contains("dclab_responses_total{class=\"4xx\"} 1\n"));
+        assert!(text.contains("dclab_solves_total{strategy=\"exact\"} 1\n"));
+        assert!(text.contains("dclab_cache_hits_total 0\n"));
+        // Histogram: 100 µs lands in the [64,128) µs bucket → le 128/1e6.
+        assert!(text.contains("# TYPE dclab_solve_latency_seconds histogram"));
+        assert!(text.contains("dclab_solve_latency_seconds_bucket{le=\"0.000128\"} 1\n"));
+        assert!(text.contains("dclab_solve_latency_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("dclab_solve_latency_seconds_count 1\n"));
+        // One TYPE line per metric family, even with several samples.
+        assert_eq!(text.matches("# TYPE dclab_solves_total").count(), 1);
+        assert_eq!(text.matches("# TYPE dclab_responses_total").count(), 1);
     }
 }

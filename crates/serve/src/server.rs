@@ -10,7 +10,7 @@
 //! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts` → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced` |
 //! | `POST /batch`    | body = instances separated by `%%` lines, same query params → JSON array |
 //! | `GET /healthz`   | liveness                                             |
-//! | `GET /metrics`   | counters, cache stats, per-strategy counts, latency histogram |
+//! | `GET /metrics`   | Prometheus text (default; `text/plain; version=0.0.4`) or `?format=json`: counters, cache stats, per-strategy counts, latency histogram |
 //! | `POST /shutdown` | graceful shutdown (drain queue, join workers)        |
 
 use std::io::BufReader;
@@ -239,7 +239,21 @@ fn route(ctx: &ServeCtx, req: &Request) -> Response {
         }
         ("GET", "/metrics") => {
             ctx.metrics.metrics_requests.fetch_add(1, Ordering::Relaxed);
-            (200, vec![], ctx.metrics.to_json(ctx.cache.counters()))
+            match req.query_param("format") {
+                None | Some("prometheus") => (
+                    // Prometheus text exposition is the scrape default —
+                    // with its own content-type, not the JSON one.
+                    200,
+                    vec![("content-type", "text/plain; version=0.0.4".to_string())],
+                    ctx.metrics.to_prometheus(ctx.cache.counters()),
+                ),
+                Some("json") => (200, vec![], ctx.metrics.to_json(ctx.cache.counters())),
+                Some(other) => (
+                    400,
+                    vec![],
+                    error_json(&format!("unknown metrics format '{other}'"), "bad-request"),
+                ),
+            }
         }
         ("POST", "/solve") => {
             ctx.metrics.solve_requests.fetch_add(1, Ordering::Relaxed);

@@ -33,11 +33,28 @@ fn healthz_and_metrics_respond() {
     let health = client.request("GET", "/healthz", "").unwrap();
     assert_eq!(health.status, 200);
     assert_eq!(health.body, "{\"status\":\"ok\"}");
+    // Default /metrics is Prometheus text with its own content-type.
     let metrics = client.request("GET", "/metrics", "").unwrap();
     assert_eq!(metrics.status, 200);
-    assert!(metrics.body.contains("\"requests_total\":"));
-    assert!(metrics.body.contains("\"cache\":{"));
-    assert!(metrics.body.contains("\"solve_latency\":{"));
+    assert_eq!(
+        metrics.header("content-type"),
+        Some("text/plain; version=0.0.4"),
+        "Prometheus text must not claim to be JSON"
+    );
+    assert!(metrics.body.contains("# TYPE dclab_requests_total counter"));
+    assert!(metrics.body.contains("dclab_cache_hits_total 0"));
+    assert!(metrics
+        .body
+        .contains("# TYPE dclab_solve_latency_seconds histogram"));
+    // JSON view still available for humans and the loadgen.
+    let json = client.request("GET", "/metrics?format=json", "").unwrap();
+    assert_eq!(json.status, 200);
+    assert_eq!(json.header("content-type"), Some("application/json"));
+    assert!(json.body.contains("\"requests_total\":"));
+    assert!(json.body.contains("\"cache\":{"));
+    assert!(json.body.contains("\"solve_latency\":{"));
+    let bad = client.request("GET", "/metrics?format=xml", "").unwrap();
+    assert_eq!(bad.status, 400);
     stop(handle, client);
 }
 
@@ -188,7 +205,7 @@ fn metrics_reflect_traffic_and_strategies() {
             .unwrap();
         assert_eq!(r.status, 200);
     }
-    let metrics = client.request("GET", "/metrics", "").unwrap();
+    let metrics = client.request("GET", "/metrics?format=json", "").unwrap();
     assert!(
         metrics.body.contains("\"solve_requests\":3"),
         "{}",
@@ -197,6 +214,65 @@ fn metrics_reflect_traffic_and_strategies() {
     assert!(metrics.body.contains("\"hits\":2"), "{}", metrics.body);
     assert!(metrics.body.contains("\"misses\":1"), "{}", metrics.body);
     assert!(metrics.body.contains("\"exact\":1"), "one actual solve");
+    // The Prometheus view reports the same traffic.
+    let prom = client.request("GET", "/metrics", "").unwrap();
+    assert!(
+        prom.body
+            .contains("dclab_endpoint_requests_total{endpoint=\"solve\"} 3"),
+        "{}",
+        prom.body
+    );
+    assert!(prom.body.contains("dclab_cache_hits_total 2"));
+    assert!(prom
+        .body
+        .contains("dclab_solves_total{strategy=\"exact\"} 1"));
+    stop(handle, client);
+}
+
+/// A raw HTTP/1.0 exchange: write `head` + `body`, read everything until
+/// the server closes or the timeout hits. Returns the raw response text
+/// and whether the server closed the connection after one response.
+fn raw_http_exchange(addr: std::net::SocketAddr, request: &str) -> (String, bool) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let closed = loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break true, // server EOF — connection closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break false, // timeout: server is keeping it open
+        }
+    };
+    (String::from_utf8_lossy(&buf).into_owned(), closed)
+}
+
+#[test]
+fn http10_defaults_to_close() {
+    let (handle, client) = test_server();
+    let addr = handle.addr();
+    // No Connection header: a 1.0 client expects the server to close —
+    // before the fix it would hang waiting for EOF on a kept-alive socket.
+    let (resp, closed) = raw_http_exchange(addr, "GET /healthz HTTP/1.0\r\nhost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("connection: close"), "{resp}");
+    assert!(closed, "server must close after an HTTP/1.0 response");
+    // Explicit opt-in keeps the connection open.
+    let (resp, closed) = raw_http_exchange(
+        addr,
+        "GET /healthz HTTP/1.0\r\nhost: x\r\nConnection: keep-alive\r\n\r\n",
+    );
+    assert!(resp.contains("connection: keep-alive"), "{resp}");
+    assert!(!closed, "keep-alive HTTP/1.0 connection must stay open");
+    // HTTP/1.1 without a Connection header still defaults to keep-alive.
+    let (resp, closed) = raw_http_exchange(addr, "GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
+    assert!(resp.contains("connection: keep-alive"), "{resp}");
+    assert!(!closed);
     stop(handle, client);
 }
 

@@ -30,26 +30,41 @@ impl Default for ChainedLkConfig {
     }
 }
 
-/// The classic 4-opt double bridge: split the tour into four segments
-/// A|B|C|D and reconnect as A|C|B|D. It cannot be undone by 2-opt alone,
-/// which is what makes it the canonical kick.
+/// The classic 4-opt double bridge: split the tour into four non-empty
+/// segments A|B|C|D and reconnect as A|C|B|D. It cannot be undone by
+/// 2-opt alone, which is what makes it the canonical kick.
+///
+/// The three cut points are sampled *distinct* (strictly `0 < p < q < r
+/// < n`): coinciding cuts would silently degenerate the 4-opt kick into a
+/// plain segment move that 2-opt can undo, wasting the kick.
 pub fn double_bridge<R: Rng>(order: &[u32], rng: &mut R) -> Vec<u32> {
     let n = order.len();
     if n < 8 {
         return order.to_vec();
     }
-    let mut cuts = [
-        1 + rng.random_range(0..n - 3),
-        1 + rng.random_range(0..n - 3),
-        1 + rng.random_range(0..n - 3),
-    ];
-    cuts.sort_unstable();
-    let (p, q, r) = (cuts[0], cuts[1], cuts[2]);
+    // Rejection-sample three distinct interior cut points; with n ≥ 8
+    // a collision has probability < 3/7 per draw, so this terminates in
+    // a couple of rounds in expectation.
+    let (p, q, r) = loop {
+        let mut cuts = [
+            rng.random_range(1..n),
+            rng.random_range(1..n),
+            rng.random_range(1..n),
+        ];
+        cuts.sort_unstable();
+        if cuts[0] != cuts[1] && cuts[1] != cuts[2] {
+            break (cuts[0], cuts[1], cuts[2]);
+        }
+    };
+    debug_assert!(0 < p && p < q && q < r && r < n, "four non-empty segments");
     let mut out = Vec::with_capacity(n);
     out.extend_from_slice(&order[..p]);
     out.extend_from_slice(&order[q..r]);
     out.extend_from_slice(&order[p..q]);
     out.extend_from_slice(&order[r..]);
+    // B and C are both non-empty and swapped, so the kick always produces
+    // a genuinely different tour.
+    debug_assert_ne!(out, order);
     out
 }
 
@@ -107,6 +122,22 @@ mod tests {
         for _ in 0..50 {
             let kicked = double_bridge(&order, &mut rng);
             assert!(is_permutation(20, &kicked));
+        }
+    }
+
+    #[test]
+    fn double_bridge_is_never_a_no_op() {
+        // Distinct cuts guarantee a genuine 4-opt move: the kicked tour
+        // must always differ from the input (coinciding cuts used to
+        // collapse the kick into a move 2-opt could undo, or the identity).
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [8usize, 9, 12, 25, 60] {
+            let order: Vec<u32> = (0..n as u32).collect();
+            for _ in 0..200 {
+                let kicked = double_bridge(&order, &mut rng);
+                assert!(is_permutation(n, &kicked));
+                assert_ne!(kicked, order, "degenerate kick at n={n}");
+            }
         }
     }
 

@@ -3,9 +3,12 @@
 
 use dclab_core::pvec::PVec;
 use dclab_engine::json::Obj;
-use dclab_engine::{solve, solve_batch, Budget, SolveRequest, Strategy};
+use dclab_engine::{solve, solve_batch, Budget, SolveReport, SolveRequest, Strategy};
 use dclab_graph::io;
 use dclab_graph::Graph;
+use dclab_serve::persist;
+use dclab_serve::CacheKey;
+use dclab_store::Store;
 
 /// Flags shared by `solve` and `batch`.
 struct Opts {
@@ -13,6 +16,8 @@ struct Opts {
     strategy: Strategy,
     budget: Budget,
     format: Option<io::Format>,
+    /// Persistent solution archive: look up before solving, append after.
+    store: Option<String>,
 }
 
 /// The `--help` text for the instance commands (including the worker
@@ -24,6 +29,10 @@ USAGE:
   dclab solve <file> [FLAGS]     solve one instance, print a JSON SolveReport
   dclab batch <dir>  [FLAGS]     solve every instance file in <dir> in parallel
   dclab serve [SERVE FLAGS]      run the HTTP solve service
+  dclab gen <family> [FLAGS]     generate instance corpora (run `dclab gen`
+                                 with no family for families and flags)
+  dclab store <sub> <archive>    stats | compact | export | import on a
+                                 persistent solution archive
   dclab e1..e8 | all [--quick]   the paper's experiment tables
 
 SOLVE/BATCH FLAGS:
@@ -33,6 +42,9 @@ SOLVE/BATCH FLAGS:
   --format <fmt>        edgelist | dimacs (default: guess from extension)
   --node-budget <N>     branch-and-bound node budget
   --restarts <N>        chained-LK restarts
+  --store <archive>     persistent solution archive: canonical lookups skip
+                        the solve, fresh solves are appended — the same file
+                        `dclab serve --store-path` warm-boots from
   --threads <N>         worker threads for this run. Precedence:
                         --threads beats the DCLAB_THREADS environment
                         variable, which beats available_parallelism.
@@ -42,6 +54,8 @@ SERVE FLAGS:
   --workers <N>         worker threads (default: like --threads precedence)
   --cache-mb <N>        report-cache budget in MiB (default 64)
   --queue-cap <N>       bounded connection queue (default 4 x workers)
+  --store-path <file>   persistent solution archive: warm-boot the cache on
+                        start, write-behind fresh solves, seal on shutdown
   --self-test           start on an ephemeral port, replay the loadgen corpus
                         (~2 s), assert cache hits + clean shutdown, then exit
   --duration-ms <N>     self-test duration (default 2000)
@@ -61,6 +75,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
         strategy: Strategy::Auto,
         budget: Budget::default(),
         format: None,
+        store: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -98,6 +113,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
                     other => return Err(format!("unknown format '{other}'")),
                 })
             }
+            "--store" => opts.store = Some(flag_value("--store")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             _ => positional.push(arg.clone()),
         }
@@ -111,30 +127,81 @@ fn load_graph(path: &str, format: Option<io::Format>) -> Result<Graph, String> {
     io::parse(&text, format).map_err(|e| format!("{path}: {e}"))
 }
 
-/// `dclab solve <file> [--p 2,1] [--strategy auto] ...` — one instance,
-/// one JSON `SolveReport` line on stdout.
-pub fn solve_cmd(args: &[String]) -> Result<(), String> {
-    let (files, opts) = parse_opts(args)?;
-    if files.len() != 1 {
-        return Err("usage: dclab solve <file> [--p 2,1] [--strategy auto] \
-                    [--format edgelist|dimacs] [--node-budget N] [--restarts N]"
-            .into());
+/// Open the archive named by `--store`, if any.
+fn open_store(opts: &Opts) -> Result<Option<Store>, String> {
+    match &opts.store {
+        Some(path) => Ok(Some(
+            Store::open(path).map_err(|e| format!("{path}: {e}"))?.0,
+        )),
+        None => Ok(None),
     }
-    let graph = load_graph(&files[0], opts.format)?;
+}
+
+/// Archive-aware solve of one loaded instance: lookup first (a hit skips
+/// the engine entirely), append after a fresh solve. Returns the report
+/// plus the store disposition for the output line.
+fn solve_with_store(
+    store: Option<&Store>,
+    graph: Graph,
+    opts: &Opts,
+) -> Result<(SolveReport, Option<&'static str>), String> {
+    let key = store.map(|_| CacheKey::for_request(&graph, &opts.pvec, opts.strategy, opts.budget));
+    if let (Some(store), Some(key)) = (store, &key) {
+        if let Some(report) = persist::store_lookup(store, key) {
+            return Ok((report, Some("hit")));
+        }
+    }
     let req = SolveRequest {
         graph,
-        pvec: opts.pvec,
+        pvec: opts.pvec.clone(),
         strategy: opts.strategy,
         budget: opts.budget,
     };
     let report = solve(&req).map_err(|e| e.to_string())?;
-    println!(
-        "{}",
-        Obj::new()
-            .str("file", &files[0])
-            .raw("report", &report.to_json())
-            .finish()
-    );
+    if let (Some(store), Some(key)) = (store, &key) {
+        // A full disk must not discard the solve we just paid for: warn
+        // and keep the result flowing to stdout.
+        if let Err(e) = persist::store_append(store, key, &report) {
+            eprintln!("warning: store append failed: {e}");
+        }
+    }
+    Ok((report, store.map(|_| "miss")))
+}
+
+/// Seal the archive at command exit; failure is a warning, never a lost
+/// result.
+fn finish_store(store: &Option<Store>) {
+    if let Some(store) = store {
+        if let Err(e) = store.close_clean() {
+            eprintln!("warning: store flush failed: {e}");
+        }
+    }
+}
+
+fn report_line(file: &str, report: &SolveReport, store_status: Option<&str>) -> String {
+    let obj = Obj::new().str("file", file);
+    let obj = match store_status {
+        Some(status) => obj.str("store", status),
+        None => obj,
+    };
+    obj.raw("report", &report.to_json()).finish()
+}
+
+/// `dclab solve <file> [--p 2,1] [--strategy auto] [--store archive] ...` —
+/// one instance, one JSON `SolveReport` line on stdout.
+pub fn solve_cmd(args: &[String]) -> Result<(), String> {
+    let (files, opts) = parse_opts(args)?;
+    if files.len() != 1 {
+        return Err("usage: dclab solve <file> [--p 2,1] [--strategy auto] \
+                    [--format edgelist|dimacs] [--node-budget N] [--restarts N] \
+                    [--store archive]"
+            .into());
+    }
+    let store = open_store(&opts)?;
+    let graph = load_graph(&files[0], opts.format)?;
+    let (report, store_status) = solve_with_store(store.as_ref(), graph, &opts)?;
+    finish_store(&store);
+    println!("{}", report_line(&files[0], &report, store_status));
     Ok(())
 }
 
@@ -159,14 +226,16 @@ fn instance_files(dir: &str) -> Result<Vec<String>, String> {
     Ok(files)
 }
 
-/// `dclab batch <dir> [--p 2,1] [--strategy auto] ...` — every recognised
-/// instance file in the directory, solved in parallel (`DCLAB_THREADS`),
-/// one JSON line per instance in sorted-filename order.
+/// `dclab batch <dir> [--p 2,1] [--strategy auto] [--store archive] ...` —
+/// every recognised instance file in the directory, solved in parallel
+/// (`DCLAB_THREADS`), one JSON line per instance in sorted-filename order.
+/// With `--store`, archived instances skip the solve entirely and fresh
+/// solves are appended, so repeated batch runs are pure lookups.
 pub fn batch_cmd(args: &[String]) -> Result<(), String> {
     let (dirs, opts) = parse_opts(args)?;
     if dirs.len() != 1 {
         return Err("usage: dclab batch <dir> [--p 2,1] [--strategy auto] \
-                    [--node-budget N] [--restarts N]"
+                    [--node-budget N] [--restarts N] [--store archive]"
             .into());
     }
     let files = instance_files(&dirs[0])?;
@@ -176,15 +245,27 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
             dirs[0]
         ));
     }
-    // Load sequentially (I/O), solve in parallel (engine fan-out). The
-    // request slice is paired with a file index per entry so load failures
-    // don't shift the mapping.
+    let store = open_store(&opts)?;
+    // Load sequentially (I/O), answer archived instances immediately, and
+    // solve only the rest in parallel (engine fan-out). The request slice
+    // is paired with a file index per entry so load failures and store
+    // hits don't shift the mapping.
     let mut requests: Vec<SolveRequest> = Vec::with_capacity(files.len());
     let mut request_file: Vec<usize> = Vec::with_capacity(files.len());
-    let mut load_errors: Vec<(usize, String)> = Vec::new();
+    let mut request_key: Vec<Option<CacheKey>> = Vec::with_capacity(files.len());
+    let mut lines: Vec<(usize, String)> = Vec::with_capacity(files.len());
     for (i, f) in files.iter().enumerate() {
         match load_graph(f, opts.format) {
             Ok(graph) => {
+                let key = store
+                    .as_ref()
+                    .map(|_| CacheKey::for_request(&graph, &opts.pvec, opts.strategy, opts.budget));
+                if let (Some(store), Some(key)) = (&store, &key) {
+                    if let Some(report) = persist::store_lookup(store, key) {
+                        lines.push((i, report_line(&files[i], &report, Some("hit"))));
+                        continue;
+                    }
+                }
                 requests.push(SolveRequest {
                     graph,
                     pvec: opts.pvec.clone(),
@@ -192,18 +273,28 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
                     budget: opts.budget,
                 });
                 request_file.push(i);
+                request_key.push(key);
             }
-            Err(e) => load_errors.push((i, e)),
+            Err(e) => lines.push((
+                i,
+                Obj::new().str("file", &files[i]).str("error", &e).finish(),
+            )),
         }
     }
     let reports = solve_batch(&requests);
-    let mut lines: Vec<(usize, String)> = Vec::with_capacity(files.len());
-    for (&i, result) in request_file.iter().zip(reports) {
+    for ((&i, key), result) in request_file.iter().zip(&request_key).zip(reports) {
         let line = match result {
-            Ok(report) => Obj::new()
-                .str("file", &files[i])
-                .raw("report", &report.to_json())
-                .finish(),
+            Ok(report) => {
+                if let (Some(store), Some(key)) = (&store, key) {
+                    // An append failure must not abort the batch: every
+                    // solved report still prints; the archive just misses
+                    // this record.
+                    if let Err(e) = persist::store_append(store, key, &report) {
+                        eprintln!("warning: store append failed for {}: {e}", files[i]);
+                    }
+                }
+                report_line(&files[i], &report, store.as_ref().map(|_| "miss"))
+            }
             Err(e) => Obj::new()
                 .str("file", &files[i])
                 .str("error", &e.to_string())
@@ -211,12 +302,7 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
         };
         lines.push((i, line));
     }
-    for (i, e) in load_errors {
-        lines.push((
-            i,
-            Obj::new().str("file", &files[i]).str("error", &e).finish(),
-        ));
-    }
+    finish_store(&store);
     lines.sort_by_key(|&(i, _)| i);
     for (_, line) in lines {
         println!("{line}");
@@ -255,6 +341,7 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
                 let v = flag_value("--queue-cap")?;
                 cfg.queue_cap = v.parse().map_err(|e| format!("bad --queue-cap: {e}"))?;
             }
+            "--store-path" => cfg.store_path = Some(flag_value("--store-path")?),
             "--threads" => {
                 let v = flag_value("--threads")?;
                 let n: usize = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
@@ -276,17 +363,23 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let handle = dclab_serve::start(cfg.clone()).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let handle = dclab_serve::start(cfg.clone()).map_err(|e| format!("start {}: {e}", cfg.addr))?;
     // One machine-readable line so scripts can find the (possibly
     // ephemeral) port; humans get a hint about the admin endpoint.
-    println!(
-        "{}",
-        Obj::new()
-            .str("serving", &handle.addr().to_string())
-            .usize("workers", cfg.workers.max(1))
-            .usize("cache_mb", cfg.cache_mb)
-            .finish()
-    );
+    let warm_boot = handle
+        .ctx()
+        .metrics
+        .store_warm_boot
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let line = Obj::new()
+        .str("serving", &handle.addr().to_string())
+        .usize("workers", cfg.workers.max(1))
+        .usize("cache_mb", cfg.cache_mb);
+    let line = match &cfg.store_path {
+        Some(path) => line.str("store", path).u64("warm_boot", warm_boot),
+        None => line,
+    };
+    println!("{}", line.finish());
     eprintln!("dclab serve: POST /shutdown for graceful shutdown");
     handle.join();
     Ok(())

@@ -9,8 +9,16 @@
 //!      # solve every instance file in <dir> in parallel (DCLAB_THREADS),
 //!      # one JSON line per instance, deterministic order
 //! dclab serve [--addr host:port] [--workers N] [--cache-mb M]
+//!             [--store-path archive]
 //!      # long-running HTTP solve service with a canonical-instance report
-//!      # cache (POST /solve, POST /batch, GET /healthz, GET /metrics)
+//!      # cache (POST /solve, POST /batch, GET /healthz, GET /metrics);
+//!      # --store-path warm-boots the cache from a persistent archive and
+//!      # write-behinds fresh solves
+//! dclab gen <family> [--n N] [--seed S] [--count C] [--out PATH]
+//!      # seeded instance corpora from graph::generators (gnp, trees,
+//!      # split graphs, classic families, ...)
+//! dclab store stats|compact|export|import <archive> [args]
+//!      # manage a persistent solution archive offline
 //!
 //! dclab e1   # reduction correctness (Thm 2 / Claim 1 / Fig. 1)
 //! dclab e2   # exact scaling (Cor 1a: Held–Karp vs oracle)
@@ -27,6 +35,8 @@
 
 mod commands;
 mod experiments;
+mod gen;
+mod store_cmd;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,7 +53,7 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "solve" | "batch" | "serve" => {
+        "solve" | "batch" | "serve" | "gen" | "store" => {
             let rest: Vec<String> = args
                 .iter()
                 .skip_while(|a| a.as_str() != which)
@@ -53,6 +63,8 @@ fn main() {
             let result = match which {
                 "solve" => commands::solve_cmd(&rest),
                 "batch" => commands::batch_cmd(&rest),
+                "gen" => gen::gen_cmd(&rest),
+                "store" => store_cmd::store_cmd(&rest),
                 _ => commands::serve_cmd(&rest),
             };
             if let Err(e) = result {
@@ -102,8 +114,8 @@ fn run_experiments(which: &str, args: &[String]) {
     }
     if !ran {
         eprintln!(
-            "unknown command '{which}'; use solve <file>, batch <dir>, serve, e1..e8 or all \
-             (experiments take --quick; see --help)"
+            "unknown command '{which}'; use solve <file>, batch <dir>, serve, gen, store, \
+             e1..e8 or all (experiments take --quick; see --help)"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,127 @@
+//! `dclab store` — manage a persistent solution archive offline:
+//! `stats` (open + recover + report), `compact` (rewrite live records,
+//! atomic swap), `export` (standalone snapshot), `import` (merge with
+//! key-level dedup).
+
+use dclab_engine::binary::report_from_bytes;
+use dclab_engine::json::Obj;
+use dclab_store::Store;
+
+pub const STORE_HELP: &str = "\
+usage: dclab store <subcommand> <archive> [args]
+
+  stats   <archive>            open (recovering any torn tail), print JSON
+  compact <archive>            rewrite live records, atomic rename, bump generation
+  export  <archive> <dest>     write a standalone snapshot of live records
+  import  <archive> <src>      merge another archive's records (dedup by key)
+";
+
+fn open(path: &str) -> Result<(Store, dclab_store::OpenStats), String> {
+    Store::open(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Inspection subcommands must not conjure an empty archive out of a
+/// typo'd path — require the file to exist first. (`import` still creates
+/// its destination: merging into a fresh archive is the point.)
+fn open_existing(path: &str) -> Result<(Store, dclab_store::OpenStats), String> {
+    if !std::path::Path::new(path).exists() {
+        return Err(format!("{path}: no such archive"));
+    }
+    open(path)
+}
+
+/// Per-strategy live-record histogram (decodes every record's key).
+fn strategy_histogram(store: &Store) -> Result<String, String> {
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    let mut undecodable_reports = 0u64;
+    for (key, val) in store.iter_live().map_err(|e| e.to_string())? {
+        *counts.entry(key.strategy.name()).or_default() += 1;
+        if report_from_bytes(&val).is_err() {
+            undecodable_reports += 1;
+        }
+    }
+    let obj = counts
+        .into_iter()
+        .fold(Obj::new(), |obj, (name, count)| obj.u64(name, count));
+    Ok(obj.u64("undecodable_reports", undecodable_reports).finish())
+}
+
+pub fn store_cmd(args: &[String]) -> Result<(), String> {
+    let mut words = args.iter().filter(|a| !a.starts_with("--"));
+    let Some(sub) = words.next().map(String::as_str) else {
+        print!("{STORE_HELP}");
+        return Ok(());
+    };
+    let archive = words.next().cloned();
+    let extra = words.next().cloned();
+    let Some(path) = archive else {
+        return Err(format!("store {sub} needs an <archive> path\n{STORE_HELP}"));
+    };
+    match sub {
+        "stats" => {
+            let (store, opened) = open_existing(&path)?;
+            let stats = store.stats();
+            println!(
+                "{}",
+                Obj::new()
+                    .str("archive", &path)
+                    .u64("records", stats.live)
+                    .u64("bytes", stats.bytes)
+                    .u64("generation", stats.generation)
+                    .bool("clean_footer", stats.clean_footer)
+                    .u64("superseded", opened.superseded)
+                    .u64("torn_bytes_dropped", opened.torn_bytes_dropped)
+                    .raw("strategies", &strategy_histogram(&store)?)
+                    .finish()
+            );
+            Ok(())
+        }
+        "compact" => {
+            let (store, _) = open_existing(&path)?;
+            let c = store.compact().map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{}",
+                Obj::new()
+                    .str("archive", &path)
+                    .u64("records", c.live)
+                    .u64("bytes_before", c.bytes_before)
+                    .u64("bytes_after", c.bytes_after)
+                    .u64("generation", c.generation)
+                    .finish()
+            );
+            Ok(())
+        }
+        "export" => {
+            let dest = extra.ok_or("usage: dclab store export <archive> <dest>")?;
+            let (store, _) = open_existing(&path)?;
+            let exported = store.export(&dest).map_err(|e| format!("{dest}: {e}"))?;
+            println!(
+                "{}",
+                Obj::new()
+                    .str("archive", &path)
+                    .str("dest", &dest)
+                    .u64("exported", exported)
+                    .finish()
+            );
+            Ok(())
+        }
+        "import" => {
+            let src = extra.ok_or("usage: dclab store import <archive> <src>")?;
+            let (store, _) = open(&path)?;
+            let i = store.import(&src).map_err(|e| format!("{src}: {e}"))?;
+            store.close_clean().map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{}",
+                Obj::new()
+                    .str("archive", &path)
+                    .str("src", &src)
+                    .u64("scanned", i.scanned)
+                    .u64("added", i.added)
+                    .u64("skipped", i.skipped)
+                    .finish()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store subcommand '{other}'\n{STORE_HELP}")),
+    }
+}

@@ -106,4 +106,182 @@ fn help_documents_thread_precedence_and_serve() {
         stdout.contains("dclab serve"),
         "help covers serve: {stdout}"
     );
+    assert!(stdout.contains("dclab gen"), "help covers gen: {stdout}");
+    assert!(
+        stdout.contains("--store"),
+        "help covers the archive flags: {stdout}"
+    );
+}
+
+/// A test-unique scratch directory.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dclab-cli-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn gen_writes_seeded_corpora_and_is_deterministic() {
+    let dir = scratch("gen");
+    let corpus = dir.join("corpus");
+    let out = dclab(&[
+        "gen",
+        "gnp",
+        "--n",
+        "10",
+        "--prob",
+        "0.6",
+        "--max-diameter",
+        "2",
+        "--seed",
+        "11",
+        "--count",
+        "3",
+        "--out",
+        corpus.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut names: Vec<String> = std::fs::read_dir(&corpus)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec!["gnp-s11-0.edges", "gnp-s11-1.edges", "gnp-s11-2.edges"]
+    );
+    // Single instance to stdout, deterministic under the seed.
+    let a = dclab(&["gen", "tree", "--n", "9", "--seed", "4"]);
+    let b = dclab(&["gen", "tree", "--n", "9", "--seed", "4"]);
+    assert!(a.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed → same bytes");
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout).lines().count(),
+        9,
+        "`n 9` header plus the 8 edges of a 9-vertex tree"
+    );
+    // DIMACS output honors --format.
+    let d = dclab(&["gen", "petersen", "--format", "dimacs"]);
+    assert!(String::from_utf8_lossy(&d.stdout).contains("p edge 10 15"));
+    // Unknown family is a hard error.
+    let bad = dclab(&["gen", "frobnicate"]);
+    assert!(!bad.status.success());
+}
+
+#[test]
+fn solve_and_batch_populate_and_reuse_the_same_archive() {
+    let dir = scratch("store");
+    let corpus = dir.join("corpus");
+    let archive = dir.join("archive.dcst");
+    let archive_s = archive.to_str().unwrap();
+    let gen = dclab(&[
+        "gen",
+        "gnp",
+        "--n",
+        "11",
+        "--prob",
+        "0.6",
+        "--max-diameter",
+        "2",
+        "--seed",
+        "21",
+        "--count",
+        "3",
+        "--out",
+        corpus.to_str().unwrap(),
+    ]);
+    assert!(gen.status.success());
+
+    // Batch populates the archive (all misses)…
+    let cold = dclab(&[
+        "batch",
+        corpus.to_str().unwrap(),
+        "--strategy",
+        "greedy",
+        "--store",
+        archive_s,
+    ]);
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_out = String::from_utf8_lossy(&cold.stdout);
+    assert_eq!(
+        cold_out.matches("\"store\":\"miss\"").count(),
+        3,
+        "{cold_out}"
+    );
+
+    // …a second batch run is pure lookups with identical reports…
+    let warm = dclab(&[
+        "batch",
+        corpus.to_str().unwrap(),
+        "--strategy",
+        "greedy",
+        "--store",
+        archive_s,
+    ]);
+    let warm_out = String::from_utf8_lossy(&warm.stdout);
+    assert_eq!(
+        warm_out.matches("\"store\":\"hit\"").count(),
+        3,
+        "{warm_out}"
+    );
+    assert_eq!(
+        cold_out.replace("miss", "hit"),
+        warm_out,
+        "bit-identical reports"
+    );
+
+    // …and `solve` of one member hits the same archive.
+    let one = corpus.join("gnp-s21-0.edges");
+    let solo = dclab(&[
+        "solve",
+        one.to_str().unwrap(),
+        "--strategy",
+        "greedy",
+        "--store",
+        archive_s,
+    ]);
+    assert!(String::from_utf8_lossy(&solo.stdout).contains("\"store\":\"hit\""));
+
+    // stats / export / import / compact manage the archive.
+    let stats = dclab(&["store", "stats", archive_s]);
+    let stats_out = String::from_utf8_lossy(&stats.stdout);
+    assert!(stats_out.contains("\"records\":3"), "{stats_out}");
+    assert!(stats_out.contains("\"clean_footer\":true"), "{stats_out}");
+    assert!(stats_out.contains("\"greedy\":3"), "{stats_out}");
+
+    let dump = dir.join("dump.dcst");
+    let exp = dclab(&["store", "export", archive_s, dump.to_str().unwrap()]);
+    assert!(String::from_utf8_lossy(&exp.stdout).contains("\"exported\":3"));
+    let fresh = dir.join("fresh.dcst");
+    let imp = dclab(&[
+        "store",
+        "import",
+        fresh.to_str().unwrap(),
+        dump.to_str().unwrap(),
+    ]);
+    let imp_out = String::from_utf8_lossy(&imp.stdout);
+    assert!(imp_out.contains("\"added\":3"), "{imp_out}");
+    let comp = dclab(&["store", "compact", archive_s]);
+    assert!(String::from_utf8_lossy(&comp.stdout).contains("\"generation\":1"));
+
+    // Unknown subcommand fails loudly.
+    let bad = dclab(&["store", "frobnicate", archive_s]);
+    assert!(!bad.status.success());
+
+    // Inspection of a nonexistent archive is an error, not a silently
+    // created empty file.
+    let typo = dir.join("no-such.dcst");
+    let missing = dclab(&["store", "stats", typo.to_str().unwrap()]);
+    assert!(!missing.status.success());
+    assert!(String::from_utf8_lossy(&missing.stderr).contains("no such archive"));
+    assert!(!typo.exists(), "stats must not create the archive");
 }

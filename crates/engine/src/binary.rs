@@ -1,0 +1,374 @@
+//! Compact binary codec for [`SolveReport`] — the on-disk twin of the JSON
+//! form.
+//!
+//! The persistent solution archive (`dclab-store`) keeps one report per
+//! canonical instance; JSON would bloat the log 3–5× and cost a parse we
+//! never wrote. This codec is a versioned, length-prefixed, LEB128-varint
+//! encoding with a stable layout:
+//!
+//! ```text
+//! u8 version | u8 strategy_requested | u8 strategy_used
+//! varint lower_bound | u8 optimal
+//! varint span | varint #labels, labels… | varint #order, order…
+//! varint reductions_computed | varint #routes, route codes…
+//! varint #notes, (varint len, utf8)… | features (see below)
+//! ```
+//!
+//! Features: `varint n, m, max_degree` · `opt diameter` · `varint k` ·
+//! one flag byte (`smooth | all_ones << 1 | two_valued << 2 | cograph << 3`).
+//!
+//! Decoding is strict: unknown versions, unknown strategy codes, truncated
+//! buffers, and trailing bytes are all errors — a corrupt archive record
+//! can never silently decode into a wrong report. [`report_from_bytes`]
+//! followed by [`report_to_bytes`] is byte-identical (round-trip tested,
+//! including property tests over solved random instances).
+
+use dclab_core::labeling::Labeling;
+use dclab_core::solver::Solution;
+
+use crate::features::InstanceFeatures;
+use crate::report::{EngineStats, SolveReport};
+use crate::request::Strategy;
+
+/// Current codec version (first byte of every encoded report).
+pub const REPORT_CODEC_VERSION: u8 = 1;
+
+/// Decode failure: what was malformed and roughly where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err(offset: usize, message: impl Into<String>) -> CodecError {
+    CodecError {
+        offset,
+        message: message.into(),
+    }
+}
+
+/// Append `v` as an unsigned LEB128 varint.
+pub fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint at `*pos`, advancing it.
+pub fn get_uvarint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| err(*pos, "truncated varint"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(err(*pos - 1, "varint overflows u64"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(err(*pos, "varint too long"));
+        }
+    }
+}
+
+/// `Option<u64>` as a presence byte followed by the varint when `Some`.
+pub fn put_opt_uvarint(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            buf.push(1);
+            put_uvarint(buf, v);
+        }
+        None => buf.push(0),
+    }
+}
+
+/// Inverse of [`put_opt_uvarint`].
+pub fn get_opt_uvarint(bytes: &[u8], pos: &mut usize) -> Result<Option<u64>, CodecError> {
+    match get_u8(bytes, pos)? {
+        0 => Ok(None),
+        1 => Ok(Some(get_uvarint(bytes, pos)?)),
+        tag => Err(err(*pos - 1, format!("bad option tag {tag}"))),
+    }
+}
+
+/// Read one byte at `*pos`, advancing it.
+pub fn get_u8(bytes: &[u8], pos: &mut usize) -> Result<u8, CodecError> {
+    let byte = *bytes.get(*pos).ok_or_else(|| err(*pos, "truncated byte"))?;
+    *pos += 1;
+    Ok(byte)
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String, CodecError> {
+    let len = get_uvarint(bytes, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| err(*pos, "truncated string"))?;
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| err(*pos, "invalid utf-8"))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+fn get_strategy(bytes: &[u8], pos: &mut usize) -> Result<Strategy, CodecError> {
+    let code = get_u8(bytes, pos)?;
+    Strategy::from_code(code).ok_or_else(|| err(*pos - 1, format!("unknown strategy code {code}")))
+}
+
+/// Encode a report. Infallible: every in-memory report has a binary form.
+pub fn report_to_bytes(r: &SolveReport) -> Vec<u8> {
+    let labels = r.solution.labeling.labels();
+    let mut buf = Vec::with_capacity(32 + 2 * labels.len());
+    buf.push(REPORT_CODEC_VERSION);
+    buf.push(r.strategy_requested.code());
+    buf.push(r.strategy_used.code());
+    put_uvarint(&mut buf, r.lower_bound);
+    buf.push(r.optimal as u8);
+    put_uvarint(&mut buf, r.solution.span);
+    put_uvarint(&mut buf, labels.len() as u64);
+    for &l in labels {
+        put_uvarint(&mut buf, l);
+    }
+    put_uvarint(&mut buf, r.solution.order.len() as u64);
+    for &v in &r.solution.order {
+        put_uvarint(&mut buf, v as u64);
+    }
+    let stats = &r.stats;
+    put_uvarint(&mut buf, stats.reductions_computed as u64);
+    put_uvarint(&mut buf, stats.routes_tried.len() as u64);
+    for &s in &stats.routes_tried {
+        buf.push(s.code());
+    }
+    put_uvarint(&mut buf, stats.notes.len() as u64);
+    for note in &stats.notes {
+        put_str(&mut buf, note);
+    }
+    let f = &stats.features;
+    put_uvarint(&mut buf, f.n as u64);
+    put_uvarint(&mut buf, f.m as u64);
+    put_uvarint(&mut buf, f.max_degree as u64);
+    put_opt_uvarint(&mut buf, f.diameter.map(u64::from));
+    put_uvarint(&mut buf, f.k as u64);
+    buf.push(
+        f.smooth as u8
+            | (f.all_ones as u8) << 1
+            | (f.two_valued as u8) << 2
+            | (f.cograph as u8) << 3,
+    );
+    buf
+}
+
+/// Decode a report. Strict: the whole buffer must be consumed.
+pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
+    let pos = &mut 0usize;
+    let version = get_u8(bytes, pos)?;
+    if version != REPORT_CODEC_VERSION {
+        return Err(err(
+            0,
+            format!("unsupported report codec version {version}"),
+        ));
+    }
+    let strategy_requested = get_strategy(bytes, pos)?;
+    let strategy_used = get_strategy(bytes, pos)?;
+    let lower_bound = get_uvarint(bytes, pos)?;
+    let optimal = match get_u8(bytes, pos)? {
+        0 => false,
+        1 => true,
+        b => return Err(err(*pos - 1, format!("bad optimal flag {b}"))),
+    };
+    let span = get_uvarint(bytes, pos)?;
+    let n_labels = get_uvarint(bytes, pos)? as usize;
+    if n_labels > bytes.len() {
+        // Each label costs ≥ 1 byte; an impossible count is corruption.
+        return Err(err(*pos, format!("label count {n_labels} exceeds buffer")));
+    }
+    let mut labels = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        labels.push(get_uvarint(bytes, pos)?);
+    }
+    let n_order = get_uvarint(bytes, pos)? as usize;
+    if n_order > bytes.len() {
+        return Err(err(*pos, format!("order count {n_order} exceeds buffer")));
+    }
+    let mut order = Vec::with_capacity(n_order);
+    for _ in 0..n_order {
+        let v = get_uvarint(bytes, pos)?;
+        let v = u32::try_from(v).map_err(|_| err(*pos, format!("order entry {v} not a u32")))?;
+        order.push(v);
+    }
+    let reductions_computed = get_uvarint(bytes, pos)? as usize;
+    let n_routes = get_uvarint(bytes, pos)? as usize;
+    if n_routes > bytes.len() {
+        return Err(err(*pos, format!("route count {n_routes} exceeds buffer")));
+    }
+    let mut routes_tried = Vec::with_capacity(n_routes);
+    for _ in 0..n_routes {
+        routes_tried.push(get_strategy(bytes, pos)?);
+    }
+    let n_notes = get_uvarint(bytes, pos)? as usize;
+    if n_notes > bytes.len() {
+        return Err(err(*pos, format!("note count {n_notes} exceeds buffer")));
+    }
+    let mut notes = Vec::with_capacity(n_notes);
+    for _ in 0..n_notes {
+        notes.push(get_str(bytes, pos)?);
+    }
+    let n = get_uvarint(bytes, pos)? as usize;
+    let m = get_uvarint(bytes, pos)? as usize;
+    let max_degree = get_uvarint(bytes, pos)? as usize;
+    let diameter = match get_opt_uvarint(bytes, pos)? {
+        Some(d) => {
+            Some(u32::try_from(d).map_err(|_| err(*pos, format!("diameter {d} not a u32")))?)
+        }
+        None => None,
+    };
+    let k = get_uvarint(bytes, pos)? as usize;
+    let flags = get_u8(bytes, pos)?;
+    if flags & !0x0f != 0 {
+        return Err(err(*pos - 1, format!("unknown feature flags {flags:#04x}")));
+    }
+    if *pos != bytes.len() {
+        return Err(err(*pos, "trailing bytes after report"));
+    }
+    let labeling = Labeling::new(labels);
+    Ok(SolveReport {
+        solution: Solution {
+            span,
+            order,
+            labeling,
+        },
+        strategy_requested,
+        strategy_used,
+        lower_bound,
+        optimal,
+        stats: EngineStats {
+            reductions_computed,
+            routes_tried,
+            notes,
+            features: InstanceFeatures {
+                n,
+                m,
+                max_degree,
+                diameter,
+                k,
+                smooth: flags & 1 != 0,
+                all_ones: flags & 2 != 0,
+                two_valued: flags & 4 != 0,
+                cograph: flags & 8 != 0,
+            },
+        },
+    })
+}
+
+impl SolveReport {
+    /// Compact binary form (see [`crate::binary`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        report_to_bytes(self)
+    }
+
+    /// Decode the binary form; strict inverse of [`SolveReport::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
+        report_from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve, SolveRequest};
+    use dclab_core::pvec::PVec;
+    use dclab_graph::generators::classic;
+
+    fn sample_report(strategy: Strategy) -> SolveReport {
+        solve(&SolveRequest::new(classic::petersen(), PVec::l21()).with_strategy(strategy))
+            .expect("solvable")
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for strategy in [Strategy::Auto, Strategy::Exact, Strategy::Greedy] {
+            let report = sample_report(strategy);
+            let bytes = report.to_bytes();
+            let back = SolveReport::from_bytes(&bytes).expect("decodes");
+            assert_eq!(back, report, "struct round trip");
+            assert_eq!(back.to_json(), report.to_json(), "json round trip");
+            assert_eq!(back.to_bytes(), bytes, "byte round trip");
+        }
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let report = sample_report(Strategy::Auto);
+        assert!(
+            report.to_bytes().len() * 2 < report.to_json().len(),
+            "binary ({}) should be well under half of JSON ({})",
+            report.to_bytes().len(),
+            report.to_json().len()
+        );
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_fails_cleanly() {
+        let bytes = sample_report(Strategy::Auto).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SolveReport::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample_report(Strategy::Greedy).to_bytes();
+        bytes.push(0);
+        assert!(SolveReport::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_version_and_strategy_rejected() {
+        let mut bytes = sample_report(Strategy::Greedy).to_bytes();
+        bytes[0] = 99;
+        assert!(report_from_bytes(&bytes).is_err());
+        bytes[0] = REPORT_CODEC_VERSION;
+        bytes[1] = 200; // strategy code out of range
+        assert!(report_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn varints_round_trip_at_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_uvarint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+}

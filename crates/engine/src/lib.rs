@@ -26,8 +26,12 @@
 //!   ([`EngineStats`]); [`SolveReport::to_json`] emits a stable JSON line.
 //! * [`solve_batch`] fans a request slice out over `dclab-par` with
 //!   deterministic, thread-count-independent output.
+//! * [`binary`] is the compact on-disk twin of the JSON report form: the
+//!   persistent solution archive (`dclab-store`) frames these bytes in its
+//!   write-ahead log ([`SolveReport::to_bytes`] / [`SolveReport::from_bytes`]).
 
 pub mod batch;
+pub mod binary;
 pub mod engine;
 pub mod features;
 pub mod json;

@@ -44,6 +44,36 @@ impl Strategy {
         }
     }
 
+    /// Stable one-byte code for the binary codec and the store key format.
+    /// Codes are append-only: never renumber an existing strategy.
+    pub fn code(self) -> u8 {
+        match self {
+            Strategy::Exact => 0,
+            Strategy::BranchBound => 1,
+            Strategy::Approx15 => 2,
+            Strategy::Heuristic => 3,
+            Strategy::Greedy => 4,
+            Strategy::Diam2Pip => 5,
+            Strategy::L1Coloring => 6,
+            Strategy::Auto => 7,
+        }
+    }
+
+    /// Inverse of [`Strategy::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Strategy> {
+        match code {
+            0 => Some(Strategy::Exact),
+            1 => Some(Strategy::BranchBound),
+            2 => Some(Strategy::Approx15),
+            3 => Some(Strategy::Heuristic),
+            4 => Some(Strategy::Greedy),
+            5 => Some(Strategy::Diam2Pip),
+            6 => Some(Strategy::L1Coloring),
+            7 => Some(Strategy::Auto),
+            _ => None,
+        }
+    }
+
     /// All concrete (non-`Auto`) strategies.
     pub const CONCRETE: [Strategy; 7] = [
         Strategy::Exact,
@@ -157,6 +187,14 @@ mod tests {
             assert_eq!(s.name().parse::<Strategy>().unwrap(), *s);
         }
         assert!("frobnicate".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn strategy_codes_round_trip_and_are_dense() {
+        for s in Strategy::CONCRETE.iter().chain([Strategy::Auto].iter()) {
+            assert_eq!(Strategy::from_code(s.code()), Some(*s));
+        }
+        assert_eq!(Strategy::from_code(8), None);
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Property test: the binary report codec is a lossless round trip on
+//! reports produced by real solves over random instances.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dclab_core::pvec::PVec;
+use dclab_engine::{solve, SolveReport, SolveRequest, Strategy};
+use dclab_graph::generators::random;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    #[test]
+    fn binary_codec_round_trips_solved_reports(
+        seed in any::<u64>(),
+        n in 6usize..14,
+        strategy_pick in 0usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random::gnp_with_diameter_at_most(&mut rng, n, 0.6, 2);
+        let strategy = [Strategy::Auto, Strategy::Greedy, Strategy::Heuristic][strategy_pick];
+        let p = PVec::l21();
+        let report = solve(&SolveRequest::new(g, p).with_strategy(strategy))
+            .expect("diameter-2 instances solve");
+        let bytes = report.to_bytes();
+        let back = SolveReport::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(&back, &report);
+        prop_assert_eq!(back.to_json(), report.to_json());
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+}

@@ -63,6 +63,18 @@ impl CacheKey {
         }
     }
 
+    /// Translate a report from this requester's vertex space into
+    /// canonical space (the space cached entries and archived records use).
+    pub fn to_canonical_space(&self, report: &SolveReport) -> SolveReport {
+        to_canonical(report, &self.canon.perm).0
+    }
+
+    /// Inverse of [`CacheKey::to_canonical_space`]: make a canonical-space
+    /// report valid for the exact graph this requester sent.
+    pub fn from_canonical_space(&self, report: &SolveReport) -> SolveReport {
+        from_canonical(&CanonReport(report.clone()), &self.canon.perm)
+    }
+
     /// Exact identity check behind a bucket hit.
     fn matches(&self, other: &CacheKey) -> bool {
         self.hash == other.hash

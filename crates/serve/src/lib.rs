@@ -25,6 +25,9 @@
 //! * [`metrics`] — lock-free counters + log-scale latency histogram.
 //! * [`server`] — accept loop over a bounded [`dclab_par::WorkerPool`],
 //!   routing, graceful shutdown.
+//! * [`persist`] — glue to the persistent solution archive
+//!   (`dclab-store`): warm-boot the cache on start, read-through on LRU
+//!   miss, write-behind fresh solves, seal the log at the shutdown drain.
 //! * [`loadgen`] — replay harness (mixed + exact corpora, per-pass stats,
 //!   the CI `--self-test`).
 
@@ -32,9 +35,10 @@ pub mod cache;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod persist;
 pub mod server;
 
 pub use cache::{CacheKey, CacheStatus, ReportCache};
 pub use loadgen::{self_test, Client, CorpusItem, PassStats};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, StoreGauges};
 pub use server::{start, ServeConfig, ServerHandle};

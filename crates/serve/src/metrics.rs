@@ -107,6 +107,18 @@ impl LatencyHistogram {
     }
 }
 
+/// Point-in-time archive gauges, read from the store at render time
+/// (`None` when the server runs without `--store-path`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreGauges {
+    /// Live archived records.
+    pub entries: u64,
+    /// Bytes of live log data.
+    pub bytes: u64,
+    /// Compaction generation stamp.
+    pub generation: u64,
+}
+
 /// All counters the service exposes.
 #[derive(Default)]
 pub struct Metrics {
@@ -124,6 +136,16 @@ pub struct Metrics {
     pub per_strategy: [AtomicU64; 7],
     /// End-to-end `/solve` handling latency (includes cache hits).
     pub solve_latency: LatencyHistogram,
+    /// Archive reads that found a record (LRU miss → store hit).
+    pub store_hits: AtomicU64,
+    /// Archive reads that fell through to a fresh solve.
+    pub store_misses: AtomicU64,
+    /// Records write-behind-appended after fresh solves.
+    pub store_appends: AtomicU64,
+    /// Entries loaded from the archive into the LRU at start.
+    pub store_warm_boot: AtomicU64,
+    /// Store fsyncs (shutdown drain, explicit flushes).
+    pub store_flushes: AtomicU64,
 }
 
 impl Metrics {
@@ -150,7 +172,10 @@ impl Metrics {
 
     /// The `/metrics` body in Prometheus text exposition format 0.0.4
     /// (served with `content-type: text/plain; version=0.0.4`).
-    pub fn to_prometheus(&self, cache: CacheCounters) -> String {
+    /// `store` is `None` when the server runs without a persistent archive
+    /// (the store counters still render, pinned at zero, so dashboards
+    /// need not special-case the flag).
+    pub fn to_prometheus(&self, cache: CacheCounters, store: Option<StoreGauges>) -> String {
         let counter = |name: &str, value: u64| format!("# TYPE {name} counter\n{name} {value}\n");
         let gauge = |name: &str, value: u64| format!("# TYPE {name} gauge\n{name} {value}\n");
         let mut out = String::new();
@@ -191,6 +216,31 @@ impl Metrics {
         out.push_str(&counter("dclab_cache_evictions_total", cache.evictions));
         out.push_str(&gauge("dclab_cache_entries", cache.entries));
         out.push_str(&gauge("dclab_cache_bytes", cache.bytes));
+        out.push_str(&gauge("dclab_store_enabled", store.is_some() as u64));
+        out.push_str(&counter(
+            "dclab_store_hits_total",
+            self.store_hits.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "dclab_store_misses_total",
+            self.store_misses.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "dclab_store_appends_total",
+            self.store_appends.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "dclab_store_flushes_total",
+            self.store_flushes.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_store_warm_boot_entries",
+            self.store_warm_boot.load(Ordering::Relaxed),
+        ));
+        let gauges = store.unwrap_or_default();
+        out.push_str(&gauge("dclab_store_entries", gauges.entries));
+        out.push_str(&gauge("dclab_store_bytes", gauges.bytes));
+        out.push_str(&gauge("dclab_store_generation", gauges.generation));
         out.push_str("# TYPE dclab_solves_total counter\n");
         for (s, count) in Strategy::CONCRETE.iter().zip(self.per_strategy.iter()) {
             out.push_str(&format!(
@@ -208,7 +258,7 @@ impl Metrics {
     }
 
     /// The `/metrics?format=json` body.
-    pub fn to_json(&self, cache: CacheCounters) -> String {
+    pub fn to_json(&self, cache: CacheCounters, store: Option<StoreGauges>) -> String {
         let strategies = Strategy::CONCRETE
             .iter()
             .zip(self.per_strategy.iter())
@@ -223,6 +273,18 @@ impl Metrics {
             .u64("evictions", cache.evictions)
             .u64("entries", cache.entries)
             .u64("bytes", cache.bytes)
+            .finish();
+        let gauges = store.unwrap_or_default();
+        let store_json = Obj::new()
+            .bool("enabled", store.is_some())
+            .u64("hits", self.store_hits.load(Ordering::Relaxed))
+            .u64("misses", self.store_misses.load(Ordering::Relaxed))
+            .u64("appends", self.store_appends.load(Ordering::Relaxed))
+            .u64("flushes", self.store_flushes.load(Ordering::Relaxed))
+            .u64("warm_boot", self.store_warm_boot.load(Ordering::Relaxed))
+            .u64("entries", gauges.entries)
+            .u64("bytes", gauges.bytes)
+            .u64("generation", gauges.generation)
             .finish();
         Obj::new()
             .u64(
@@ -253,6 +315,7 @@ impl Metrics {
                 self.rejected_overload.load(Ordering::Relaxed),
             )
             .raw("cache", &cache_json)
+            .raw("store", &store_json)
             .raw("strategies", &strategies)
             .raw("solve_latency", &self.solve_latency.to_json())
             .finish()
@@ -286,12 +349,13 @@ mod tests {
         m.record_status(200);
         m.record_status(422);
         m.record_status(200);
-        let json = m.to_json(CacheCounters::default());
+        let json = m.to_json(CacheCounters::default(), None);
         assert!(json.contains("\"requests_total\":3"));
         assert!(json.contains("\"responses_2xx\":2"));
         assert!(json.contains("\"exact\":2"));
         assert!(json.contains("\"responses_4xx\":1"));
         assert!(json.contains("\"cache\":{\"hits\":0"));
+        assert!(json.contains("\"store\":{\"enabled\":false"));
     }
 
     #[test]
@@ -308,7 +372,7 @@ mod tests {
         m.record_status(200);
         m.record_status(422);
         m.solve_latency.record(Duration::from_micros(100));
-        let text = m.to_prometheus(CacheCounters::default());
+        let text = m.to_prometheus(CacheCounters::default(), None);
         assert!(text.contains("# TYPE dclab_requests_total counter\ndclab_requests_total 2\n"));
         assert!(text.contains("dclab_responses_total{class=\"2xx\"} 1\n"));
         assert!(text.contains("dclab_responses_total{class=\"4xx\"} 1\n"));
@@ -322,5 +386,30 @@ mod tests {
         // One TYPE line per metric family, even with several samples.
         assert_eq!(text.matches("# TYPE dclab_solves_total").count(), 1);
         assert_eq!(text.matches("# TYPE dclab_responses_total").count(), 1);
+        // Store counters render even when the archive is disabled.
+        assert!(text.contains("dclab_store_enabled 0\n"));
+        assert!(text.contains("dclab_store_hits_total 0\n"));
+    }
+
+    #[test]
+    fn store_gauges_render_when_enabled() {
+        let m = Metrics::default();
+        m.store_hits.fetch_add(3, Ordering::Relaxed);
+        m.store_warm_boot.store(7, Ordering::Relaxed);
+        let gauges = StoreGauges {
+            entries: 7,
+            bytes: 1234,
+            generation: 2,
+        };
+        let text = m.to_prometheus(CacheCounters::default(), Some(gauges));
+        assert!(text.contains("dclab_store_enabled 1\n"));
+        assert!(text.contains("dclab_store_hits_total 3\n"));
+        assert!(text.contains("dclab_store_entries 7\n"));
+        assert!(text.contains("dclab_store_bytes 1234\n"));
+        assert!(text.contains("dclab_store_generation 2\n"));
+        let json = m.to_json(CacheCounters::default(), Some(gauges));
+        assert!(json.contains("\"store\":{\"enabled\":true,\"hits\":3"));
+        assert!(json.contains("\"warm_boot\":7"));
+        assert!(json.contains("\"generation\":2"));
     }
 }

@@ -24,10 +24,12 @@ use dclab_engine::{solve, Budget, EngineError, SolveRequest, Strategy};
 use dclab_graph::io as graph_io;
 use dclab_graph::Graph;
 use dclab_par::{SubmitError, WorkerPool};
+use dclab_store::Store;
 
 use crate::cache::{CacheKey, CacheStatus, ReportCache};
 use crate::http::{read_request, write_response, ParseError, Request};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StoreGauges};
+use crate::persist;
 
 /// Server configuration (the CLI's `dclab serve` flags).
 #[derive(Clone, Debug)]
@@ -40,6 +42,10 @@ pub struct ServeConfig {
     pub cache_mb: usize,
     /// Bounded connection-queue capacity (0 → `4 × workers`).
     pub queue_cap: usize,
+    /// Persistent solution archive (`dclab-store`). `Some(path)` warm-boots
+    /// the cache from the archive at start and write-behinds fresh solves;
+    /// `None` keeps the PR 2 behavior (cache dies with the process).
+    pub store_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +55,7 @@ impl Default for ServeConfig {
             workers: dclab_par::default_threads(),
             cache_mb: 64,
             queue_cap: 0,
+            store_path: None,
         }
     }
 }
@@ -57,12 +64,25 @@ impl Default for ServeConfig {
 pub struct ServeCtx {
     pub cache: ReportCache,
     pub metrics: Metrics,
+    /// The persistent solution archive, when serving with `--store-path`.
+    pub store: Option<Arc<Store>>,
     shutdown: AtomicBool,
 }
 
 impl ServeCtx {
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn store_gauges(&self) -> Option<StoreGauges> {
+        self.store.as_ref().map(|s| {
+            let stats = s.stats();
+            StoreGauges {
+                entries: stats.live,
+                bytes: stats.bytes,
+                generation: stats.generation,
+            }
+        })
     }
 }
 
@@ -98,16 +118,28 @@ impl ServerHandle {
     }
 }
 
-/// Bind and start serving in background threads.
+/// Bind and start serving in background threads. When the config names a
+/// store path, the archive is opened (recovering any torn tail) and its
+/// records warm-boot the report cache before the first request is
+/// accepted.
 pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let store = match &cfg.store_path {
+        Some(path) => Some(Arc::new(Store::open(path)?.0)),
+        None => None,
+    };
     let ctx = Arc::new(ServeCtx {
         cache: ReportCache::new(cfg.cache_mb.max(1) * 1024 * 1024),
         metrics: Metrics::default(),
+        store,
         shutdown: AtomicBool::new(false),
     });
+    if let Some(store) = &ctx.store {
+        let loaded = persist::warm_boot(&ctx.cache, store);
+        ctx.metrics.store_warm_boot.store(loaded, Ordering::Relaxed);
+    }
     let workers = cfg.workers.max(1);
     let queue_cap = if cfg.queue_cap == 0 {
         workers * 4
@@ -172,6 +204,13 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize, queue_
     }
     // Graceful: drain queued connections, join workers.
     pool.shutdown();
+    // Every in-flight solve has now written behind; seal the archive
+    // (fsync + clean footer) so a reopened store trusts the whole log.
+    if let Some(store) = &ctx.store {
+        if store.close_clean().is_ok() {
+            ctx.metrics.store_flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Serve one connection until close/EOF/timeout.
@@ -245,9 +284,15 @@ fn route(ctx: &ServeCtx, req: &Request) -> Response {
                     // with its own content-type, not the JSON one.
                     200,
                     vec![("content-type", "text/plain; version=0.0.4".to_string())],
-                    ctx.metrics.to_prometheus(ctx.cache.counters()),
+                    ctx.metrics
+                        .to_prometheus(ctx.cache.counters(), ctx.store_gauges()),
                 ),
-                Some("json") => (200, vec![], ctx.metrics.to_json(ctx.cache.counters())),
+                Some("json") => (
+                    200,
+                    vec![],
+                    ctx.metrics
+                        .to_json(ctx.cache.counters(), ctx.store_gauges()),
+                ),
                 Some(other) => (
                     400,
                     vec![],
@@ -370,6 +415,15 @@ fn cached_solve(
 ) -> Result<(String, CacheStatus), (u16, &'static str, String)> {
     let key = CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
     let (result, status) = ctx.cache.get_or_solve(&key, || {
+        // LRU miss: consult the persistent archive before paying for a
+        // solve (covers evicted entries and corpora imported offline).
+        if let Some(store) = &ctx.store {
+            if let Some(report) = persist::store_lookup(store, &key) {
+                ctx.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(report);
+            }
+            ctx.metrics.store_misses.fetch_add(1, Ordering::Relaxed);
+        }
         let req = SolveRequest {
             graph,
             pvec: params.pvec.clone(),
@@ -379,6 +433,13 @@ fn cached_solve(
         match solve(&req) {
             Ok(report) => {
                 ctx.metrics.record_strategy(report.strategy_used);
+                // Write-behind: the record reaches the OS before the
+                // response; fsync happens at the shutdown drain.
+                if let Some(store) = &ctx.store {
+                    if matches!(persist::store_append(store, &key, &report), Ok(true)) {
+                        ctx.metrics.store_appends.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 Ok(report)
             }
             Err(e) => {

@@ -15,6 +15,7 @@ fn test_server() -> (ServerHandle, Client) {
         workers: 4,
         cache_mb: 8,
         queue_cap: 0,
+        store_path: None,
     })
     .expect("bind ephemeral port");
     let client = Client::new(handle.addr());

@@ -1,0 +1,166 @@
+//! [`StoreKey`] — the durable identity of an archived solve.
+//!
+//! A key is the canonical instance (vertex count + `graph::canon` canonical
+//! edge list) plus the request parameters that shape the answer (p-vector,
+//! strategy, budget). Two requests whose graphs are isomorphic relabelings
+//! canonize to the same edge list and therefore the same key, so the
+//! archive — like the serve layer's in-memory cache — stores one report per
+//! instance *class*, not per byte encoding.
+//!
+//! Keys are compared by their encoded bytes (exact), and bucketed by an
+//! FNV-1a hash of those bytes; a hash collision degrades to a linear probe
+//! within the bucket, never to a wrong record.
+
+use dclab_engine::binary::{
+    get_opt_uvarint, get_u8, get_uvarint, put_opt_uvarint, put_uvarint, CodecError,
+};
+use dclab_engine::{Budget, Strategy};
+use dclab_graph::canon::Fnv64;
+
+/// Durable identity of one archived solve (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreKey {
+    /// Canonical vertex count.
+    pub n: u32,
+    /// Canonical edge list (`u < v`, sorted) from `graph::canon`.
+    pub edges: Vec<(u32, u32)>,
+    /// The p-vector entries.
+    pub pvec: Vec<u64>,
+    pub strategy: Strategy,
+    pub budget: Budget,
+}
+
+impl StoreKey {
+    /// Stable byte encoding (the archive's key payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + 4 * self.edges.len() + 2 * self.pvec.len());
+        put_uvarint(&mut buf, self.n as u64);
+        put_uvarint(&mut buf, self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            put_uvarint(&mut buf, u as u64);
+            put_uvarint(&mut buf, v as u64);
+        }
+        put_uvarint(&mut buf, self.pvec.len() as u64);
+        for &p in &self.pvec {
+            put_uvarint(&mut buf, p);
+        }
+        buf.push(self.strategy.code());
+        put_opt_uvarint(&mut buf, self.budget.node_budget);
+        put_opt_uvarint(&mut buf, self.budget.restarts.map(|r| r as u64));
+        put_opt_uvarint(&mut buf, self.budget.lb_iters.map(|i| i as u64));
+        buf
+    }
+
+    /// Strict inverse of [`StoreKey::encode`] (whole buffer consumed).
+    pub fn decode(bytes: &[u8]) -> Result<StoreKey, CodecError> {
+        let pos = &mut 0usize;
+        let bad = |pos: usize, msg: &str| CodecError {
+            offset: pos,
+            message: msg.to_string(),
+        };
+        let n = u32::try_from(get_uvarint(bytes, pos)?)
+            .map_err(|_| bad(*pos, "vertex count not a u32"))?;
+        let n_edges = get_uvarint(bytes, pos)? as usize;
+        if n_edges > bytes.len() {
+            return Err(bad(*pos, "edge count exceeds buffer"));
+        }
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            let u = u32::try_from(get_uvarint(bytes, pos)?)
+                .map_err(|_| bad(*pos, "endpoint not a u32"))?;
+            let v = u32::try_from(get_uvarint(bytes, pos)?)
+                .map_err(|_| bad(*pos, "endpoint not a u32"))?;
+            edges.push((u, v));
+        }
+        let n_pvec = get_uvarint(bytes, pos)? as usize;
+        if n_pvec > bytes.len() {
+            return Err(bad(*pos, "p-vector length exceeds buffer"));
+        }
+        let mut pvec = Vec::with_capacity(n_pvec);
+        for _ in 0..n_pvec {
+            pvec.push(get_uvarint(bytes, pos)?);
+        }
+        let code = get_u8(bytes, pos)?;
+        let strategy =
+            Strategy::from_code(code).ok_or_else(|| bad(*pos - 1, "unknown strategy code"))?;
+        let budget = Budget {
+            node_budget: get_opt_uvarint(bytes, pos)?,
+            restarts: get_opt_uvarint(bytes, pos)?.map(|r| r as usize),
+            lb_iters: get_opt_uvarint(bytes, pos)?.map(|i| i as usize),
+        };
+        if *pos != bytes.len() {
+            return Err(bad(*pos, "trailing bytes after key"));
+        }
+        Ok(StoreKey {
+            n,
+            edges,
+            pvec,
+            strategy,
+            budget,
+        })
+    }
+
+    /// Bucket hash of the encoded key (FNV-1a over the key bytes).
+    pub fn hash(&self) -> u64 {
+        hash_key_bytes(&self.encode())
+    }
+}
+
+/// FNV-1a of already-encoded key bytes (the index bucket function).
+pub fn hash_key_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StoreKey {
+        StoreKey {
+            n: 5,
+            edges: vec![(0, 1), (0, 4), (2, 3)],
+            pvec: vec![2, 1],
+            strategy: Strategy::Auto,
+            budget: Budget {
+                node_budget: Some(1000),
+                restarts: None,
+                lb_iters: Some(0),
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let key = sample();
+        let bytes = key.encode();
+        let back = StoreKey::decode(&bytes).expect("decodes");
+        assert_eq!(back, key);
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.hash(), key.hash());
+    }
+
+    #[test]
+    fn different_fields_change_bytes_and_hash() {
+        let base = sample();
+        let mut other = base.clone();
+        other.strategy = Strategy::Greedy;
+        assert_ne!(other.encode(), base.encode());
+        assert_ne!(other.hash(), base.hash());
+        let mut other = base.clone();
+        other.pvec = vec![1, 1];
+        assert_ne!(other.encode(), base.encode());
+    }
+
+    #[test]
+    fn truncated_and_trailing_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(StoreKey::decode(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(StoreKey::decode(&long).is_err());
+    }
+}

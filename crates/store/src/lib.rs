@@ -1,0 +1,40 @@
+//! # dclab-store — the persistent solution archive.
+//!
+//! PR 2 made repeated solves of the same instance O(1) with an in-memory
+//! canonical-form cache; this crate makes them O(1) *across process
+//! lifetimes*. Every solved instance becomes a durable record mapping its
+//! canonical identity ([`StoreKey`]: `graph::canon` canonical edges +
+//! p-vector + strategy + budget) to a compact binary `SolveReport`
+//! (`dclab_engine::binary`), in the spirit of hub-labeling systems that
+//! treat precomputed distance answers as a queryable artifact rather than
+//! a transient by-product.
+//!
+//! The design is a classic crash-safe WAL, std-only like the rest of the
+//! workspace:
+//!
+//! * **Append-only log** of CRC32-framed records ([`wal`]); appends are
+//!   single `write(2)` calls, so the only failure mode a crash can
+//!   produce is a torn final record.
+//! * **Open = recover**: the index is rebuilt by a sequential scan; a torn
+//!   tail is truncated away (dropped, never mis-decoded — every frame is
+//!   CRC-checked), and the archive is immediately writable again.
+//! * **Snapshot compaction** ([`Store::compact`]): live records are
+//!   rewritten to a temp file, fsynced, and atomically renamed over the
+//!   log; a generation stamp (persisted in the clean-shutdown footer) lets
+//!   readers detect the swap, and in-process readers share the index lock
+//!   so they can never observe a half-compacted file.
+//! * **Corpus plumbing**: [`Store::export`] emits a standalone snapshot,
+//!   [`Store::import`] merges one in with key-level dedup — solved corpora
+//!   are shareable artifacts.
+//!
+//! The serve layer warm-boots its LRU from the archive and write-behinds
+//! fresh solves; `dclab solve/batch --store` populate the same file, and
+//! `dclab store stats|export|import|compact` manage it.
+
+pub mod crc32;
+pub mod key;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use key::StoreKey;
+pub use wal::{CompactStats, ImportStats, OpenStats, Store, StoreStats};

@@ -21,6 +21,7 @@ pub use dclab_core as core;
 pub use dclab_engine as engine;
 pub use dclab_graph as graph;
 pub use dclab_par as par;
+pub use dclab_store as store;
 pub use dclab_tsp as tsp;
 
 /// Convenient glob-import surface for examples and downstream users.

@@ -32,7 +32,7 @@ fn main() {
         workers: 4,
         cache_mb: 64,
         queue_cap: 0,
-        store_path: None,
+        ..Default::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr();

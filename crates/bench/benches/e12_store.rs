@@ -92,6 +92,7 @@ fn main() {
         cache_mb: 64,
         queue_cap: 0,
         store_path: Some(path.to_str().expect("utf-8").to_string()),
+        ..Default::default()
     };
     let h1 = start(cfg(&serve_path)).expect("bind first server");
     let cold = run_pass(h1.addr(), &corpus).expect("cold pass");

@@ -21,6 +21,18 @@ pub fn cograph(n: usize, seed: u64) -> Graph {
     random::random_connected_cograph(&mut rng, n, 0.4)
 }
 
+/// Deterministic `n`-vertex hardness-corpus instance: the Theorem 3
+/// (Griggs–Yeh) reduction — complement of a random `G(n−1, ½)` plus a
+/// universal vertex. Always connected with diameter ≤ 2, and adversarial
+/// for exact search (its optimum encodes a Hamiltonian-path question), so
+/// it is the natural stress corpus for anytime/deadline solving.
+pub fn hardness_diam2(n: usize, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = random::gnp(&mut rng, n - 1, 0.5);
+    dclab_core::hardness::griggs_yeh_reduction(&g)
+}
+
 /// The classic constraint vector.
 pub fn l21() -> PVec {
     PVec::l21()

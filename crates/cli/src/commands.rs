@@ -33,15 +33,24 @@ USAGE:
                                  with no family for families and flags)
   dclab store <sub> <archive>    stats | compact | export | import on a
                                  persistent solution archive
+  dclab bench-gate [FLAGS]       CI perf gate: compare fresh BENCH_*.json
+                                 against committed baselines (see its --help)
   dclab e1..e8 | all [--quick]   the paper's experiment tables
 
 SOLVE/BATCH FLAGS:
   --p <p1,p2,...>       constraint vector (default 2,1)
   --strategy <name>     exact | branch-bound | approx15 | heuristic | greedy |
-                        diam2-pip | l1-coloring | auto (default auto)
+                        diam2-pip | l1-coloring | auto | race (default auto).
+                        race runs 2-4 portfolio members concurrently with a
+                        shared incumbent bound; the first optimality proof
+                        cancels the rest
   --format <fmt>        edgelist | dimacs (default: guess from extension)
   --node-budget <N>     branch-and-bound node budget
   --restarts <N>        chained-LK restarts
+  --deadline-ms <N>     wall-clock budget: every route becomes anytime and
+                        returns its best incumbent when the clock fires
+                        (report carries \"timed_out\":true). Without it,
+                        solves are purely logical and bit-reproducible.
   --store <archive>     persistent solution archive: canonical lookups skip
                         the solve, fresh solves are appended — the same file
                         `dclab serve --store-path` warm-boots from
@@ -56,6 +65,9 @@ SERVE FLAGS:
   --queue-cap <N>       bounded connection queue (default 4 x workers)
   --store-path <file>   persistent solution archive: warm-boot the cache on
                         start, write-behind fresh solves, seal on shutdown
+  --max-deadline-ms <N> server-side cap on client deadline-ms requests
+                        (default 60000); requests without a deadline are
+                        untouched
   --self-test           start on an ephemeral port, replay the loadgen corpus
                         (~2 s), assert cache hits + clean shutdown, then exit
   --duration-ms <N>     self-test duration (default 2000)
@@ -95,6 +107,11 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
             "--restarts" => {
                 let v = flag_value("--restarts")?;
                 opts.budget.restarts = Some(v.parse().map_err(|e| format!("bad --restarts: {e}"))?);
+            }
+            "--deadline-ms" => {
+                let v = flag_value("--deadline-ms")?;
+                opts.budget.deadline_ms =
+                    Some(v.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?);
             }
             "--threads" => {
                 let v = flag_value("--threads")?;
@@ -159,6 +176,12 @@ fn solve_with_store(
     };
     let report = solve(&req).map_err(|e| e.to_string())?;
     if let (Some(store), Some(key)) = (store, &key) {
+        // Timed-out harvests stay out of the archive (mirrors the serve
+        // layer): persisting one would freeze a machine/load-dependent
+        // quality level behind every future lookup and warm boot.
+        if report.stats.timed_out {
+            return Ok((report, Some("skipped-timeout")));
+        }
         // A full disk must not discard the solve we just paid for: warn
         // and keep the result flowing to stdout.
         if let Err(e) = persist::store_append(store, key, &report) {
@@ -285,15 +308,20 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
     for ((&i, key), result) in request_file.iter().zip(&request_key).zip(reports) {
         let line = match result {
             Ok(report) => {
+                let mut status = store.as_ref().map(|_| "miss");
                 if let (Some(store), Some(key)) = (&store, key) {
-                    // An append failure must not abort the batch: every
-                    // solved report still prints; the archive just misses
-                    // this record.
-                    if let Err(e) = persist::store_append(store, key, &report) {
+                    if report.stats.timed_out {
+                        // Same guard as the serve layer: deadline-degraded
+                        // harvests are answers, not archive records.
+                        status = Some("skipped-timeout");
+                    } else if let Err(e) = persist::store_append(store, key, &report) {
+                        // An append failure must not abort the batch: every
+                        // solved report still prints; the archive just
+                        // misses this record.
                         eprintln!("warning: store append failed for {}: {e}", files[i]);
                     }
                 }
-                report_line(&files[i], &report, store.as_ref().map(|_| "miss"))
+                report_line(&files[i], &report, status)
             }
             Err(e) => Obj::new()
                 .str("file", &files[i])
@@ -342,6 +370,15 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
                 cfg.queue_cap = v.parse().map_err(|e| format!("bad --queue-cap: {e}"))?;
             }
             "--store-path" => cfg.store_path = Some(flag_value("--store-path")?),
+            "--max-deadline-ms" => {
+                let v = flag_value("--max-deadline-ms")?;
+                cfg.max_deadline_ms = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-deadline-ms: {e}"))?;
+                if cfg.max_deadline_ms == 0 {
+                    return Err("--max-deadline-ms must be at least 1".into());
+                }
+            }
             "--threads" => {
                 let v = flag_value("--threads")?;
                 let n: usize = v.parse().map_err(|e| format!("bad --threads: {e}"))?;

@@ -33,6 +33,7 @@
 //!
 //! `--quick` shrinks the experiment sweeps for smoke runs.
 
+mod bench_gate;
 mod commands;
 mod experiments;
 mod gen;
@@ -53,7 +54,7 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "solve" | "batch" | "serve" | "gen" | "store" => {
+        "solve" | "batch" | "serve" | "gen" | "store" | "bench-gate" => {
             let rest: Vec<String> = args
                 .iter()
                 .skip_while(|a| a.as_str() != which)
@@ -65,6 +66,7 @@ fn main() {
                 "batch" => commands::batch_cmd(&rest),
                 "gen" => gen::gen_cmd(&rest),
                 "store" => store_cmd::store_cmd(&rest),
+                "bench-gate" => bench_gate::bench_gate_cmd(&rest),
                 _ => commands::serve_cmd(&rest),
             };
             if let Err(e) = result {
@@ -115,7 +117,7 @@ fn run_experiments(which: &str, args: &[String]) {
     if !ran {
         eprintln!(
             "unknown command '{which}'; use solve <file>, batch <dir>, serve, gen, store, \
-             e1..e8 or all (experiments take --quick; see --help)"
+             bench-gate, e1..e8 or all (experiments take --quick; see --help)"
         );
         std::process::exit(2);
     }

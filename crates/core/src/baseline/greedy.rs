@@ -108,6 +108,19 @@ fn build_order(g: &Graph, order: GreedyOrder) -> Vec<usize> {
 
 /// Greedy span over all three orders — cheap "best-of" baseline.
 pub fn best_greedy_span(g: &Graph, p: &PVec) -> (Labeling, u64) {
+    best_greedy_span_anytime(g, p, &dclab_par::Deadline::none())
+}
+
+/// [`best_greedy_span`] with a cooperative deadline checked *between*
+/// candidate orders (a partially-labeled graph is not a labeling, so the
+/// order is the natural checkpoint granule). The first order always runs
+/// to completion — the result is a valid labeling even when the deadline
+/// expired before the call.
+pub fn best_greedy_span_anytime(
+    g: &Graph,
+    p: &PVec,
+    deadline: &dclab_par::Deadline,
+) -> (Labeling, u64) {
     let candidates = [
         GreedyOrder::DegreeDescending,
         GreedyOrder::Bfs,
@@ -115,12 +128,15 @@ pub fn best_greedy_span(g: &Graph, p: &PVec) -> (Labeling, u64) {
     ];
     let mut best: Option<Labeling> = None;
     for ord in candidates {
+        if best.is_some() && deadline.expired() {
+            break;
+        }
         let l = greedy_labeling(g, p, ord);
         if best.as_ref().is_none_or(|b| l.span() < b.span()) {
             best = Some(l);
         }
     }
-    let l = best.unwrap();
+    let l = best.expect("first candidate order always runs");
     let s = l.span();
     (l, s)
 }

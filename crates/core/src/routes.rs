@@ -9,10 +9,12 @@
 use crate::guard::{check_exact_size, GuardError};
 use crate::reduction::{labeling_from_order, ReducedInstance};
 use crate::solver::Solution;
+use dclab_par::Deadline;
 use dclab_tsp::christofides::christofides_path;
 use dclab_tsp::driver::{solve_path_heuristic, HeuristicConfig};
-use dclab_tsp::exact::{branch_bound_path, held_karp_path};
+use dclab_tsp::exact::{branch_bound_path_anytime, held_karp_path, BbStatus};
 use dclab_tsp::matching::MatchingBackend;
+use std::sync::atomic::AtomicU64;
 
 fn solution_from_order(reduced: &ReducedInstance, order: Vec<u32>, span: u64) -> Solution {
     let labeling = labeling_from_order(reduced, &order);
@@ -38,10 +40,28 @@ pub fn branch_bound_route(
     reduced: &ReducedInstance,
     node_budget: u64,
 ) -> Result<Solution, GuardError> {
-    match branch_bound_path(&reduced.tsp, node_budget) {
-        Some((order, span)) => Ok(solution_from_order(reduced, order, span)),
-        None => Err(GuardError::BudgetExhausted { node_budget }),
+    let (sol, status) = branch_bound_route_anytime(reduced, node_budget, &Deadline::none(), None);
+    match status {
+        BbStatus::Proved => Ok(sol),
+        BbStatus::BudgetExhausted | BbStatus::Cancelled => {
+            Err(GuardError::BudgetExhausted { node_budget })
+        }
     }
+}
+
+/// Anytime branch and bound: always returns the best incumbent as a full,
+/// valid labeling, plus how the search ended. `shared_bound` is the racing
+/// portfolio's cross-member incumbent span (see
+/// `dclab_tsp::exact::branch_bound_path_anytime` for the proof semantics
+/// of pruning against it).
+pub fn branch_bound_route_anytime(
+    reduced: &ReducedInstance,
+    node_budget: u64,
+    deadline: &Deadline,
+    shared_bound: Option<&AtomicU64>,
+) -> (Solution, BbStatus) {
+    let r = branch_bound_path_anytime(&reduced.tsp, node_budget, deadline, shared_bound);
+    (solution_from_order(reduced, r.order, r.weight), r.status)
 }
 
 /// Hoogeveen/Christofides 1.5-approximation (Corollary 1b).
@@ -98,5 +118,25 @@ mod tests {
             branch_bound_route(&reduced, 3),
             Err(GuardError::BudgetExhausted { node_budget: 3 })
         );
+    }
+
+    #[test]
+    fn anytime_branch_bound_surrenders_a_valid_incumbent() {
+        let g = classic::petersen();
+        let p = PVec::l21();
+        let reduced = reduce_to_path_tsp(&g, &p).unwrap();
+        // Same tiny budget that makes the legacy route fail: the anytime
+        // route instead hands back a complete, valid labeling.
+        let (sol, status) = branch_bound_route_anytime(&reduced, 3, &Deadline::none(), None);
+        assert_eq!(status, BbStatus::BudgetExhausted);
+        assert!(sol.labeling.validate(&g, &p).is_ok());
+        assert!(sol.span >= 9);
+        // And an expired deadline likewise.
+        let token = dclab_par::CancelToken::new();
+        token.cancel();
+        let dl = Deadline::none().with_token(token);
+        let (sol, status) = branch_bound_route_anytime(&reduced, u64::MAX, &dl, None);
+        assert_eq!(status, BbStatus::Cancelled);
+        assert!(sol.labeling.validate(&g, &p).is_ok());
     }
 }

@@ -7,7 +7,6 @@
 //! (including the FPT ones) and attaches stats and lower-bound
 //! certificates. These wrappers remain for direct, single-route calls.
 
-use crate::baseline::greedy::best_greedy_span;
 use crate::guard::GuardError;
 use crate::labeling::Labeling;
 use crate::pvec::PVec;
@@ -130,7 +129,14 @@ pub fn solve_exact_branch_bound(
 
 /// Greedy first-fit baseline (no reduction; any graph, any `p`).
 pub fn solve_greedy(g: &Graph, p: &PVec) -> Solution {
-    let (labeling, span) = best_greedy_span(g, p);
+    solve_greedy_anytime(g, p, &dclab_par::Deadline::none())
+}
+
+/// [`solve_greedy`] with a cooperative deadline: candidate vertex orders
+/// after the first are skipped once the clock fires, so the result is
+/// always a complete valid labeling, just possibly from fewer orders.
+pub fn solve_greedy_anytime(g: &Graph, p: &PVec, deadline: &dclab_par::Deadline) -> Solution {
+    let (labeling, span) = crate::baseline::greedy::best_greedy_span_anytime(g, p, deadline);
     let order = labeling.sorted_order();
     Solution {
         labeling,

@@ -17,6 +17,12 @@
 //! Features: `varint n, m, max_degree` · `opt diameter` · `varint k` ·
 //! one flag byte (`smooth | all_ones << 1 | two_valued << 2 | cograph << 3`).
 //!
+//! **Version 2** appends one `timed_out` byte after the feature flags.
+//! Version 1 records (every archive written before anytime solving
+//! existed) still decode — the missing byte reads as `timed_out = false`,
+//! which is exactly right: a deadline-free solve cannot time out.
+//! Encoding always emits the current version.
+//!
 //! Decoding is strict: unknown versions, unknown strategy codes, truncated
 //! buffers, and trailing bytes are all errors — a corrupt archive record
 //! can never silently decode into a wrong report. [`report_from_bytes`]
@@ -31,7 +37,11 @@ use crate::report::{EngineStats, SolveReport};
 use crate::request::Strategy;
 
 /// Current codec version (first byte of every encoded report).
-pub const REPORT_CODEC_VERSION: u8 = 1;
+pub const REPORT_CODEC_VERSION: u8 = 2;
+
+/// Oldest codec version [`report_from_bytes`] still accepts (pre-anytime
+/// records without the `timed_out` byte).
+pub const REPORT_CODEC_MIN_VERSION: u8 = 1;
 
 /// Decode failure: what was malformed and roughly where.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -181,6 +191,8 @@ pub fn report_to_bytes(r: &SolveReport) -> Vec<u8> {
             | (f.two_valued as u8) << 2
             | (f.cograph as u8) << 3,
     );
+    // Version 2 extension: the anytime timeout flag.
+    buf.push(stats.timed_out as u8);
     buf
 }
 
@@ -188,7 +200,7 @@ pub fn report_to_bytes(r: &SolveReport) -> Vec<u8> {
 pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
     let pos = &mut 0usize;
     let version = get_u8(bytes, pos)?;
-    if version != REPORT_CODEC_VERSION {
+    if !(REPORT_CODEC_MIN_VERSION..=REPORT_CODEC_VERSION).contains(&version) {
         return Err(err(
             0,
             format!("unsupported report codec version {version}"),
@@ -253,6 +265,16 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
     if flags & !0x0f != 0 {
         return Err(err(*pos - 1, format!("unknown feature flags {flags:#04x}")));
     }
+    // Version 1 ends at the feature flags; version 2 adds `timed_out`.
+    let timed_out = if version >= 2 {
+        match get_u8(bytes, pos)? {
+            0 => false,
+            1 => true,
+            b => return Err(err(*pos - 1, format!("bad timed_out flag {b}"))),
+        }
+    } else {
+        false
+    };
     if *pos != bytes.len() {
         return Err(err(*pos, "trailing bytes after report"));
     }
@@ -271,6 +293,7 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
             reductions_computed,
             routes_tried,
             notes,
+            timed_out,
             features: InstanceFeatures {
                 n,
                 m,
@@ -356,9 +379,50 @@ mod tests {
         let mut bytes = sample_report(Strategy::Greedy).to_bytes();
         bytes[0] = 99;
         assert!(report_from_bytes(&bytes).is_err());
+        bytes[0] = 0; // below the minimum version
+        assert!(report_from_bytes(&bytes).is_err());
         bytes[0] = REPORT_CODEC_VERSION;
         bytes[1] = 200; // strategy code out of range
         assert!(report_from_bytes(&bytes).is_err());
+    }
+
+    /// Versioned decode: a version-1 record (pre-anytime, no `timed_out`
+    /// byte) must still decode, reading as `timed_out = false`, and
+    /// re-encode as an equivalent version-2 record.
+    #[test]
+    fn version_one_records_still_decode() {
+        let report = sample_report(Strategy::Auto);
+        assert!(!report.stats.timed_out, "deadline-free sample");
+        let v2 = report.to_bytes();
+        assert_eq!(v2[0], REPORT_CODEC_VERSION);
+        // A v1 record is the v2 bytes minus the trailing timed_out byte,
+        // stamped with the old version — exactly what PR 4 archives hold.
+        let mut v1 = v2[..v2.len() - 1].to_vec();
+        v1[0] = 1;
+        let decoded = SolveReport::from_bytes(&v1).expect("v1 decodes");
+        assert_eq!(decoded, report);
+        assert!(!decoded.stats.timed_out);
+        assert_eq!(decoded.to_bytes(), v2, "re-encode upgrades to v2");
+        // Strictness survives the versioning: a v1 record with a stray
+        // trailing byte that is not a valid flag is still rejected.
+        let mut v1_trailing = v1.clone();
+        v1_trailing.push(7);
+        assert!(SolveReport::from_bytes(&v1_trailing).is_err());
+    }
+
+    #[test]
+    fn timed_out_flag_round_trips() {
+        let mut report = sample_report(Strategy::Auto);
+        report.stats.timed_out = true;
+        let bytes = report.to_bytes();
+        let back = SolveReport::from_bytes(&bytes).expect("decodes");
+        assert!(back.stats.timed_out);
+        assert_eq!(back, report);
+        // The flag byte is strict: 2 is not a bool.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] = 2;
+        assert!(SolveReport::from_bytes(&bad).is_err());
     }
 
     #[test]

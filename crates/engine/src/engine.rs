@@ -1,6 +1,21 @@
 //! The dispatcher: one [`solve`] entry point over every route, with the
 //! Theorem 2 reduction computed **once** per request and shared across
 //! candidate routes.
+//!
+//! **Anytime semantics** — when the request arms `Budget::deadline_ms`,
+//! every long-running route becomes interruptible: chained LK checks the
+//! deadline between local-search rounds and kicks, branch and bound checks
+//! it per search node, and both surrender their best incumbent (a full,
+//! valid labeling) instead of aborting. The harvested report carries
+//! `stats.timed_out = true` unless optimality was proved anyway.
+//!
+//! **Racing** — [`Strategy::Race`] runs 2–4 portfolio members concurrently
+//! over `dclab-par`, sharing an atomic incumbent bound (branch and bound
+//! prunes against everyone's best span) and a cancel token (the first
+//! member to *prove* optimality stops the rest). Without a deadline the
+//! race runs every member to completion fully independently, which keeps
+//! the result bit-identical to the best single member regardless of thread
+//! count.
 
 use dclab_core::bounds::{degree_bound, span_lower_bound_with_reduction};
 use dclab_core::diam2::{solve_diam2_lpq_with_witness, Diam2Error, PipSolver};
@@ -12,10 +27,13 @@ use dclab_core::reduction::{
     reduce_to_path_tsp, reduce_unchecked, tight_labeling_for_order, ReducedInstance, ReductionError,
 };
 use dclab_core::routes;
-use dclab_core::solver::{solve_greedy, Solution};
+use dclab_core::solver::{solve_greedy, solve_greedy_anytime, Solution};
 use dclab_graph::Graph;
+use dclab_par::{CancelToken, Deadline};
 use dclab_tsp::driver::HeuristicConfig;
+use dclab_tsp::exact::BbStatus;
 use dclab_tsp::matching::MatchingBackend;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::features::InstanceFeatures;
 use crate::report::{EngineStats, SolveReport};
@@ -28,6 +46,10 @@ const L1_EXACT_MAX_N: usize = 28;
 /// heuristic (the blossom matching is cubic-ish; past this the heuristic
 /// runs alone).
 const AUTO_APPROX_MAX_N: usize = 400;
+
+/// Seed stride between racing LK members: far enough apart that their kick
+/// streams never overlap the per-restart `seed + i` offsets of the driver.
+const RACE_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Why the engine could not produce a solution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +102,10 @@ struct Ctx<'a> {
     reductions_computed: usize,
     routes_tried: Vec<Strategy>,
     notes: Vec<String>,
+    /// The wall-clock deadline fired before the chosen route finished
+    /// proving anything (the report's `stats.timed_out`, cleared by
+    /// `finish` when optimality was established regardless).
+    timed_out: bool,
 }
 
 impl<'a> Ctx<'a> {
@@ -91,6 +117,7 @@ impl<'a> Ctx<'a> {
             reductions_computed: 0,
             routes_tried: Vec::new(),
             notes: Vec::new(),
+            timed_out: false,
         }
     }
 
@@ -121,8 +148,11 @@ impl<'a> Ctx<'a> {
 }
 
 /// Solve one request. The single front door: every strategy, including the
-/// `Auto` portfolio, goes through here.
+/// `Auto` and `Race` portfolios, goes through here. The wall clock (when
+/// `Budget::deadline_ms` is set) starts here, so reduction and feature
+/// extraction spend from the same budget as the search.
 pub fn solve(req: &SolveRequest) -> Result<SolveReport, EngineError> {
+    let deadline = req.budget.deadline();
     let g = &req.graph;
     let p = &req.pvec;
     let features = InstanceFeatures::extract(g, p);
@@ -152,31 +182,72 @@ pub fn solve(req: &SolveRequest) -> Result<SolveReport, EngineError> {
         }
         Strategy::BranchBound => {
             let reduced = ctx.reduced()?;
-            let sol = routes::branch_bound_route(reduced, req.budget.node_budget())?;
+            let (sol, status) = routes::branch_bound_route_anytime(
+                reduced,
+                req.budget.node_budget(),
+                &deadline,
+                None,
+            );
             ctx.routes_tried.push(Strategy::BranchBound);
-            let lb = sol.span;
-            (sol, Strategy::BranchBound, lb, true)
+            match status {
+                BbStatus::Proved => {
+                    let lb = sol.span;
+                    (sol, Strategy::BranchBound, lb, true)
+                }
+                // The logical budget running out stays an error (the
+                // pre-deadline contract); only the wall clock harvests.
+                BbStatus::BudgetExhausted => {
+                    return Err(GuardError::BudgetExhausted {
+                        node_budget: req.budget.node_budget(),
+                    }
+                    .into())
+                }
+                BbStatus::Cancelled => {
+                    ctx.timed_out = true;
+                    ctx.note("deadline fired mid-search → best incumbent");
+                    (sol, Strategy::BranchBound, degree_bound(g, p), false)
+                }
+            }
         }
         Strategy::Approx15 => {
+            // Christofides has no interior checkpoint; it runs to
+            // completion, and an overrun is reported as a timeout so the
+            // degraded (degree-bound) certificate is never silent.
             let sol = routes::approx15_route(ctx.reduced()?, MatchingBackend::Auto);
             ctx.routes_tried.push(Strategy::Approx15);
-            let lb = certificate(&mut ctx, req, true);
+            if deadline.expired() {
+                ctx.timed_out = true;
+                ctx.note("deadline fired during christofides (not interruptible)");
+            }
+            let lb = certificate(&mut ctx, req, true, &deadline);
             (sol, Strategy::Approx15, lb, false)
         }
         Strategy::Heuristic => {
-            let cfg = heuristic_config(req);
+            let cfg = heuristic_config(req, &deadline);
             let sol = routes::heuristic_route(ctx.reduced()?, &cfg);
             ctx.routes_tried.push(Strategy::Heuristic);
-            let lb = certificate(&mut ctx, req, true);
+            if deadline.expired() {
+                ctx.timed_out = true;
+                ctx.note("deadline fired during local search → best incumbent");
+            }
+            let lb = certificate(&mut ctx, req, true, &deadline);
             (sol, Strategy::Heuristic, lb, false)
         }
         Strategy::Greedy => {
-            let sol = solve_greedy(g, p);
+            let sol = solve_greedy_anytime(g, p, &deadline);
             ctx.routes_tried.push(Strategy::Greedy);
+            if deadline.expired() {
+                ctx.timed_out = true;
+                ctx.note("deadline fired between greedy orders → best order so far");
+            }
             (sol, Strategy::Greedy, degree_bound(g, p), false)
         }
         Strategy::L1Coloring => {
             let (sol, exact_coloring) = l1_route(&mut ctx, req);
+            if deadline.expired() {
+                ctx.timed_out = true;
+                ctx.note("deadline fired during coloring (not interruptible)");
+            }
             let lb = if features.all_ones && exact_coloring {
                 sol.span
             } else {
@@ -186,7 +257,8 @@ pub fn solve(req: &SolveRequest) -> Result<SolveReport, EngineError> {
             (sol, Strategy::L1Coloring, lb, proved)
         }
         Strategy::Diam2Pip => diam2_route(&mut ctx, &features, true)?,
-        Strategy::Auto => auto_route(&mut ctx, req, &features)?,
+        Strategy::Auto => auto_route(&mut ctx, req, &features, &deadline)?,
+        Strategy::Race => race_route(&mut ctx, req, &features, &deadline)?,
     };
 
     finish(
@@ -205,6 +277,7 @@ fn auto_route(
     ctx: &mut Ctx<'_>,
     req: &SolveRequest,
     features: &InstanceFeatures,
+    deadline: &Deadline,
 ) -> Result<(Solution, Strategy, u64, bool), EngineError> {
     let g = ctx.g;
     let n = g.n();
@@ -215,7 +288,12 @@ fn auto_route(
             None => "disconnected → reduction-free fallback".to_string(),
             Some(d) => format!("diameter {d} > k={} → reduction-free fallback", features.k),
         });
-        return Ok(fallback_portfolio(ctx, features));
+        let out = fallback_portfolio(ctx, features);
+        if deadline.expired() {
+            ctx.timed_out = true;
+            ctx.note("deadline fired during reduction-free fallback");
+        }
+        return Ok(out);
     }
 
     if !features.smooth {
@@ -228,7 +306,14 @@ fn auto_route(
             return diam2_route(ctx, features, false);
         }
         let (sol, used, _, _) = fallback_portfolio(ctx, features);
-        let lb = certificate(ctx, req, false);
+        if deadline.expired() {
+            // The reduction-free bounds are not interruptible; an overrun
+            // is reported rather than hidden behind the cheaper
+            // certificate the expired deadline forces below.
+            ctx.timed_out = true;
+            ctx.note("deadline fired during reduction-free fallback");
+        }
+        let lb = certificate(ctx, req, false, deadline);
         let proved = sol.span == lb;
         return Ok((sol, used, lb, proved));
     }
@@ -252,28 +337,45 @@ fn auto_route(
             "two-valued weights → branch and bound (budget {})",
             req.budget.node_budget()
         ));
-        match routes::branch_bound_route(ctx.reduced()?, req.budget.node_budget()) {
-            Ok(sol) => {
-                ctx.routes_tried.push(Strategy::BranchBound);
+        let (sol, status) = routes::branch_bound_route_anytime(
+            ctx.reduced()?,
+            req.budget.node_budget(),
+            deadline,
+            None,
+        );
+        ctx.routes_tried.push(Strategy::BranchBound);
+        match status {
+            BbStatus::Proved => {
                 let lb = sol.span;
                 return Ok((sol, Strategy::BranchBound, lb, true));
             }
-            Err(GuardError::BudgetExhausted { node_budget }) => {
-                ctx.routes_tried.push(Strategy::BranchBound);
-                ctx.note(format!("BB budget {node_budget} exhausted → heuristic"));
+            BbStatus::Cancelled => {
+                // No wall-clock left for the heuristic leg: harvest the
+                // incumbent now, certified only by the cheap degree bound.
+                ctx.timed_out = true;
+                ctx.note("deadline fired mid-search → best incumbent");
+                return Ok((sol, Strategy::BranchBound, degree_bound(g, ctx.p), false));
             }
-            Err(e) => return Err(e.into()),
+            BbStatus::BudgetExhausted => {
+                ctx.note(format!(
+                    "BB budget {} exhausted → heuristic",
+                    req.budget.node_budget()
+                ));
+            }
         }
     } else {
         ctx.note("general smooth instance → heuristic portfolio");
     }
 
     // Workhorse: chained LK, optionally raced against Christofides.
-    let cfg = heuristic_config(req);
+    let cfg = heuristic_config(req, deadline);
     let mut sol = routes::heuristic_route(ctx.reduced()?, &cfg);
     let mut used = Strategy::Heuristic;
     ctx.routes_tried.push(Strategy::Heuristic);
-    if n <= AUTO_APPROX_MAX_N {
+    if deadline.expired() {
+        ctx.timed_out = true;
+        ctx.note("deadline fired during local search → best incumbent");
+    } else if n <= AUTO_APPROX_MAX_N {
         let approx = routes::approx15_route(ctx.reduced()?, MatchingBackend::Auto);
         ctx.routes_tried.push(Strategy::Approx15);
         if approx.span < sol.span {
@@ -285,9 +387,232 @@ fn auto_route(
             used = Strategy::Approx15;
         }
     }
-    let lb = certificate(ctx, req, true);
+    let lb = certificate(ctx, req, true, deadline);
     let proved = sol.span == lb;
     Ok((sol, used, lb, proved))
+}
+
+/// One member of the racing portfolio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RaceMember {
+    /// First-fit greedy: near-instant on any graph — the member that
+    /// guarantees even a 1 ms deadline harvests *something* valid.
+    Greedy,
+    /// Chained LK with a salted kick seed (salt 0 is the stock heuristic;
+    /// other salts explore different kick trajectories).
+    Lk { seed_salt: u64 },
+    /// Anytime branch and bound, pruning against the shared incumbent
+    /// bound; the only member that can *prove* optimality and cancel the
+    /// rest.
+    Bb,
+    /// `p_max`-scaled coloring of `G^k` (reduction-free).
+    L1,
+}
+
+impl RaceMember {
+    fn strategy(self) -> Strategy {
+        match self {
+            RaceMember::Greedy => Strategy::Greedy,
+            RaceMember::Lk { .. } => Strategy::Heuristic,
+            RaceMember::Bb => Strategy::BranchBound,
+            RaceMember::L1 => Strategy::L1Coloring,
+        }
+    }
+}
+
+/// The deterministic portfolio for an instance: on the Theorem 2 smooth
+/// path, greedy + two differently-seeded LK members + anytime branch and
+/// bound; outside it, the two reduction-free upper bounds.
+fn race_members(features: &InstanceFeatures) -> Vec<RaceMember> {
+    if features.reducible() && features.smooth {
+        vec![
+            RaceMember::Greedy,
+            RaceMember::Lk { seed_salt: 0 },
+            RaceMember::Lk { seed_salt: 1 },
+            RaceMember::Bb,
+        ]
+    } else {
+        vec![RaceMember::Greedy, RaceMember::L1]
+    }
+}
+
+/// A finished member: its best solution and whether it proved optimality.
+struct MemberRun {
+    solution: Solution,
+    strategy: Strategy,
+    proved: bool,
+}
+
+/// Run one portfolio member to completion (or to the shared deadline).
+fn run_race_member(
+    member: RaceMember,
+    g: &Graph,
+    p: &PVec,
+    reduced: Option<&ReducedInstance>,
+    req: &SolveRequest,
+    deadline: &Deadline,
+    shared_bound: Option<&AtomicU64>,
+) -> MemberRun {
+    let strategy = member.strategy();
+    match member {
+        RaceMember::Greedy => MemberRun {
+            // Order-granular anytime greedy: the first vertex order always
+            // completes, so even an expired deadline harvests a labeling.
+            solution: solve_greedy_anytime(g, p, deadline),
+            strategy,
+            proved: false,
+        },
+        RaceMember::L1 => {
+            let engine = if g.n() <= L1_EXACT_MAX_N {
+                L1Engine::Exact
+            } else {
+                L1Engine::Dsatur
+            };
+            MemberRun {
+                solution: solve_pmax_approx(g, p, engine),
+                strategy,
+                proved: false,
+            }
+        }
+        RaceMember::Lk { seed_salt } => {
+            let reduced = reduced.expect("LK members race only with a reduction");
+            // Exactly the Strategy::Heuristic configuration (one shared
+            // helper, so budget knobs can never drift between the single
+            // route and the race members) plus this member's kick salt.
+            let mut cfg = heuristic_config(req, deadline);
+            cfg.seed = cfg
+                .seed
+                .wrapping_add(seed_salt.wrapping_mul(RACE_SEED_STRIDE));
+            MemberRun {
+                solution: routes::heuristic_route(reduced, &cfg),
+                strategy,
+                proved: false,
+            }
+        }
+        RaceMember::Bb => {
+            let reduced = reduced.expect("BB members race only with a reduction");
+            let (solution, status) = routes::branch_bound_route_anytime(
+                reduced,
+                req.budget.node_budget(),
+                deadline,
+                shared_bound,
+            );
+            MemberRun {
+                solution,
+                strategy,
+                proved: status == BbStatus::Proved,
+            }
+        }
+    }
+}
+
+/// The racing portfolio behind `Strategy::Race`: members run concurrently
+/// on the `dclab-par` fan-out; with a deadline armed they share an atomic
+/// incumbent bound (branch and bound prunes against everyone's best span)
+/// and a cancel token (the first *proof* of optimality stops the rest),
+/// and the deadline harvests the best incumbent. Without a deadline the
+/// members run fully independently, so the winner — smallest span, ties to
+/// the earliest member — is bit-identical to running that member alone,
+/// regardless of thread count.
+///
+/// LK members keep their own internal restart fan-out, so a race can
+/// briefly oversubscribe a small machine (members × restarts threads).
+/// That is a deliberate trade: each member stays byte-for-byte the same
+/// computation as its standalone strategy (the bit-identity contract
+/// above), and under a deadline every thread obeys the same absolute
+/// cutoff, so contention costs incumbent quality, never the deadline.
+fn race_route(
+    ctx: &mut Ctx<'_>,
+    req: &SolveRequest,
+    features: &InstanceFeatures,
+    deadline: &Deadline,
+) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+    let members = race_members(features);
+    let needs_reduction = members
+        .iter()
+        .any(|m| matches!(m, RaceMember::Lk { .. } | RaceMember::Bb));
+    if needs_reduction {
+        // The request's single reduction, computed before the fan-out and
+        // shared read-only by every member.
+        ctx.reduced()?;
+        ctx.note(format!(
+            "race: {} members over one reduction",
+            members.len()
+        ));
+    } else {
+        ctx.note("race: reduction-free members (outside Theorem 2 scope)");
+    }
+
+    // Sharing (incumbent bound + first-proof cancellation) is armed only
+    // under a wall-clock deadline: cross-member effects depend on timing,
+    // and the deadline-free contract is bit-identical reports across
+    // thread counts.
+    let armed = !deadline.is_unlimited();
+    let shared_token = CancelToken::new();
+    let member_deadline = if armed {
+        deadline.clone().with_token(shared_token.clone())
+    } else {
+        Deadline::none()
+    };
+    let shared_bound = AtomicU64::new(u64::MAX);
+    let shared = if armed { Some(&shared_bound) } else { None };
+
+    let g = ctx.g;
+    let p = ctx.p;
+    let reduced = ctx.reduced.as_ref();
+    let runs: Vec<MemberRun> = dclab_par::par_map(&members, |&member| {
+        let run = run_race_member(member, g, p, reduced, req, &member_deadline, shared);
+        if armed {
+            shared_bound.fetch_min(run.solution.span, Ordering::Relaxed);
+            if run.proved {
+                shared_token.cancel();
+            }
+        }
+        run
+    });
+
+    let any_proved = runs.iter().any(|r| r.proved);
+    // `deadline` carries no token, so this is a pure clock check — a race
+    // decided by an optimality proof is not a timeout.
+    let timed_out = deadline.expired() && !any_proved;
+    let win_idx = runs
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, r)| (r.solution.span, *i))
+        .map(|(i, _)| i)
+        .expect("portfolio has at least one member");
+    for r in &runs {
+        ctx.routes_tried.push(r.strategy);
+    }
+    let winner = &runs[win_idx];
+    ctx.note(format!(
+        "race winner: {} (span {}{})",
+        winner.strategy,
+        winner.solution.span,
+        if any_proved { ", proved optimal" } else { "" }
+    ));
+    if timed_out {
+        ctx.timed_out = true;
+        ctx.note("deadline harvested the best incumbent");
+    }
+    let lb = if any_proved {
+        // An exhausted branch-and-bound search certifies that nothing is
+        // cheaper than min(its incumbent, the shared bound); every shared
+        // value is a span some member achieved, so the harvest minimum is
+        // exactly that certified floor.
+        winner.solution.span
+    } else if timed_out {
+        degree_bound(g, p)
+    } else {
+        certificate(ctx, req, needs_reduction, deadline)
+    };
+    let strategy = members[win_idx].strategy();
+    let solution = runs
+        .into_iter()
+        .nth(win_idx)
+        .expect("index in range")
+        .solution;
+    Ok((solution, strategy, lb, any_proved))
 }
 
 /// Can Corollary 2 run here in polynomial/bounded time? (k = 2, diam ≤ 2,
@@ -429,8 +754,13 @@ fn l1_route(ctx: &mut Ctx<'_>, req: &SolveRequest) -> (Solution, bool) {
 
 /// Lower-bound certificate from the request's single reduction (checked
 /// when the caller is on a smooth path, unchecked otherwise — both yield
-/// sound bounds; the unchecked one works without smoothness).
-fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool) -> u64 {
+/// sound bounds; the unchecked one works without smoothness). An expired
+/// deadline downgrades to the O(n)-cheap degree bound: the Held–Karp
+/// ascent would spend wall-clock the caller no longer has.
+fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool, deadline: &Deadline) -> u64 {
+    if deadline.expired() {
+        return degree_bound(ctx.g, ctx.p);
+    }
     let ensured = if checked {
         ctx.reduced().is_ok()
     } else {
@@ -443,11 +773,12 @@ fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool) -> u64 {
     span_lower_bound_with_reduction(ctx.g, ctx.p, reduced, req.budget.lb_iters())
 }
 
-fn heuristic_config(req: &SolveRequest) -> HeuristicConfig {
+fn heuristic_config(req: &SolveRequest, deadline: &Deadline) -> HeuristicConfig {
     let mut cfg = HeuristicConfig::default();
     if let Some(r) = req.budget.restarts {
         cfg.restarts = r.max(1);
     }
+    cfg.chained.local.deadline = deadline.clone();
     cfg
 }
 
@@ -463,6 +794,7 @@ fn finish(
     proved_optimal: bool,
 ) -> Result<SolveReport, EngineError> {
     debug_assert_ne!(used, Strategy::Auto);
+    debug_assert_ne!(used, Strategy::Race);
     if ctx.reductions_computed > 1 {
         return Err(EngineError::Internal(format!(
             "reduction computed {} times for one request",
@@ -497,7 +829,184 @@ fn finish(
             reductions_computed: ctx.reductions_computed,
             routes_tried: ctx.routes_tried,
             notes: ctx.notes,
+            // "Timed out" means the clock beat the proof: a harvest that
+            // still landed on the optimum is not a timeout.
+            timed_out: ctx.timed_out && !optimal,
             features,
         },
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Budget;
+    use dclab_graph::generators::{classic, random};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diam2_instance(n: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random::gnp_with_diameter_at_most(&mut rng, n, 0.5, 2)
+    }
+
+    /// The satellite contract: `Strategy::Race` with `deadline_ms: None`
+    /// is bit-identical to the best single member — here established by
+    /// running every member alone (no sharing, no token) and applying the
+    /// race's own pick rule.
+    #[test]
+    fn race_without_deadline_equals_best_single_member() {
+        for (g, seed_tag) in [
+            (classic::petersen(), 0u64),
+            (diam2_instance(40, 5), 1),
+            (classic::complete_multipartite(&[8, 6, 5]), 2),
+        ] {
+            let p = PVec::l21();
+            let req = SolveRequest::new(g.clone(), p.clone()).with_strategy(Strategy::Race);
+            let features = InstanceFeatures::extract(&g, &p);
+            let members = race_members(&features);
+            let reduced = if features.reducible() && features.smooth {
+                Some(reduce_to_path_tsp(&g, &p).expect("smooth reducible"))
+            } else {
+                None
+            };
+            let solo: Vec<MemberRun> = members
+                .iter()
+                .map(|&m| {
+                    run_race_member(m, &g, &p, reduced.as_ref(), &req, &Deadline::none(), None)
+                })
+                .collect();
+            let best = solo
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, r)| (r.solution.span, *i))
+                .map(|(i, _)| i)
+                .unwrap();
+            let report =
+                solve(&req).unwrap_or_else(|e| panic!("race solve failed (tag {seed_tag}): {e}"));
+            assert_eq!(report.solution, solo[best].solution, "tag {seed_tag}");
+            assert_eq!(report.strategy_used, solo[best].strategy, "tag {seed_tag}");
+            assert!(!report.stats.timed_out);
+            // And the race is self-deterministic.
+            let again = solve(&req).expect("race solves again");
+            assert_eq!(again, report, "tag {seed_tag}");
+        }
+    }
+
+    #[test]
+    fn race_lk_members_use_distinct_kick_seeds() {
+        let f = InstanceFeatures::extract(&classic::petersen(), &PVec::l21());
+        let members = race_members(&f);
+        assert_eq!(members.len(), 4, "smooth reducible portfolio is 2–4 wide");
+        let salts: Vec<u64> = members
+            .iter()
+            .filter_map(|m| match m {
+                RaceMember::Lk { seed_salt } => Some(*seed_salt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(salts.len(), 2);
+        assert_ne!(salts[0], salts[1]);
+    }
+
+    #[test]
+    fn race_proves_optimality_on_small_instances() {
+        // Petersen: branch and bound exhausts its tree, so the race is
+        // proved optimal even though no lower-bound ascent ran.
+        let req = SolveRequest::new(classic::petersen(), PVec::l21()).with_strategy(Strategy::Race);
+        let report = solve(&req).expect("solves");
+        assert_eq!(report.solution.span, 9);
+        assert!(report.optimal);
+        assert_eq!(report.lower_bound, 9);
+        assert!(!report.stats.timed_out);
+        assert!(report.stats.routes_tried.contains(&Strategy::BranchBound));
+    }
+
+    #[test]
+    fn race_with_expired_deadline_harvests_a_valid_incumbent() {
+        // deadline_ms: 0 expires before any member starts; every member
+        // still surrenders a full labeling, and the engine validates the
+        // winner before the report exists.
+        let g = diam2_instance(60, 9);
+        let p = PVec::l21();
+        let req = SolveRequest::new(g.clone(), p.clone())
+            .with_strategy(Strategy::Race)
+            .with_budget(Budget {
+                deadline_ms: Some(0),
+                ..Budget::default()
+            });
+        let report = solve(&req).expect("harvest, not an error");
+        assert!(report.solution.labeling.validate(&g, &p).is_ok());
+        assert!(report.stats.timed_out || report.optimal);
+        assert!(report.solution.span >= report.lower_bound);
+    }
+
+    #[test]
+    fn race_outside_theorem2_scope_uses_reduction_free_members() {
+        // Path(8) has diameter 7 > k = 2: the race falls back to the
+        // reduction-free portfolio and must not touch the reduction.
+        let req = SolveRequest::new(classic::path(8), PVec::l21()).with_strategy(Strategy::Race);
+        let report = solve(&req).expect("solves");
+        assert_eq!(report.stats.reductions_computed, 0);
+        for s in &report.stats.routes_tried {
+            assert!(matches!(s, Strategy::Greedy | Strategy::L1Coloring));
+        }
+    }
+
+    #[test]
+    fn single_strategy_deadline_zero_harvests_not_errors() {
+        let g = diam2_instance(48, 3);
+        let p = PVec::l21();
+        for strategy in [Strategy::Heuristic, Strategy::BranchBound, Strategy::Auto] {
+            let req = SolveRequest::new(g.clone(), p.clone())
+                .with_strategy(strategy)
+                .with_budget(Budget {
+                    deadline_ms: Some(0),
+                    ..Budget::default()
+                });
+            let report = solve(&req).expect("anytime harvest");
+            assert!(
+                report.solution.labeling.validate(&g, &p).is_ok(),
+                "{strategy}: invalid labeling"
+            );
+            assert!(
+                report.stats.timed_out || report.optimal,
+                "{strategy}: neither timed out nor optimal"
+            );
+        }
+    }
+
+    /// A cancelled heuristic solve is never worse than its construction
+    /// heuristic (the satellite's cancellation property, at engine level).
+    #[test]
+    fn cancelled_heuristic_no_worse_than_construction() {
+        let g = diam2_instance(64, 11);
+        let p = PVec::l21();
+        let reduced = reduce_to_path_tsp(&g, &p).expect("reducible");
+        // Construction floor: nearest-neighbor path from the driver's
+        // deterministic start, with local search disabled by an already-
+        // expired deadline.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut floor_cfg = HeuristicConfig {
+            restarts: 1,
+            ..Default::default()
+        };
+        floor_cfg.chained.local.deadline = Deadline::none().with_token(token);
+        let floor = routes::heuristic_route(&reduced, &floor_cfg);
+
+        let req = SolveRequest::new(g.clone(), p.clone())
+            .with_strategy(Strategy::Heuristic)
+            .with_budget(Budget {
+                deadline_ms: Some(0),
+                ..Budget::default()
+            });
+        let report = solve(&req).expect("harvest");
+        assert!(
+            report.solution.span <= floor.span,
+            "cancelled solve ({}) worse than construction ({})",
+            report.solution.span,
+            floor.span
+        );
+    }
 }

@@ -20,7 +20,13 @@
 //!   the portfolio dispatcher: small → Held–Karp, benign (two-valued
 //!   diameter-2) → PIP or budgeted branch-and-bound, else chained-LK raced
 //!   against Christofides — with the Theorem 2 reduction computed **once**
-//!   per request and shared across candidate routes.
+//!   per request and shared across candidate routes — and
+//!   [`Strategy::Race`], the concurrent portfolio with a shared incumbent
+//!   bound and first-proof cancellation.
+//! * [`Budget::deadline_ms`] makes any solve *anytime*: routes check the
+//!   wall clock at checkpoint granularity and surrender their best
+//!   incumbent (`stats.timed_out`) instead of aborting; without it solves
+//!   are purely logical and bit-reproducible.
 //! * [`SolveReport`] carries the solution, the concrete route used, a
 //!   lower-bound certificate, and deterministic dispatch stats
 //!   ([`EngineStats`]); [`SolveReport::to_json`] emits a stable JSON line.

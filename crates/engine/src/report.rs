@@ -7,8 +7,10 @@ use crate::features::InstanceFeatures;
 use crate::json::Obj;
 use crate::request::Strategy;
 
-/// How a request was executed. All counters are deterministic (no wall
-/// clock), so batch reports compare bit-for-bit across thread counts.
+/// How a request was executed. Without a wall-clock deadline every field
+/// is deterministic (no timings), so batch reports compare bit-for-bit
+/// across thread counts; `timed_out` can only become `true` when the
+/// request armed `Budget::deadline_ms`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineStats {
     /// Theorem 2 reductions computed for this request. The engine's
@@ -20,6 +22,10 @@ pub struct EngineStats {
     pub routes_tried: Vec<Strategy>,
     /// Human-readable dispatch trace ("n=30 > exact guard", …).
     pub notes: Vec<String>,
+    /// The wall-clock deadline fired before optimality was proved: the
+    /// solution is the best incumbent harvested at the deadline, still a
+    /// valid labeling, just not necessarily optimal.
+    pub timed_out: bool,
     /// The features the dispatch decision was based on.
     pub features: InstanceFeatures,
 }
@@ -30,6 +36,7 @@ impl EngineStats {
             .usize("reductions_computed", self.reductions_computed)
             .str_array("routes_tried", self.routes_tried.iter().map(|s| s.name()))
             .str_array("notes", self.notes.iter().map(String::as_str))
+            .bool("timed_out", self.timed_out)
             .raw("features", &self.features.to_json())
             .finish()
     }
@@ -54,6 +61,9 @@ pub struct SolveReport {
 
 impl SolveReport {
     /// Deterministic single-line JSON (stable field order, no timings).
+    /// `timed_out` is surfaced at the top level (clients deciding whether
+    /// to retry should not have to dig through stats) and repeated inside
+    /// `stats` alongside the rest of the dispatch trace.
     pub fn to_json(&self) -> String {
         Obj::new()
             .str("strategy_requested", self.strategy_requested.name())
@@ -61,6 +71,7 @@ impl SolveReport {
             .u64("span", self.solution.span)
             .u64("lower_bound", self.lower_bound)
             .bool("optimal", self.optimal)
+            .bool("timed_out", self.stats.timed_out)
             .u64_array("labels", self.solution.labeling.labels().iter().copied())
             .u64_array("order", self.solution.order.iter().map(|&v| v as u64))
             .raw("stats", &self.stats.to_json())
@@ -99,12 +110,14 @@ mod tests {
                 reductions_computed: 1,
                 routes_tried: vec![Strategy::Exact],
                 notes: vec!["n=3 within exact guard".into()],
+                timed_out: false,
                 features: crate::features::InstanceFeatures::extract(&g, &PVec::l21()),
             },
         };
         let j = report.to_json();
         assert!(j.starts_with("{\"strategy_requested\":\"auto\""));
         assert!(j.contains("\"span\":4"));
+        assert!(j.contains("\"timed_out\":false"));
         assert!(j.contains("\"labels\":[0,2,4]"));
         assert!(j.contains("\"reductions_computed\":1"));
         assert!(j.contains("\"features\":{\"n\":3"));

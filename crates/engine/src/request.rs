@@ -4,6 +4,7 @@
 use dclab_core::guard::DEFAULT_NODE_BUDGET;
 use dclab_core::pvec::PVec;
 use dclab_graph::Graph;
+use dclab_par::Deadline;
 
 /// Which solve route to run. `Auto` is the portfolio dispatcher: it
 /// inspects instance features (n, diameter, p-vector shape) and picks a
@@ -27,6 +28,12 @@ pub enum Strategy {
     L1Coloring,
     /// Portfolio dispatch over the above.
     Auto,
+    /// Racing portfolio: 2–4 members run concurrently sharing an atomic
+    /// incumbent bound; the first proof of optimality cancels the rest,
+    /// and a wall-clock deadline (`Budget::deadline_ms`) harvests the best
+    /// incumbent. Without a deadline the race is bit-identical to the best
+    /// single member.
+    Race,
 }
 
 impl Strategy {
@@ -41,6 +48,7 @@ impl Strategy {
             Strategy::Diam2Pip => "diam2-pip",
             Strategy::L1Coloring => "l1-coloring",
             Strategy::Auto => "auto",
+            Strategy::Race => "race",
         }
     }
 
@@ -56,6 +64,7 @@ impl Strategy {
             Strategy::Diam2Pip => 5,
             Strategy::L1Coloring => 6,
             Strategy::Auto => 7,
+            Strategy::Race => 8,
         }
     }
 
@@ -70,6 +79,7 @@ impl Strategy {
             5 => Some(Strategy::Diam2Pip),
             6 => Some(Strategy::L1Coloring),
             7 => Some(Strategy::Auto),
+            8 => Some(Strategy::Race),
             _ => None,
         }
     }
@@ -105,9 +115,10 @@ impl std::str::FromStr for Strategy {
             "diam2-pip" | "diam2" | "pip" => Ok(Strategy::Diam2Pip),
             "l1-coloring" | "l1" | "coloring" => Ok(Strategy::L1Coloring),
             "auto" => Ok(Strategy::Auto),
+            "race" => Ok(Strategy::Race),
             other => Err(format!(
                 "unknown strategy '{other}' (expected one of: exact, branch-bound, \
-                 approx15, heuristic, greedy, diam2-pip, l1-coloring, auto)"
+                 approx15, heuristic, greedy, diam2-pip, l1-coloring, auto, race)"
             )),
         }
     }
@@ -124,6 +135,14 @@ pub struct Budget {
     /// Held–Karp ascent iterations for the lower-bound certificate
     /// (`None` → 50; `Some(0)` skips the 1-tree bound).
     pub lb_iters: Option<usize>,
+    /// Wall-clock budget in milliseconds, measured from solve entry.
+    /// `None` (the default) keeps the solve purely logical — bit-identical
+    /// reports regardless of machine speed or thread count. `Some(ms)`
+    /// makes every route *anytime*: local search, chained-LK kicks, and
+    /// branch and bound check the deadline at checkpoint granularity and
+    /// surrender their best incumbent (`stats.timed_out = true`) instead
+    /// of aborting empty-handed.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Budget {
@@ -133,6 +152,16 @@ impl Budget {
 
     pub fn lb_iters(&self) -> usize {
         self.lb_iters.unwrap_or(50)
+    }
+
+    /// Start the wall clock on this budget: a live [`Deadline`] when
+    /// `deadline_ms` is set, [`Deadline::none`] (free of clock reads)
+    /// otherwise.
+    pub fn deadline(&self) -> Deadline {
+        match self.deadline_ms {
+            Some(ms) => Deadline::in_millis(ms),
+            None => Deadline::none(),
+        }
     }
 }
 
@@ -183,7 +212,10 @@ mod tests {
 
     #[test]
     fn strategy_names_round_trip() {
-        for s in Strategy::CONCRETE.iter().chain([Strategy::Auto].iter()) {
+        for s in Strategy::CONCRETE
+            .iter()
+            .chain([Strategy::Auto, Strategy::Race].iter())
+        {
             assert_eq!(s.name().parse::<Strategy>().unwrap(), *s);
         }
         assert!("frobnicate".parse::<Strategy>().is_err());
@@ -191,10 +223,13 @@ mod tests {
 
     #[test]
     fn strategy_codes_round_trip_and_are_dense() {
-        for s in Strategy::CONCRETE.iter().chain([Strategy::Auto].iter()) {
+        for s in Strategy::CONCRETE
+            .iter()
+            .chain([Strategy::Auto, Strategy::Race].iter())
+        {
             assert_eq!(Strategy::from_code(s.code()), Some(*s));
         }
-        assert_eq!(Strategy::from_code(8), None);
+        assert_eq!(Strategy::from_code(9), None);
     }
 
     #[test]
@@ -202,6 +237,8 @@ mod tests {
         let b = Budget::default();
         assert_eq!(b.node_budget(), DEFAULT_NODE_BUDGET);
         assert_eq!(b.lb_iters(), 50);
+        assert_eq!(b.deadline_ms, None);
+        assert!(b.deadline().is_unlimited());
         let tight = Budget {
             node_budget: Some(10),
             lb_iters: Some(0),
@@ -209,5 +246,21 @@ mod tests {
         };
         assert_eq!(tight.node_budget(), 10);
         assert_eq!(tight.lb_iters(), 0);
+    }
+
+    #[test]
+    fn deadline_budget_arms_the_clock() {
+        let b = Budget {
+            deadline_ms: Some(60_000),
+            ..Budget::default()
+        };
+        let d = b.deadline();
+        assert!(!d.is_unlimited());
+        assert!(!d.expired());
+        let expired = Budget {
+            deadline_ms: Some(0),
+            ..Budget::default()
+        };
+        assert!(expired.deadline().expired());
     }
 }

@@ -1,0 +1,195 @@
+//! Cooperative cancellation and wall-clock deadlines.
+//!
+//! The solve stack's budgets used to be purely *logical* (branch-and-bound
+//! nodes, LK restarts); a production serve layer needs *wall-clock*
+//! guarantees: "give me the best labeling you can find in 50 ms". The two
+//! primitives here make every long-running loop in the workspace
+//! interruptible without preemption:
+//!
+//! * [`CancelToken`] — a shared atomic flag. Cloning is cheap (one `Arc`
+//!   bump); any clone can [`cancel`](CancelToken::cancel), every clone
+//!   observes it. This is how a racing portfolio member that *proves*
+//!   optimality tells the other members to stop wasting cycles.
+//! * [`Deadline`] — an optional wall-clock instant plus an optional token.
+//!   Hot loops call [`Deadline::expired`] at checkpoint granularity (once
+//!   per local-search round, per kick, per branch-and-bound node) and
+//!   return their best incumbent instead of aborting empty-handed.
+//!
+//! [`Deadline::none`] (the `Default`) carries neither instant nor token:
+//! `expired()` is a branch on two `None`s — no clock read, no atomic — so
+//! deadline-free solves stay exactly as deterministic and fast as before
+//! the deadline plumbing existed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag. Clones observe each other's
+/// [`cancel`](CancelToken::cancel).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raise the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has any clone raised the flag?
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock budget for one solve: an optional instant the work must
+/// stop at, plus an optional [`CancelToken`] that can stop it earlier.
+#[derive(Clone, Debug, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    token: Option<CancelToken>,
+}
+
+impl Deadline {
+    /// No limit: `expired()` is always `false` and costs neither a clock
+    /// read nor an atomic load. Deadline-free code paths stay bit-identical
+    /// to the pre-deadline world.
+    pub fn none() -> Deadline {
+        Deadline::default()
+    }
+
+    /// Expire `ms` milliseconds from now.
+    pub fn in_millis(ms: u64) -> Deadline {
+        Deadline::at(Instant::now() + Duration::from_millis(ms))
+    }
+
+    /// Expire at `at`.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline {
+            at: Some(at),
+            token: None,
+        }
+    }
+
+    /// Attach a cancellation token: `expired()` also returns `true` once
+    /// the token is cancelled (racing members share one token this way).
+    pub fn with_token(mut self, token: CancelToken) -> Deadline {
+        self.token = Some(token);
+        self
+    }
+
+    /// The attached token, if any.
+    pub fn token(&self) -> Option<&CancelToken> {
+        self.token.as_ref()
+    }
+
+    /// `true` when this deadline can never fire (no instant, no token).
+    pub fn is_unlimited(&self) -> bool {
+        self.at.is_none() && self.token.is_none()
+    }
+
+    /// Checkpoint: has the wall clock passed the instant, or has the token
+    /// been cancelled? Token first (a relaxed load is cheaper than a clock
+    /// read); unlimited deadlines answer without either.
+    pub fn expired(&self) -> bool {
+        if let Some(token) = &self.token {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Cancel the attached token (no-op without one). Lets a caller stop
+    /// work sharing this deadline before the clock does.
+    pub fn cancel(&self) {
+        if let Some(token) = &self.token {
+            token.cancel();
+        }
+    }
+
+    /// Time left before the instant (`None` when unlimited by the clock;
+    /// zero once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+}
+
+// Deadlines cross thread boundaries by construction: racing portfolio
+// members and parallel LK restarts all hold clones. Keep Send + Sync a
+// compile-time contract.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CancelToken>();
+    assert_send_sync::<Deadline>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_unlimited());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        d.cancel(); // no token: a no-op, not a panic
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn token_cancellation_is_shared() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        let d = Deadline::none().with_token(clone);
+        assert!(!d.is_unlimited());
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn past_instant_is_expired_future_is_not() {
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Some(Duration::ZERO));
+        let future = Deadline::in_millis(60_000);
+        assert!(!future.expired());
+        assert!(future.remaining().unwrap() > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn cancel_through_deadline_reaches_every_clone() {
+        let token = CancelToken::new();
+        let d = Deadline::in_millis(60_000).with_token(token.clone());
+        let sibling = d.clone();
+        d.cancel();
+        assert!(sibling.expired());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn tokens_work_across_threads() {
+        let token = CancelToken::new();
+        let worker_token = token.clone();
+        let worker = std::thread::spawn(move || {
+            while !worker_token.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(worker.join().unwrap());
+    }
+}

@@ -13,8 +13,10 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod cancel;
 pub mod pool;
 
+pub use cancel::{CancelToken, Deadline};
 pub use pool::{SubmitError, WorkerPool};
 
 /// Process-wide thread-count override (0 = unset). Takes precedence over

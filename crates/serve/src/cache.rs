@@ -54,6 +54,7 @@ impl CacheKey {
         h.write_u64(budget.node_budget.map_or(u64::MAX, |b| b));
         h.write_u64(budget.restarts.map_or(u64::MAX, |r| r as u64));
         h.write_u64(budget.lb_iters.map_or(u64::MAX, |i| i as u64));
+        h.write_u64(budget.deadline_ms.map_or(u64::MAX, |d| d));
         CacheKey {
             hash: h.finish(),
             canon,

@@ -325,7 +325,7 @@ pub fn self_test(duration: Duration) -> Result<String, String> {
         workers: 4,
         cache_mb: 16,
         queue_cap: 0,
-        store_path: None,
+        ..Default::default()
     })
     .map_err(|e| format!("bind failed: {e}"))?;
     let addr = handle.addr();

@@ -134,6 +134,12 @@ pub struct Metrics {
     /// Solves completed, by concrete strategy (index into
     /// [`Strategy::CONCRETE`]).
     pub per_strategy: [AtomicU64; 7],
+    /// Fresh solves whose deadline fired before optimality was proved
+    /// (the response is still 200 with the best incumbent).
+    pub solve_timeouts: AtomicU64,
+    /// Race-strategy solves won, by the winning concrete member (index
+    /// into [`Strategy::CONCRETE`]).
+    pub race_wins: [AtomicU64; 7],
     /// End-to-end `/solve` handling latency (includes cache hits).
     pub solve_latency: LatencyHistogram,
     /// Archive reads that found a record (LRU miss → store hit).
@@ -152,6 +158,13 @@ impl Metrics {
     pub fn record_strategy(&self, used: Strategy) {
         if let Some(i) = Strategy::CONCRETE.iter().position(|&s| s == used) {
             self.per_strategy[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record the concrete member that won a `strategy=race` solve.
+    pub fn record_race_winner(&self, winner: Strategy) {
+        if let Some(i) = Strategy::CONCRETE.iter().position(|&s| s == winner) {
+            self.race_wins[i].fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -249,6 +262,18 @@ impl Metrics {
                 count.load(Ordering::Relaxed)
             ));
         }
+        out.push_str(&counter(
+            "dclab_solve_timeouts_total",
+            self.solve_timeouts.load(Ordering::Relaxed),
+        ));
+        out.push_str("# TYPE dclab_race_wins_total counter\n");
+        for (s, count) in Strategy::CONCRETE.iter().zip(self.race_wins.iter()) {
+            out.push_str(&format!(
+                "dclab_race_wins_total{{strategy=\"{}\"}} {}\n",
+                s.name(),
+                count.load(Ordering::Relaxed)
+            ));
+        }
         out.push_str(
             &self
                 .solve_latency
@@ -262,6 +287,13 @@ impl Metrics {
         let strategies = Strategy::CONCRETE
             .iter()
             .zip(self.per_strategy.iter())
+            .fold(Obj::new(), |obj, (s, count)| {
+                obj.u64(s.name(), count.load(Ordering::Relaxed))
+            })
+            .finish();
+        let race_wins = Strategy::CONCRETE
+            .iter()
+            .zip(self.race_wins.iter())
             .fold(Obj::new(), |obj, (s, count)| {
                 obj.u64(s.name(), count.load(Ordering::Relaxed))
             })
@@ -314,9 +346,14 @@ impl Metrics {
                 "rejected_overload",
                 self.rejected_overload.load(Ordering::Relaxed),
             )
+            .u64(
+                "solve_timeouts",
+                self.solve_timeouts.load(Ordering::Relaxed),
+            )
             .raw("cache", &cache_json)
             .raw("store", &store_json)
             .raw("strategies", &strategies)
+            .raw("race_wins", &race_wins)
             .raw("solve_latency", &self.solve_latency.to_json())
             .finish()
     }
@@ -389,6 +426,26 @@ mod tests {
         // Store counters render even when the archive is disabled.
         assert!(text.contains("dclab_store_enabled 0\n"));
         assert!(text.contains("dclab_store_hits_total 0\n"));
+    }
+
+    #[test]
+    fn timeout_and_race_counters_render() {
+        let m = Metrics::default();
+        m.solve_timeouts.fetch_add(2, Ordering::Relaxed);
+        m.record_race_winner(Strategy::Heuristic);
+        m.record_race_winner(Strategy::Heuristic);
+        m.record_race_winner(Strategy::BranchBound);
+        m.record_race_winner(Strategy::Race); // not concrete: ignored
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert!(text.contains("dclab_solve_timeouts_total 2\n"));
+        assert!(text.contains("dclab_race_wins_total{strategy=\"heuristic\"} 2\n"));
+        assert!(text.contains("dclab_race_wins_total{strategy=\"branch-bound\"} 1\n"));
+        assert!(text.contains("dclab_race_wins_total{strategy=\"greedy\"} 0\n"));
+        assert_eq!(text.matches("# TYPE dclab_race_wins_total").count(), 1);
+        let json = m.to_json(CacheCounters::default(), None);
+        assert!(json.contains("\"solve_timeouts\":2"));
+        assert!(json.contains("\"race_wins\":{"));
+        assert!(json.contains("\"heuristic\":2"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! | Endpoint         | Semantics                                            |
 //! |------------------|------------------------------------------------------|
-//! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts` → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced` |
+//! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts`, `deadline-ms` → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced`. A deadline returns 200 with the best incumbent (`"timed_out":true`), never a 5xx; requested deadlines are clamped to the server cap |
 //! | `POST /batch`    | body = instances separated by `%%` lines, same query params → JSON array |
 //! | `GET /healthz`   | liveness                                             |
 //! | `GET /metrics`   | Prometheus text (default; `text/plain; version=0.0.4`) or `?format=json`: counters, cache stats, per-strategy counts, latency histogram |
@@ -46,7 +46,15 @@ pub struct ServeConfig {
     /// the cache from the archive at start and write-behinds fresh solves;
     /// `None` keeps the PR 2 behavior (cache dies with the process).
     pub store_path: Option<String>,
+    /// Server-side cap on client-requested deadlines (`deadline-ms` query
+    /// parameter): requests asking for more are clamped to this. Requests
+    /// that ask for *no* deadline are untouched — they keep the pure
+    /// logical-budget semantics (and the pre-anytime cache/archive keys).
+    pub max_deadline_ms: u64,
 }
+
+/// Default server-side deadline cap (one minute).
+pub const DEFAULT_MAX_DEADLINE_MS: u64 = 60_000;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -56,6 +64,7 @@ impl Default for ServeConfig {
             cache_mb: 64,
             queue_cap: 0,
             store_path: None,
+            max_deadline_ms: DEFAULT_MAX_DEADLINE_MS,
         }
     }
 }
@@ -66,6 +75,8 @@ pub struct ServeCtx {
     pub metrics: Metrics,
     /// The persistent solution archive, when serving with `--store-path`.
     pub store: Option<Arc<Store>>,
+    /// Cap applied to client-requested `deadline-ms` values.
+    max_deadline_ms: u64,
     shutdown: AtomicBool,
 }
 
@@ -134,6 +145,7 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cache: ReportCache::new(cfg.cache_mb.max(1) * 1024 * 1024),
         metrics: Metrics::default(),
         store,
+        max_deadline_ms: cfg.max_deadline_ms.max(1),
         shutdown: AtomicBool::new(false),
     });
     if let Some(store) = &ctx.store {
@@ -336,7 +348,7 @@ struct SolveParams {
     format: Option<graph_io::Format>,
 }
 
-fn parse_params(req: &Request) -> Result<SolveParams, String> {
+fn parse_params(req: &Request, max_deadline_ms: u64) -> Result<SolveParams, String> {
     let pvec = match req.query_param("p") {
         Some(raw) => {
             let entries: Result<Vec<u64>, _> =
@@ -358,6 +370,12 @@ fn parse_params(req: &Request) -> Result<SolveParams, String> {
     }
     if let Some(raw) = req.query_param("restarts") {
         budget.restarts = Some(raw.parse().map_err(|e| format!("bad restarts: {e}"))?);
+    }
+    if let Some(raw) = req.query_param("deadline-ms") {
+        let requested: u64 = raw.parse().map_err(|e| format!("bad deadline-ms: {e}"))?;
+        // Clamp to the server-side cap; the response is still 200 with the
+        // best incumbent found inside the (possibly shorter) window.
+        budget.deadline_ms = Some(requested.min(max_deadline_ms));
     }
     let format = match req.query_param("format") {
         None | Some("auto") => None,
@@ -433,10 +451,20 @@ fn cached_solve(
         match solve(&req) {
             Ok(report) => {
                 ctx.metrics.record_strategy(report.strategy_used);
+                if report.stats.timed_out {
+                    ctx.metrics.solve_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                if params.strategy == Strategy::Race {
+                    ctx.metrics.record_race_winner(report.strategy_used);
+                }
                 // Write-behind: the record reaches the OS before the
-                // response; fsync happens at the shutdown drain.
+                // response; fsync happens at the shutdown drain. Timed-out
+                // harvests stay out of the archive — persisting one would
+                // warm-boot that load-dependent quality level forever.
                 if let Some(store) = &ctx.store {
-                    if matches!(persist::store_append(store, &key, &report), Ok(true)) {
+                    if !report.stats.timed_out
+                        && matches!(persist::store_append(store, &key, &report), Ok(true))
+                    {
                         ctx.metrics.store_appends.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -468,7 +496,7 @@ fn cached_solve(
 }
 
 fn solve_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
-    let params = match parse_params(req) {
+    let params = match parse_params(req, ctx.max_deadline_ms) {
         Ok(p) => p,
         Err(e) => return (400, vec![], error_json(&e, "bad-request")),
     };
@@ -494,7 +522,7 @@ fn solve_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
 const BATCH_SEPARATOR: &str = "%%";
 
 fn batch_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
-    let params = match parse_params(req) {
+    let params = match parse_params(req, ctx.max_deadline_ms) {
         Ok(p) => p,
         Err(e) => return (400, vec![], error_json(&e, "bad-request")),
     };

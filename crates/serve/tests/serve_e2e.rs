@@ -15,7 +15,7 @@ fn test_server() -> (ServerHandle, Client) {
         workers: 4,
         cache_mb: 8,
         queue_cap: 0,
-        store_path: None,
+        ..Default::default()
     })
     .expect("bind ephemeral port");
     let client = Client::new(handle.addr());
@@ -299,4 +299,97 @@ fn loadgen_self_test_passes() {
     let summary = loadgen::self_test(Duration::from_millis(500)).expect("self test passes");
     assert!(summary.contains("\"status\":\"ok\""));
     assert!(summary.contains("\"warm_hit_rate\":1.000000"), "{summary}");
+}
+
+#[test]
+fn deadline_solve_returns_best_incumbent_never_5xx() {
+    use rand::SeedableRng;
+    let (handle, mut client) = test_server();
+    // Big enough that a 1 ms deadline cannot possibly finish, let alone
+    // prove optimality: the response must still be 200 with a harvested
+    // (engine-validated) labeling, flagged timed_out.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let g = dclab_graph::generators::random::gnp_with_diameter_at_most(&mut rng, 400, 0.5, 2);
+    let body = graph_io::write_edge_list(&g);
+    let resp = client
+        .request("POST", "/solve?p=2,1&strategy=race&deadline-ms=1", &body)
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"timed_out\":true"), "{}", resp.body);
+    assert!(resp.body.contains("\"strategy_requested\":\"race\""));
+    assert_eq!(resp.header("x-dclab-cache"), Some("miss"));
+
+    // The harvest is cached under the deadline-bearing key: replaying the
+    // identical request is a hit with a bit-identical report.
+    let warm = client
+        .request("POST", "/solve?p=2,1&strategy=race&deadline-ms=1", &body)
+        .unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-dclab-cache"), Some("hit"));
+    assert_eq!(warm.body, resp.body);
+
+    // Timeout + race-winner counters surfaced on /metrics.
+    let metrics = client.request("GET", "/metrics", "").unwrap();
+    assert!(
+        metrics.body.contains("dclab_solve_timeouts_total 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(metrics
+        .body
+        .contains("# TYPE dclab_race_wins_total counter"));
+    let race_wins: u64 = metrics
+        .body
+        .lines()
+        .filter(|l| l.starts_with("dclab_race_wins_total{"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(race_wins, 1, "exactly one race winner recorded");
+    stop(handle, client);
+}
+
+#[test]
+fn bad_deadline_param_is_a_400() {
+    let (handle, mut client) = test_server();
+    let body = graph_io::write_edge_list(&classic::petersen());
+    let resp = client
+        .request("POST", "/solve?p=2,1&deadline-ms=soon", &body)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("bad deadline-ms"));
+    stop(handle, client);
+}
+
+#[test]
+fn deadline_requests_are_clamped_to_the_server_cap() {
+    // A 1 ms cap turns even a generous client deadline into an instant
+    // harvest — observable through the timeout counter.
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_mb: 8,
+        queue_cap: 0,
+        max_deadline_ms: 1,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::new(handle.addr());
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let g = dclab_graph::generators::random::gnp_with_diameter_at_most(&mut rng, 400, 0.5, 2);
+    let body = graph_io::write_edge_list(&g);
+    let resp = client
+        .request(
+            "POST",
+            "/solve?p=2,1&strategy=heuristic&deadline-ms=600000",
+            &body,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"timed_out\":true"),
+        "cap not applied: {}",
+        resp.body
+    );
+    stop(handle, client);
 }

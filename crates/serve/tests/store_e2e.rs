@@ -24,6 +24,7 @@ fn store_config(path: &str) -> ServeConfig {
         cache_mb: 16,
         queue_cap: 0,
         store_path: Some(path.to_string()),
+        ..Default::default()
     }
 }
 

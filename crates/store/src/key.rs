@@ -32,6 +32,12 @@ pub struct StoreKey {
 
 impl StoreKey {
     /// Stable byte encoding (the archive's key payload).
+    ///
+    /// The budget's `deadline_ms` is encoded as an *optional tail*: it is
+    /// appended (as an option-tagged varint) only when `Some`. A
+    /// deadline-free key therefore byte-matches every key written before
+    /// the field existed — old archives keep hitting — and decode treats a
+    /// buffer ending at `lb_iters` as `deadline_ms: None`.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16 + 4 * self.edges.len() + 2 * self.pvec.len());
         put_uvarint(&mut buf, self.n as u64);
@@ -48,6 +54,9 @@ impl StoreKey {
         put_opt_uvarint(&mut buf, self.budget.node_budget);
         put_opt_uvarint(&mut buf, self.budget.restarts.map(|r| r as u64));
         put_opt_uvarint(&mut buf, self.budget.lb_iters.map(|i| i as u64));
+        if self.budget.deadline_ms.is_some() {
+            put_opt_uvarint(&mut buf, self.budget.deadline_ms);
+        }
         buf
     }
 
@@ -83,11 +92,23 @@ impl StoreKey {
         let code = get_u8(bytes, pos)?;
         let strategy =
             Strategy::from_code(code).ok_or_else(|| bad(*pos - 1, "unknown strategy code"))?;
-        let budget = Budget {
+        let mut budget = Budget {
             node_budget: get_opt_uvarint(bytes, pos)?,
             restarts: get_opt_uvarint(bytes, pos)?.map(|r| r as usize),
             lb_iters: get_opt_uvarint(bytes, pos)?.map(|i| i as usize),
+            ..Budget::default()
         };
+        // Versioned tail: keys written before anytime solving end here
+        // (deadline_ms: None); newer keys append the deadline option.
+        if *pos < bytes.len() {
+            budget.deadline_ms = get_opt_uvarint(bytes, pos)?;
+            if budget.deadline_ms.is_none() {
+                // The canonical encoding omits a None tail entirely; an
+                // explicit None tag would make two byte strings decode to
+                // one key, breaking encode∘decode = identity.
+                return Err(bad(*pos - 1, "non-canonical deadline tail"));
+            }
+        }
         if *pos != bytes.len() {
             return Err(bad(*pos, "trailing bytes after key"));
         }
@@ -127,6 +148,7 @@ mod tests {
                 node_budget: Some(1000),
                 restarts: None,
                 lb_iters: Some(0),
+                ..Budget::default()
             },
         }
     }
@@ -159,8 +181,45 @@ mod tests {
         for cut in 0..bytes.len() {
             assert!(StoreKey::decode(&bytes[..cut]).is_err(), "prefix {cut}");
         }
+        // A lone `0` tail is a non-canonical explicit-None deadline.
         let mut long = bytes.clone();
         long.push(0);
         assert!(StoreKey::decode(&long).is_err());
+        // Bytes after a well-formed deadline tail are also rejected.
+        let mut keyed = sample();
+        keyed.budget.deadline_ms = Some(50);
+        let mut long = keyed.encode();
+        long.push(0);
+        assert!(StoreKey::decode(&long).is_err());
+    }
+
+    /// The satellite's versioned-decode contract: archives written before
+    /// `Budget::deadline_ms` existed — whose keys end at `lb_iters` — must
+    /// keep decoding (as `deadline_ms: None`) and re-encode byte-for-byte,
+    /// so every pre-anytime record keeps hitting.
+    #[test]
+    fn pre_deadline_keys_decode_and_round_trip() {
+        // sample() has deadline_ms: None, so its encoding *is* the old
+        // format: no tail bytes beyond lb_iters.
+        let old_format_bytes = sample().encode();
+        let decoded = StoreKey::decode(&old_format_bytes).expect("old key decodes");
+        assert_eq!(decoded.budget.deadline_ms, None);
+        assert_eq!(decoded, sample());
+        assert_eq!(decoded.encode(), old_format_bytes, "byte round trip");
+        assert_eq!(decoded.hash(), sample().hash());
+    }
+
+    #[test]
+    fn deadline_keys_round_trip_and_differ_from_deadline_free() {
+        let base = sample();
+        let mut with_deadline = base.clone();
+        with_deadline.budget.deadline_ms = Some(50);
+        let bytes = with_deadline.encode();
+        assert_eq!(bytes.len(), base.encode().len() + 2, "tag + varint tail");
+        let back = StoreKey::decode(&bytes).expect("decodes");
+        assert_eq!(back, with_deadline);
+        assert_eq!(back.encode(), bytes);
+        assert_ne!(bytes, base.encode());
+        assert_ne!(with_deadline.hash(), base.hash());
     }
 }

@@ -45,6 +45,13 @@ fn random_key(rng: &mut StdRng, idx: u64) -> StoreKey {
             },
             restarts: None,
             lb_iters: None,
+            // Exercise both key layouts: the pre-anytime format (no tail)
+            // and the deadline-tagged tail.
+            deadline_ms: if rng.random_bool(0.5) {
+                Some(rng.random_range(1u64..100_000))
+            } else {
+                None
+            },
         },
     }
 }

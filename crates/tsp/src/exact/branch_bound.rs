@@ -10,6 +10,30 @@
 
 use crate::tour::path_weight;
 use crate::{TspInstance, Weight};
+use dclab_par::Deadline;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How an anytime branch-and-bound run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BbStatus {
+    /// The search tree was exhausted: the incumbent is a proven optimum
+    /// (relative to any shared incumbent bound — see
+    /// [`branch_bound_path_anytime`]).
+    Proved,
+    /// The node budget ran out first.
+    BudgetExhausted,
+    /// The wall-clock deadline (or its cancel token) fired first.
+    Cancelled,
+}
+
+/// Result of an anytime branch-and-bound run: always a full valid path —
+/// the best incumbent found — plus how the search ended.
+#[derive(Clone, Debug)]
+pub struct BbResult {
+    pub order: Vec<u32>,
+    pub weight: Weight,
+    pub status: BbStatus,
+}
 
 /// Exact minimum-weight Hamiltonian path (free endpoints) by DFS
 /// branch-and-bound with MST lower bounds.
@@ -17,17 +41,56 @@ use crate::{TspInstance, Weight};
 /// `node_budget` caps the number of search nodes (returns `None` when
 /// exceeded, so callers can fall back to Held–Karp).
 pub fn branch_bound_path(inst: &TspInstance, node_budget: u64) -> Option<(Vec<u32>, Weight)> {
+    let r = branch_bound_path_anytime(inst, node_budget, &Deadline::none(), None);
+    match r.status {
+        BbStatus::Proved => Some((r.order, r.weight)),
+        // With Deadline::none() only the budget can stop the search; the
+        // legacy contract reports that as None.
+        BbStatus::BudgetExhausted | BbStatus::Cancelled => None,
+    }
+}
+
+/// Anytime variant: always returns the best incumbent found, never aborts
+/// empty-handed. The `deadline` is checked once per search node (a node
+/// already pays for an MST bound, so the clock read is noise) and once per
+/// nearest-neighbor construction start.
+///
+/// `shared_bound`, when present, is a cross-worker incumbent *value* (a
+/// racing portfolio publishes each member's best span there): the search
+/// additionally prunes any branch whose lower bound cannot beat it. The
+/// returned incumbent is still this run's own best path; on
+/// [`BbStatus::Proved`] the exhausted search certifies that no path is
+/// strictly cheaper than `min(returned weight, shared bound)` — since the
+/// shared bound only ever holds weights achieved elsewhere, the racing
+/// harvest's minimum is then a proven optimum.
+pub fn branch_bound_path_anytime(
+    inst: &TspInstance,
+    node_budget: u64,
+    deadline: &Deadline,
+    shared_bound: Option<&AtomicU64>,
+) -> BbResult {
     let n = inst.n();
     assert!(n >= 1);
     if n == 1 {
-        return Some((vec![0], 0));
+        return BbResult {
+            order: vec![0],
+            weight: 0,
+            status: BbStatus::Proved,
+        };
     }
     // Initial incumbent: nearest-neighbor path from every start, improved
     // by the cheapest construction available here (NN only — callers who
-    // want tighter incumbents can pre-seed via local search).
+    // want tighter incumbents can pre-seed via local search). Deadline
+    // checked per start so a 1 ms budget at n = 512 cannot hide in the
+    // O(n²)-per-start construction sweep.
     let mut best_order: Vec<u32> = (0..n as u32).collect();
     let mut best_w = path_weight(inst, &best_order);
+    let mut constructed_all = true;
     for s in 0..n {
+        if deadline.expired() {
+            constructed_all = false;
+            break;
+        }
         let order = nn_path(inst, s);
         let w = path_weight(inst, &order);
         if w < best_w {
@@ -35,79 +98,114 @@ pub fn branch_bound_path(inst: &TspInstance, node_budget: u64) -> Option<(Vec<u3
             best_order = order;
         }
     }
-    let mut nodes = 0u64;
+    if !constructed_all {
+        return BbResult {
+            order: best_order,
+            weight: best_w,
+            status: BbStatus::Cancelled,
+        };
+    }
+    let mut search = Search {
+        inst,
+        best_w,
+        best_order,
+        nodes: 0,
+        budget: node_budget,
+        deadline,
+        shared_bound,
+    };
     let mut path = Vec::with_capacity(n);
     let mut used = vec![false; n];
+    let mut stopped = None;
     // Branch on the start vertex (symmetric pairs pruned by index order:
     // a path and its reverse are equal, so force start < end).
     for s in 0..n {
         path.push(s as u32);
         used[s] = true;
-        if !dfs(
-            inst,
-            &mut path,
-            &mut used,
-            0,
-            &mut best_w,
-            &mut best_order,
-            &mut nodes,
-            node_budget,
-        ) {
-            return None; // budget exhausted
-        }
+        let outcome = search.dfs(&mut path, &mut used, 0);
         used[s] = false;
         path.pop();
+        if let Err(stop) = outcome {
+            stopped = Some(stop);
+            break;
+        }
     }
-    Some((best_order, best_w))
+    BbResult {
+        order: search.best_order,
+        weight: search.best_w,
+        status: stopped.unwrap_or(BbStatus::Proved),
+    }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dfs(
-    inst: &TspInstance,
-    path: &mut Vec<u32>,
-    used: &mut Vec<bool>,
-    acc: Weight,
-    best_w: &mut Weight,
-    best_order: &mut Vec<u32>,
-    nodes: &mut u64,
+/// DFS state bundle (keeps the recursion signature tractable).
+struct Search<'a> {
+    inst: &'a TspInstance,
+    best_w: Weight,
+    best_order: Vec<u32>,
+    nodes: u64,
     budget: u64,
-) -> bool {
-    *nodes += 1;
-    if *nodes > budget {
-        return false;
-    }
-    let n = inst.n();
-    if path.len() == n {
-        // Symmetry break: canonical orientation only.
-        if path[0] <= path[n - 1] && acc < *best_w {
-            *best_w = acc;
-            *best_order = path.clone();
+    deadline: &'a Deadline,
+    shared_bound: Option<&'a AtomicU64>,
+}
+
+impl Search<'_> {
+    /// `Err` carries why the search stopped early; the incumbent stays on
+    /// `self` either way.
+    fn dfs(
+        &mut self,
+        path: &mut Vec<u32>,
+        used: &mut Vec<bool>,
+        acc: Weight,
+    ) -> Result<(), BbStatus> {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Err(BbStatus::BudgetExhausted);
         }
-        return true;
-    }
-    let tip = *path.last().unwrap() as usize;
-    // Admissible bound: MST over {tip} ∪ remaining.
-    let bound = acc + mst_over_remaining(inst, used, tip);
-    if bound >= *best_w {
-        return true; // prune
-    }
-    // Order children by edge weight (cheapest-first finds incumbents early).
-    let mut children: Vec<(Weight, usize)> = (0..n)
-        .filter(|&v| !used[v])
-        .map(|v| (inst.weight(tip, v), v))
-        .collect();
-    children.sort_unstable();
-    for (w, v) in children {
-        path.push(v as u32);
-        used[v] = true;
-        let ok = dfs(inst, path, used, acc + w, best_w, best_order, nodes, budget);
-        used[v] = false;
-        path.pop();
-        if !ok {
-            return false;
+        if self.deadline.expired() {
+            return Err(BbStatus::Cancelled);
         }
+        let inst = self.inst;
+        let n = inst.n();
+        if path.len() == n {
+            // Symmetry break: canonical orientation only.
+            if path[0] <= path[n - 1] && acc < self.best_w {
+                self.best_w = acc;
+                self.best_order = path.clone();
+                if let Some(shared) = self.shared_bound {
+                    shared.fetch_min(acc, Ordering::Relaxed);
+                }
+            }
+            return Ok(());
+        }
+        let tip = *path.last().unwrap() as usize;
+        // Admissible bound: MST over {tip} ∪ remaining. The prune threshold
+        // also consults the shared cross-worker incumbent — both thresholds
+        // only ever shrink, so every pruned branch provably holds nothing
+        // cheaper than the final min(best_w, shared).
+        let prune_at = match self.shared_bound {
+            Some(shared) => self.best_w.min(shared.load(Ordering::Relaxed)),
+            None => self.best_w,
+        };
+        let bound = acc + mst_over_remaining(inst, used, tip);
+        if bound >= prune_at {
+            return Ok(()); // prune
+        }
+        // Order children by edge weight (cheapest-first finds incumbents early).
+        let mut children: Vec<(Weight, usize)> = (0..n)
+            .filter(|&v| !used[v])
+            .map(|v| (inst.weight(tip, v), v))
+            .collect();
+        children.sort_unstable();
+        for (w, v) in children {
+            path.push(v as u32);
+            used[v] = true;
+            let outcome = self.dfs(path, used, acc + w);
+            used[v] = false;
+            path.pop();
+            outcome?;
+        }
+        Ok(())
     }
-    true
 }
 
 /// Prim MST over the tip vertex plus all unused vertices — an admissible
@@ -193,6 +291,56 @@ mod tests {
     fn budget_exhaustion_reports_none() {
         let t = random_instance(12, 9);
         assert!(branch_bound_path(&t, 5).is_none());
+    }
+
+    #[test]
+    fn anytime_budget_exhaustion_keeps_a_full_incumbent() {
+        let t = random_instance(12, 9);
+        let r = branch_bound_path_anytime(&t, 5, &Deadline::none(), None);
+        assert_eq!(r.status, BbStatus::BudgetExhausted);
+        assert!(is_permutation(12, &r.order));
+        assert_eq!(path_weight(&t, &r.order), r.weight);
+        // The incumbent is at least as good as the best NN construction.
+        let nn_best = (0..12)
+            .map(|s| path_weight(&t, &nn_path(&t, s)))
+            .min()
+            .unwrap();
+        assert!(r.weight <= nn_best);
+    }
+
+    #[test]
+    fn anytime_cancellation_keeps_a_full_incumbent() {
+        use dclab_par::CancelToken;
+        let t = random_instance(14, 3);
+        let token = CancelToken::new();
+        token.cancel(); // expired before the search starts
+        let deadline = Deadline::none().with_token(token);
+        let r = branch_bound_path_anytime(&t, u64::MAX, &deadline, None);
+        assert_eq!(r.status, BbStatus::Cancelled);
+        assert!(is_permutation(14, &r.order));
+        assert_eq!(path_weight(&t, &r.order), r.weight);
+    }
+
+    #[test]
+    fn shared_bound_prunes_without_losing_the_optimum() {
+        use std::sync::atomic::AtomicU64;
+        for salt in 0..4 {
+            let t = random_instance(10, salt);
+            let (_, opt) = held_karp_path(&t);
+            // A shared bound strictly above the optimum must not hide it:
+            // the search still proves and returns the true optimum.
+            let shared = AtomicU64::new(opt + 1);
+            let r = branch_bound_path_anytime(&t, u64::MAX, &Deadline::none(), Some(&shared));
+            assert_eq!(r.status, BbStatus::Proved);
+            assert_eq!(r.weight, opt, "salt {salt}");
+            // A shared bound at the optimum may prune the optimal branch,
+            // but Proved then certifies "nothing cheaper than the shared
+            // value exists" — the incumbent can never beat it.
+            let shared = AtomicU64::new(opt);
+            let r = branch_bound_path_anytime(&t, u64::MAX, &Deadline::none(), Some(&shared));
+            assert_eq!(r.status, BbStatus::Proved);
+            assert!(r.weight >= opt);
+        }
     }
 
     #[test]

@@ -82,12 +82,25 @@ pub fn chained_lk<R: Rng>(
         let w = cycle_weight(inst, &order);
         return (order, w);
     }
+    let start = construct::nearest_neighbor(inst, start_city);
+    if cfg.local.deadline.expired() {
+        // Deadline beat us to the first descent: surrender the construction
+        // tour now rather than paying for neighbor lists it cannot use.
+        let w = cycle_weight(inst, &start);
+        return (start, w);
+    }
     let neighbors = inst.neighbor_lists(cfg.local.neighbor_k);
-    let mut state = TourState::new(construct::nearest_neighbor(inst, start_city));
+    let mut state = TourState::new(start);
     local_opt(inst, &mut state, &neighbors, &cfg.local);
     let mut best = state.order.clone();
     let mut best_w = cycle_weight(inst, &best);
     for _ in 0..cfg.kicks {
+        // Checkpoint between kicks: an expired deadline surrenders the
+        // incumbent (never worse than the construction tour) instead of
+        // finishing the kick schedule.
+        if cfg.local.deadline.expired() {
+            break;
+        }
         let kicked = double_bridge(&best, rng);
         let mut s = TourState::new(kicked);
         local_opt(inst, &mut s, &neighbors, &cfg.local);
@@ -162,6 +175,45 @@ mod tests {
                 w <= opt + opt / 5,
                 "salt={salt}: chained LK {w} far from opt {opt}"
             );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_surrenders_the_construction_tour() {
+        // The anytime contract at its boundary: a deadline that expired
+        // before work began still yields a full valid tour — exactly the
+        // nearest-neighbor construction, never anything worse.
+        use dclab_par::{CancelToken, Deadline};
+        let t = random_instance(40, 4);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cfg = ChainedLkConfig::default();
+        cfg.local.deadline = Deadline::none().with_token(token);
+        let (order, w) = chained_lk(&t, 0, &cfg, &mut StdRng::seed_from_u64(1));
+        assert!(is_permutation(40, &order));
+        assert_eq!(cycle_weight(&t, &order), w);
+        let nn = crate::construct::nearest_neighbor(&t, 0);
+        assert_eq!(w, cycle_weight(&t, &nn), "incumbent == construction");
+    }
+
+    #[test]
+    fn mid_run_cancellation_never_beats_uncancelled_quality_floor() {
+        // Cancelling between kicks keeps the best incumbent so far: the
+        // result is always ≥ the construction (in quality) and the tour
+        // remains a permutation.
+        use dclab_par::{CancelToken, Deadline};
+        let t = random_instance(60, 8);
+        let nn_w = cycle_weight(&t, &crate::construct::nearest_neighbor(&t, 0));
+        for cancel_immediately in [false, true] {
+            let token = CancelToken::new();
+            if cancel_immediately {
+                token.cancel();
+            }
+            let mut cfg = ChainedLkConfig::default();
+            cfg.local.deadline = Deadline::none().with_token(token);
+            let (order, w) = chained_lk(&t, 0, &cfg, &mut StdRng::seed_from_u64(2));
+            assert!(is_permutation(60, &order));
+            assert!(w <= nn_w, "incumbent {w} worse than construction {nn_w}");
         }
     }
 

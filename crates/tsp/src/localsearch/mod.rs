@@ -6,6 +6,7 @@
 //! equivalence (see [`crate::instance::TspInstance::with_dummy_city`]).
 
 use crate::{TspInstance, Weight};
+use dclab_par::Deadline;
 
 /// Tunables for the local-search kernels; the ablation experiment (E8)
 /// sweeps these.
@@ -20,6 +21,11 @@ pub struct LocalSearchConfig {
     pub or_opt: bool,
     /// Safety cap on full improvement rounds.
     pub max_rounds: usize,
+    /// Cooperative wall-clock budget, checked once per improvement round
+    /// (and between chained-LK kicks upstream). The default
+    /// [`Deadline::none`] never fires and costs nothing, keeping
+    /// deadline-free runs bit-identical to the pre-deadline code.
+    pub deadline: Deadline,
 }
 
 impl Default for LocalSearchConfig {
@@ -29,6 +35,7 @@ impl Default for LocalSearchConfig {
             dont_look: true,
             or_opt: true,
             max_rounds: 200,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -122,6 +129,9 @@ pub fn two_opt(
     let mut dont_look = vec![false; n];
     let mut total_gain: i64 = 0;
     for _ in 0..cfg.max_rounds {
+        if cfg.deadline.expired() {
+            break; // keep the incumbent; the tour is valid at any round edge
+        }
         let mut improved_any = false;
         for a in 0..n {
             if cfg.dont_look && dont_look[a] {
@@ -235,6 +245,9 @@ pub fn or_opt(
     }
     let mut total_gain: i64 = 0;
     for _ in 0..cfg.max_rounds {
+        if cfg.deadline.expired() {
+            break;
+        }
         let mut improved = false;
         'scan: for start in 0..n {
             for seg_len in 1..=3usize.min(n - 3) {

@@ -1,0 +1,205 @@
+//! E14 bench — flat-SoA vectorized local search vs the scalar oracle
+//! pipeline, on the n = 512 hardness corpus (Griggs–Yeh diameter-2
+//! instances reduced to Path TSP, the exact shape `Race` solves):
+//!
+//! * **chained-LK rounds/s headline**: both pipelines run the identical
+//!   kick schedule (1 first descent + `kicks` re-optimizations per
+//!   instance); the headline `speedup` is the wall-clock ratio of the
+//!   scalar pipeline (`chained_lk_scalar`: full per-city sorts, matrix
+//!   re-reads, full don't-look resets) to the SoA pipeline
+//!   (`chained_lk_with_candidates`: CSR candidate lists with precomputed
+//!   weights, chunked branch-free 2-opt scans, kick-local don't-look
+//!   seeding). The ROADMAP acceptance bar is **≥ 3×**;
+//! * **candidate build speedup**: partial-selection `CandidateLists::build`
+//!   vs the full-sort `neighbor_lists`;
+//! * **deadline overshoot**: a 5 ms chained-LK budget must land within
+//!   10 ms of wall clock (min over attempts — the e13 symptom was ~57 ms);
+//! * **quality guard**: the fast pipeline's median span must stay within
+//!   10% of the scalar pipeline's (they may differ tour-by-tour: kick-local
+//!   don't-look seeding explores slightly differently).
+//!
+//! Writes `BENCH_localsearch.json` at the workspace root (gated by
+//! `dclab bench-gate` in CI) and exits non-zero on acceptance failure.
+//! `DCLAB_BENCH_QUICK=1` shrinks the schedule for CI.
+
+use std::time::Instant;
+
+use dclab_bench::{hardness_diam2, l21};
+use dclab_core::reduction::reduce_to_path_tsp;
+use dclab_engine::json::Obj;
+use dclab_par::Deadline;
+use dclab_tsp::lk::{chained_lk_scalar, chained_lk_with_candidates, ChainedLkConfig};
+use dclab_tsp::localsearch::CandidateLists;
+use dclab_tsp::TspInstance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 512;
+
+fn median(values: &mut [u64]) -> u64 {
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::var("DCLAB_BENCH_QUICK").is_ok();
+    let (instances, kicks, reps) = if quick {
+        (2usize, 10usize, 2usize)
+    } else {
+        (5, 30, 3)
+    };
+
+    // The corpus LK actually sees: Theorem 3 hardness graphs reduced to
+    // Path TSP, solved as cycles on the dummy-extended instance.
+    let corpus: Vec<TspInstance> = (0..instances)
+        .map(|i| {
+            let g = hardness_diam2(N, 0xE14 + i as u64);
+            reduce_to_path_tsp(&g, &l21())
+                .expect("hardness corpus always reduces")
+                .tsp
+                .with_dummy_city()
+        })
+        .collect();
+    let cfg = ChainedLkConfig {
+        kicks,
+        ..ChainedLkConfig::default()
+    };
+    let rounds = instances as u64 * (kicks as u64 + 1);
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- headline: identical kick schedules, scalar vs SoA -------------
+    let mut fast_best_s = f64::INFINITY;
+    let mut scalar_best_s = f64::INFINITY;
+    let mut fast_spans: Vec<u64> = Vec::new();
+    let mut scalar_spans: Vec<u64> = Vec::new();
+    for _ in 0..reps {
+        fast_spans.clear();
+        let t0 = Instant::now();
+        for (i, ext) in corpus.iter().enumerate() {
+            let cands = CandidateLists::build(ext, cfg.local.neighbor_k);
+            let mut rng = StdRng::seed_from_u64(0xE14 + i as u64);
+            let (_, w) = chained_lk_with_candidates(ext, 0, &cfg, &cands, &mut rng);
+            fast_spans.push(w);
+        }
+        fast_best_s = fast_best_s.min(t0.elapsed().as_secs_f64());
+
+        scalar_spans.clear();
+        let t0 = Instant::now();
+        for (i, ext) in corpus.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(0xE14 + i as u64);
+            let (_, w) = chained_lk_scalar(ext, 0, &cfg, &mut rng);
+            scalar_spans.push(w);
+        }
+        scalar_best_s = scalar_best_s.min(t0.elapsed().as_secs_f64());
+    }
+    let fast_rounds_per_s = rounds as f64 / fast_best_s;
+    let scalar_rounds_per_s = rounds as f64 / scalar_best_s;
+    let speedup = scalar_best_s / fast_best_s;
+    println!(
+        "bench e14_localsearch/chained_lk n={N}: SoA {fast_rounds_per_s:.1} rounds/s \
+         vs scalar {scalar_rounds_per_s:.1} rounds/s — speedup {speedup:.2}x"
+    );
+    // The cross-machine floor is the bench-gate's 70% tolerance on the
+    // committed baseline; here we enforce the ROADMAP bar directly (with
+    // headroom for the tiny quick schedule, where fixed costs weigh more).
+    let bar = if quick { 2.0 } else { 3.0 };
+    if speedup < bar {
+        failures.push(format!(
+            "speedup {speedup:.2}x below the {bar}x acceptance bar"
+        ));
+    }
+
+    // --- quality guard -------------------------------------------------
+    let fast_median = median(&mut fast_spans);
+    let scalar_median = median(&mut scalar_spans);
+    println!(
+        "bench e14_localsearch/quality: SoA median span {fast_median} \
+         vs scalar {scalar_median}"
+    );
+    if fast_median as f64 > scalar_median as f64 * 1.10 {
+        failures.push(format!(
+            "SoA median span {fast_median} more than 10% above scalar {scalar_median}"
+        ));
+    }
+
+    // --- candidate build: partial selection vs full sort ---------------
+    let ext = &corpus[0];
+    let mut build_best_s = f64::INFINITY;
+    let mut sort_best_s = f64::INFINITY;
+    for _ in 0..reps.max(3) {
+        let t0 = Instant::now();
+        let cl = CandidateLists::build(ext, 10);
+        build_best_s = build_best_s.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&cl);
+        let t0 = Instant::now();
+        let nl = ext.neighbor_lists(10);
+        sort_best_s = sort_best_s.min(t0.elapsed().as_secs_f64());
+        std::hint::black_box(&nl);
+    }
+    let build_speedup = sort_best_s / build_best_s;
+    println!(
+        "bench e14_localsearch/candidate_build n={}: partial-select {:.2} ms \
+         vs full-sort {:.2} ms — {build_speedup:.2}x",
+        ext.n(),
+        build_best_s * 1e3,
+        sort_best_s * 1e3
+    );
+
+    // --- deadline overshoot at a 5 ms budget ---------------------------
+    let budget_ms = 5u64;
+    let mut overshoot_best_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let mut dcfg = cfg.clone();
+        dcfg.kicks = 100_000; // budget-bound, never schedule-bound
+        dcfg.local.deadline = Deadline::in_millis(budget_ms);
+        let t0 = Instant::now();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Candidate build inside the measured window — exactly what a
+        // `Race` lane pays.
+        let (_, w) = dclab_tsp::lk::chained_lk(&corpus[0], 0, &dcfg, &mut rng);
+        std::hint::black_box(w);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        overshoot_best_ms = overshoot_best_ms.min(wall_ms - budget_ms as f64);
+    }
+    println!(
+        "bench e14_localsearch/deadline: 5 ms budget overshoot {overshoot_best_ms:.2} ms \
+         (min of 3)"
+    );
+    if overshoot_best_ms >= 10.0 {
+        failures.push(format!(
+            "deadline overshoot {overshoot_best_ms:.2} ms at a {budget_ms} ms budget (gate: < 10 ms)"
+        ));
+    }
+
+    let json = format!(
+        "{}\n",
+        Obj::new()
+            .str("bench", "e14_localsearch")
+            .bool("quick", quick)
+            .usize("n", N)
+            .usize("instances", instances)
+            .usize("kicks", kicks)
+            .f64("fast_rounds_per_s", fast_rounds_per_s)
+            .f64("scalar_rounds_per_s", scalar_rounds_per_s)
+            .f64("speedup", speedup)
+            .f64("build_speedup", build_speedup)
+            .u64("fast_median_span", fast_median)
+            .u64("scalar_median_span", scalar_median)
+            .f64("deadline_overshoot_ms", overshoot_best_ms)
+            .finish()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_localsearch.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !failures.is_empty() {
+        eprintln!("e14_localsearch acceptance FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,7 @@ fn bench_heuristics(c: &mut Criterion) {
     let g = diam2_graph(n, 4);
     let reduced = reduce_to_path_tsp(&g, &p).unwrap();
     let ext = reduced.tsp.with_dummy_city();
-    let nl = ext.neighbor_lists(10);
+    let nl = ext.candidate_lists(10);
     let cfg = LocalSearchConfig::default();
 
     let mut group = c.benchmark_group("e4_heuristics_n300");

@@ -22,7 +22,7 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_two_opt_neighbor_k");
     group.sample_size(10);
     for k in [4usize, 10, 24] {
-        let nl = ext.neighbor_lists(k);
+        let nl = ext.candidate_lists(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &nl, |b, nl| {
             b.iter(|| {
                 let mut st = TourState::new(nearest_neighbor(&ext, 0));
@@ -42,7 +42,7 @@ fn bench_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e8_two_opt_dont_look");
     group.sample_size(10);
-    let nl = ext.neighbor_lists(10);
+    let nl = ext.candidate_lists(10);
     for dlb in [true, false] {
         group.bench_with_input(BenchmarkId::from_parameter(dlb), &dlb, |b, &dlb| {
             b.iter(|| {

@@ -40,7 +40,7 @@ pub fn run(quick: bool) {
 
         let reduced = reduce_to_path_tsp(&g, &p).unwrap();
         let ext = reduced.tsp.with_dummy_city();
-        let nl = ext.neighbor_lists(10);
+        let nl = ext.candidate_lists(10);
         let cfg = LocalSearchConfig::default();
 
         // NN construction (on the dummy-extended instance → path).
@@ -119,7 +119,7 @@ pub fn run(quick: bool) {
         let (greedy_l, _) = best_greedy_span(&g, &p);
         let reduced = reduce_to_path_tsp(&g, &p).unwrap();
         let ext = reduced.tsp.with_dummy_city();
-        let nl = ext.neighbor_lists(10);
+        let nl = ext.candidate_lists(10);
         let cfg = LocalSearchConfig::default();
         let nn_cycle = nearest_neighbor(&ext, 0);
         let nn_span = path_weight(

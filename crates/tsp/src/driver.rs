@@ -1,7 +1,8 @@
 //! High-level solve entry points: parallel multi-start heuristics and the
 //! path↔cycle dummy-city bridge.
 
-use crate::lk::{chained_lk, ChainedLkConfig};
+use crate::lk::{chained_lk_with_candidates, ChainedLkConfig};
+use crate::localsearch::CandidateLists;
 use crate::tour::{cycle_with_dummy_to_path, path_weight};
 use crate::{TspInstance, Weight};
 use rand::rngs::StdRng;
@@ -35,10 +36,18 @@ pub fn solve_cycle_heuristic(inst: &TspInstance, cfg: &HeuristicConfig) -> (Vec<
     let n = inst.n();
     assert!(n >= 1, "empty instance");
     let restarts = cfg.restarts.max(1);
+    // One candidate-list build shared (read-only) by every restart — the
+    // build is the same for all of them, and under a tight deadline an
+    // already-expired run shouldn't pay for lists it cannot use.
+    let cands = if n > 3 && !cfg.chained.local.deadline.expired() {
+        CandidateLists::build(inst, cfg.chained.local.neighbor_k)
+    } else {
+        CandidateLists::empty(n)
+    };
     let runs = dclab_par::par_map_indexed(restarts, |i| {
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
         let start_city = i % n;
-        chained_lk(inst, start_city, &cfg.chained, &mut rng)
+        chained_lk_with_candidates(inst, start_city, &cfg.chained, &cands, &mut rng)
     });
     runs.into_iter()
         .min_by_key(|(_, w)| *w)

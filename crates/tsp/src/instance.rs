@@ -114,7 +114,11 @@ impl TspInstance {
     }
 
     /// `k` nearest neighbors of every city, by ascending weight (ties by
-    /// index). The backbone of neighbor-list local search.
+    /// index), as plain per-city vectors. This is the input of the
+    /// *scalar-oracle* local-search kernels (`two_opt_scalar` /
+    /// `or_opt_scalar`); the fast path uses [`Self::candidate_lists`],
+    /// which produces the same lists in flat SoA form via partial
+    /// selection instead of a full per-city sort.
     pub fn neighbor_lists(&self, k: usize) -> Vec<Vec<u32>> {
         let k = k.min(self.n.saturating_sub(1));
         (0..self.n)
@@ -125,6 +129,14 @@ impl TspInstance {
                 order
             })
             .collect()
+    }
+
+    /// Flat SoA candidate lists for the vectorized local-search kernels:
+    /// same contents and order as [`Self::neighbor_lists`], built with
+    /// partial selection and with the candidate edge weights precomputed.
+    /// See [`crate::localsearch::CandidateLists`].
+    pub fn candidate_lists(&self, k: usize) -> crate::localsearch::CandidateLists {
+        crate::localsearch::CandidateLists::build(self, k)
     }
 
     /// Extend with a "dummy" city at index `n` whose edges all weigh 0.

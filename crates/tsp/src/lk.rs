@@ -6,8 +6,19 @@
 //! 2-opt and Or-opt moves of [`crate::localsearch`] — the classic "2.5-opt"
 //! neighborhood — under double-bridge perturbations, which is the same
 //! metaheuristic skeleton as chained LK.
+//!
+//! The fast path ([`chained_lk`] / [`chained_lk_with_candidates`]) runs on
+//! flat SoA [`CandidateLists`] and exploits kick locality: a double bridge
+//! only changes four tour edges, so after the first full descent each
+//! re-optimization seeds the don't-look bits with everything *except* the
+//! eight junction cities and pays only for the perturbed neighborhood.
+//! [`chained_lk_scalar`] is the pre-SoA pipeline kept verbatim as the
+//! differential / performance baseline: `Vec<Vec<u32>>` neighbor lists,
+//! scalar gain scans, full descent from scratch after every kick.
 
-use crate::localsearch::{local_opt, LocalSearchConfig, TourState};
+use crate::localsearch::{
+    local_opt_scalar, local_opt_with_dlb, CandidateLists, LocalSearchConfig, TourState,
+};
 use crate::tour::cycle_weight;
 use crate::{construct, TspInstance, Weight};
 use rand::{Rng, RngExt};
@@ -37,10 +48,17 @@ impl Default for ChainedLkConfig {
 /// The three cut points are sampled *distinct* (strictly `0 < p < q < r
 /// < n`): coinciding cuts would silently degenerate the 4-opt kick into a
 /// plain segment move that 2-opt can undo, wasting the kick.
-pub fn double_bridge<R: Rng>(order: &[u32], rng: &mut R) -> Vec<u32> {
+///
+/// Returns the kicked tour and `Some((p, q, r))` when a kick happened
+/// (`None` for the `n < 8` passthrough), so callers can locate the four
+/// new junctions for kick-local don't-look seeding.
+pub fn double_bridge_with_cuts<R: Rng>(
+    order: &[u32],
+    rng: &mut R,
+) -> (Vec<u32>, Option<(usize, usize, usize)>) {
     let n = order.len();
     if n < 8 {
-        return order.to_vec();
+        return (order.to_vec(), None);
     }
     // Rejection-sample three distinct interior cut points; with n ≥ 8
     // a collision has probability < 3/7 per draw, so this terminates in
@@ -65,12 +83,106 @@ pub fn double_bridge<R: Rng>(order: &[u32], rng: &mut R) -> Vec<u32> {
     // B and C are both non-empty and swapped, so the kick always produces
     // a genuinely different tour.
     debug_assert_ne!(out, order);
-    out
+    (out, Some((p, q, r)))
 }
 
-/// Run chained local search from a nearest-neighbor start at `start_city`.
-/// Returns the best cycle found and its weight.
+/// [`double_bridge_with_cuts`] without the cut report.
+pub fn double_bridge<R: Rng>(order: &[u32], rng: &mut R) -> Vec<u32> {
+    double_bridge_with_cuts(order, rng).0
+}
+
+/// The positions (in the *kicked* tour A|C|B|D) flanking the four new
+/// junction edges — the only cities whose neighborhoods a double bridge
+/// with cuts `(p, q, r)` changes.
+fn kick_junction_positions(n: usize, p: usize, q: usize, r: usize) -> [usize; 8] {
+    let end_c = p + (r - q);
+    [p - 1, p, end_c - 1, end_c, r - 1, r, n - 1, 0]
+}
+
+/// Run chained local search from a nearest-neighbor start at `start_city`,
+/// reusing prebuilt candidate lists (the multi-start driver builds them
+/// once and shares them across restarts). Returns the best cycle found and
+/// its weight.
+pub fn chained_lk_with_candidates<R: Rng>(
+    inst: &TspInstance,
+    start_city: usize,
+    cfg: &ChainedLkConfig,
+    cands: &CandidateLists,
+    rng: &mut R,
+) -> (Vec<u32>, Weight) {
+    let n = inst.n();
+    if n <= 3 {
+        let order: Vec<u32> = (0..n as u32).collect();
+        let w = cycle_weight(inst, &order);
+        return (order, w);
+    }
+    let start = construct::nearest_neighbor(inst, start_city);
+    if cfg.local.deadline.expired() {
+        // Deadline beat us to the first descent: surrender the construction
+        // tour now.
+        let w = cycle_weight(inst, &start);
+        return (start, w);
+    }
+    let mut dlb = vec![false; n];
+    let mut state = TourState::new(start);
+    local_opt_with_dlb(inst, &mut state, cands, &cfg.local, &mut dlb);
+    let mut best = state.order.clone();
+    let mut best_w = cycle_weight(inst, &best);
+    for _ in 0..cfg.kicks {
+        // Checkpoint between kicks: an expired deadline surrenders the
+        // incumbent (never worse than the construction tour) instead of
+        // finishing the kick schedule.
+        if cfg.local.deadline.expired() {
+            break;
+        }
+        let (kicked, cuts) = double_bridge_with_cuts(&best, rng);
+        let mut s = TourState::new(kicked);
+        // Kick-local seeding: only the four junction edges changed, so
+        // every city away from them starts asleep and the descent touches
+        // just the perturbed neighborhood (improvements then wake their
+        // own surroundings transitively).
+        match cuts {
+            Some((p, q, r)) if cfg.local.dont_look => {
+                dlb.fill(true);
+                for jp in kick_junction_positions(n, p, q, r) {
+                    dlb[s.order[jp] as usize] = false;
+                }
+            }
+            _ => dlb.fill(false),
+        }
+        local_opt_with_dlb(inst, &mut s, cands, &cfg.local, &mut dlb);
+        let w = cycle_weight(inst, &s.order);
+        if w < best_w {
+            best_w = w;
+            best = s.order.clone();
+        }
+    }
+    (best, best_w)
+}
+
+/// [`chained_lk_with_candidates`] with the candidate lists built on the
+/// spot — the convenience entry point for single runs.
 pub fn chained_lk<R: Rng>(
+    inst: &TspInstance,
+    start_city: usize,
+    cfg: &ChainedLkConfig,
+    rng: &mut R,
+) -> (Vec<u32>, Weight) {
+    let n = inst.n();
+    if n <= 3 || cfg.local.deadline.expired() {
+        // Don't pay for a candidate build the run cannot use.
+        return chained_lk_with_candidates(inst, start_city, cfg, &CandidateLists::empty(n), rng);
+    }
+    let cands = CandidateLists::build(inst, cfg.local.neighbor_k);
+    chained_lk_with_candidates(inst, start_city, cfg, &cands, rng)
+}
+
+/// The pre-SoA chained-LK pipeline, kept as the performance baseline the
+/// `e14_localsearch` speedup headline is measured against: full per-city
+/// sort in [`TspInstance::neighbor_lists`], scalar oracle descents
+/// ([`local_opt_scalar`]), don't-look bits reset before every descent.
+/// Same kick schedule and RNG consumption as the fast path.
+pub fn chained_lk_scalar<R: Rng>(
     inst: &TspInstance,
     start_city: usize,
     cfg: &ChainedLkConfig,
@@ -84,26 +196,21 @@ pub fn chained_lk<R: Rng>(
     }
     let start = construct::nearest_neighbor(inst, start_city);
     if cfg.local.deadline.expired() {
-        // Deadline beat us to the first descent: surrender the construction
-        // tour now rather than paying for neighbor lists it cannot use.
         let w = cycle_weight(inst, &start);
         return (start, w);
     }
     let neighbors = inst.neighbor_lists(cfg.local.neighbor_k);
     let mut state = TourState::new(start);
-    local_opt(inst, &mut state, &neighbors, &cfg.local);
+    local_opt_scalar(inst, &mut state, &neighbors, &cfg.local);
     let mut best = state.order.clone();
     let mut best_w = cycle_weight(inst, &best);
     for _ in 0..cfg.kicks {
-        // Checkpoint between kicks: an expired deadline surrenders the
-        // incumbent (never worse than the construction tour) instead of
-        // finishing the kick schedule.
         if cfg.local.deadline.expired() {
             break;
         }
         let kicked = double_bridge(&best, rng);
         let mut s = TourState::new(kicked);
-        local_opt(inst, &mut s, &neighbors, &cfg.local);
+        local_opt_scalar(inst, &mut s, &neighbors, &cfg.local);
         let w = cycle_weight(inst, &s.order);
         if w < best_w {
             best_w = w;
@@ -159,6 +266,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let order: Vec<u32> = (0..6).collect();
         assert_eq!(double_bridge(&order, &mut rng), order);
+        assert_eq!(double_bridge_with_cuts(&order, &mut rng).1, None);
+    }
+
+    #[test]
+    fn junction_positions_cover_the_four_new_edges() {
+        // A double bridge turns A|B|C|D into A|C|B|D; the new edges are
+        // exactly (end A, start C), (end C, start B), (end B, start D) and
+        // the closing edge (end D, start A).
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20;
+        let order: Vec<u32> = (0..n as u32).collect();
+        for _ in 0..50 {
+            let (kicked, cuts) = double_bridge_with_cuts(&order, &mut rng);
+            let (p, q, r) = cuts.unwrap();
+            let junctions = kick_junction_positions(n, p, q, r);
+            // Every tour edge of `kicked` that does not exist in `order`
+            // must be flanked by junction positions.
+            for i in 0..n {
+                let a = kicked[i];
+                let b = kicked[(i + 1) % n];
+                let old_edge = (b as i64 - a as i64).rem_euclid(n as i64) == 1
+                    || (a as i64 - b as i64).rem_euclid(n as i64) == 1;
+                if !old_edge {
+                    assert!(
+                        junctions.contains(&i) && junctions.contains(&((i + 1) % n)),
+                        "new edge at position {i} not covered by {junctions:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -175,6 +312,26 @@ mod tests {
                 w <= opt + opt / 5,
                 "salt={salt}: chained LK {w} far from opt {opt}"
             );
+        }
+    }
+
+    #[test]
+    fn scalar_pipeline_matches_fast_path_quality_class() {
+        // The two pipelines differ in don't-look seeding (kick-local vs
+        // full reset), so tours may differ — but both must stay close to
+        // optimal on small instances.
+        for salt in 0..4 {
+            let t = random_instance(10, salt + 20);
+            let (_, opt) = brute_force_cycle(&t);
+            let cfg = ChainedLkConfig::default();
+            let (of, wf) = chained_lk(&t, 0, &cfg, &mut StdRng::seed_from_u64(4));
+            let (os, ws) = chained_lk_scalar(&t, 0, &cfg, &mut StdRng::seed_from_u64(4));
+            assert!(is_permutation(10, &of));
+            assert!(is_permutation(10, &os));
+            assert_eq!(cycle_weight(&t, &of), wf);
+            assert_eq!(cycle_weight(&t, &os), ws);
+            assert!(wf <= opt + opt / 4, "fast {wf} vs opt {opt}");
+            assert!(ws <= opt + opt / 4, "scalar {ws} vs opt {opt}");
         }
     }
 
@@ -224,5 +381,8 @@ mod tests {
         let a = chained_lk(&t, 0, &cfg, &mut StdRng::seed_from_u64(7));
         let b = chained_lk(&t, 0, &cfg, &mut StdRng::seed_from_u64(7));
         assert_eq!(a, b);
+        let cands = t.candidate_lists(cfg.local.neighbor_k);
+        let c = chained_lk_with_candidates(&t, 0, &cfg, &cands, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, c, "prebuilt candidates must not change the run");
     }
 }

@@ -1,0 +1,188 @@
+//! The scalar oracle descent: the pre-SoA kernel shape, kept deliberately
+//! simple — plain `Vec<Vec<u32>>` neighbor lists, every weight re-read
+//! from the matrix, one candidate at a time with an early break on the
+//! sorted list. This is the reference implementation the differential
+//! property suite compares [`super::vector`] against (same role
+//! `DistanceMatrix::compute_sequential` plays for the bit-parallel APSP),
+//! and the baseline the `e14_localsearch` speedup is measured over.
+//!
+//! Move *selection* is identical to the vectorized path by construction:
+//! best-gain 2-opt over the qualifying candidate prefix (strict `>`, so
+//! the lowest-index candidate wins ties), then first-improvement Or-opt,
+//! same scan order, shared move application. From the same start both
+//! kernels therefore produce the same tour array, not just the same
+//! weight.
+
+use super::{apply_two_opt, LocalSearchConfig, OrOptMove, TourState, DEADLINE_SCAN_MASK};
+use crate::{TspInstance, Weight};
+
+/// Scalar twin of [`super::vector::descent`] — see there for the descent
+/// contract.
+pub(super) fn descent(
+    inst: &TspInstance,
+    state: &mut TourState,
+    neighbors: &[Vec<u32>],
+    cfg: &LocalSearchConfig,
+    dlb: &mut [bool],
+    do_two: bool,
+    do_or: bool,
+) -> Weight {
+    let n = state.n();
+    if n < 4 {
+        return 0;
+    }
+    debug_assert_eq!(dlb.len(), n);
+    debug_assert_eq!(neighbors.len(), n);
+    let mut total: Weight = 0;
+    let mut scans: u64 = 0;
+    for _ in 0..cfg.max_rounds {
+        let mut improved_round = false;
+        for a in 0..n {
+            if cfg.dont_look && dlb[a] {
+                continue;
+            }
+            scans += 1;
+            if scans & DEADLINE_SCAN_MASK == 0 && cfg.deadline.expired() {
+                return total;
+            }
+            let mut moved = false;
+            if do_two {
+                if let Some((gain, dir, b, c)) = best_two_opt(inst, state, neighbors, a) {
+                    let d = apply_two_opt(state, dir, a, b, c);
+                    for x in [a, b, c, d] {
+                        dlb[x] = false;
+                    }
+                    total += gain as Weight;
+                    moved = true;
+                }
+            }
+            if !moved && do_or {
+                if let Some(mv) = first_or_opt(inst, state, neighbors, a) {
+                    let i = state.position(a);
+                    state.splice_after(i, mv.seg_len, mv.anchor, mv.reversed);
+                    for x in mv.wake {
+                        dlb[x] = false;
+                    }
+                    total += mv.gain as Weight;
+                    moved = true;
+                }
+            }
+            if moved {
+                improved_round = true;
+            } else {
+                dlb[a] = true;
+            }
+        }
+        if !improved_round {
+            break;
+        }
+    }
+    total
+}
+
+/// Scalar twin of [`super::vector::best_two_opt`]: sequential scan with an
+/// early break at the first candidate failing `w_ac < w_ab`.
+fn best_two_opt(
+    inst: &TspInstance,
+    state: &TourState,
+    neighbors: &[Vec<u32>],
+    a: usize,
+) -> Option<(i64, usize, usize, usize)> {
+    let ia = state.position(a);
+    let mut best_gain = 0i64;
+    let mut best: Option<(usize, usize, usize)> = None;
+    for dir in 0..2 {
+        let ib = if dir == 0 {
+            state.succ_pos(ia)
+        } else {
+            state.pred_pos(ia)
+        };
+        let b = state.city_at(ib);
+        let w_ab = inst.weight(a, b) as i64;
+        for &cand in &neighbors[a] {
+            let c = cand as usize;
+            let w_ac = inst.weight(a, c) as i64;
+            if w_ac >= w_ab {
+                break;
+            }
+            let ic = state.position(c);
+            let idx = if dir == 0 {
+                state.succ_pos(ic)
+            } else {
+                state.pred_pos(ic)
+            };
+            let d = state.city_at(idx);
+            let g = w_ab + inst.weight(c, d) as i64 - w_ac - inst.weight(b, d) as i64;
+            if g > best_gain {
+                best_gain = g;
+                best = Some((dir, b, c));
+            }
+        }
+    }
+    best.map(|(dir, b, c)| (best_gain, dir, b, c))
+}
+
+/// Scalar twin of [`super::vector::first_or_opt`], weights read from the
+/// matrix.
+fn first_or_opt(
+    inst: &TspInstance,
+    state: &TourState,
+    neighbors: &[Vec<u32>],
+    a: usize,
+) -> Option<OrOptMove> {
+    let n = state.n();
+    let max_len = 3.min(n - 3);
+    let i = state.position(a);
+    let ip = state.pred_pos(i);
+    let p = state.city_at(ip);
+    for seg_len in 1..=max_len {
+        let j = (i + seg_len - 1) % n;
+        let sl = state.city_at(j);
+        let q = state.city_at(state.succ_pos(j));
+        let remove_base =
+            inst.weight(p, a) as i64 + inst.weight(sl, q) as i64 - inst.weight(p, q) as i64;
+        for &cand in &neighbors[a] {
+            let c = cand as usize;
+            let pc = state.position(c);
+            if (pc + n - i) % n < seg_len || c == p {
+                continue;
+            }
+            let d = state.city_at(state.succ_pos(pc));
+            let gain = remove_base + inst.weight(c, d) as i64
+                - inst.weight(a, c) as i64
+                - inst.weight(sl, d) as i64;
+            if gain > 0 {
+                return Some(OrOptMove {
+                    gain,
+                    seg_len,
+                    anchor: pc,
+                    reversed: false,
+                    wake: [p, q, a, sl, c, d],
+                });
+            }
+        }
+        if seg_len > 1 {
+            for &cand in &neighbors[sl] {
+                let c = cand as usize;
+                let pc = state.position(c);
+                if (pc + n - i) % n < seg_len || c == p {
+                    continue;
+                }
+                let d = state.city_at(state.succ_pos(pc));
+                let gain = remove_base + inst.weight(c, d) as i64
+                    - inst.weight(sl, c) as i64
+                    - inst.weight(a, d) as i64;
+                if gain > 0 {
+                    return Some(OrOptMove {
+                        gain,
+                        seg_len,
+                        anchor: pc,
+                        reversed: true,
+                        wake: [p, q, a, sl, c, d],
+                    });
+                }
+            }
+        }
+    }
+    None
+}

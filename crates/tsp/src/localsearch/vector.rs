@@ -1,0 +1,210 @@
+//! The fast descent kernel: chunked, branch-free 2-opt gain scans over the
+//! flat SoA [`CandidateLists`], Or-opt insertion scans over the same
+//! precomputed candidate weights, and don't-look bits shared by both move
+//! families. Semantically identical to [`super::scalar`] (the differential
+//! oracle) — any change to move selection here must land there too.
+
+use super::candidates::{CandidateLists, CHUNK};
+use super::{apply_two_opt, LocalSearchConfig, OrOptMove, TourState, DEADLINE_SCAN_MASK};
+use crate::{TspInstance, Weight};
+
+/// "Not an improvement" lane filler: far below any real gain, far above
+/// `i64` underflow when compared or copied.
+const NEG: i64 = i64::MIN / 4;
+
+/// Combined 2-opt + Or-opt descent to a local optimum. Returns the total
+/// weight improvement. `dlb` is caller-owned so chained LK can seed it
+/// kick-locally; bits already `true` are trusted.
+pub(super) fn descent(
+    inst: &TspInstance,
+    state: &mut TourState,
+    cands: &CandidateLists,
+    cfg: &LocalSearchConfig,
+    dlb: &mut [bool],
+    do_two: bool,
+    do_or: bool,
+) -> Weight {
+    let n = state.n();
+    if n < 4 {
+        return 0;
+    }
+    debug_assert_eq!(dlb.len(), n);
+    debug_assert_eq!(cands.n(), n);
+    let mut total: Weight = 0;
+    let mut scans: u64 = 0;
+    for _ in 0..cfg.max_rounds {
+        let mut improved_round = false;
+        for a in 0..n {
+            if cfg.dont_look && dlb[a] {
+                continue;
+            }
+            scans += 1;
+            if scans & DEADLINE_SCAN_MASK == 0 && cfg.deadline.expired() {
+                return total;
+            }
+            let mut moved = false;
+            if do_two {
+                if let Some((gain, dir, b, c)) = best_two_opt(inst, state, cands, a) {
+                    let d = apply_two_opt(state, dir, a, b, c);
+                    for x in [a, b, c, d] {
+                        dlb[x] = false;
+                    }
+                    total += gain as Weight;
+                    moved = true;
+                }
+            }
+            if !moved && do_or {
+                if let Some(mv) = first_or_opt(inst, state, cands, a) {
+                    let i = state.position(a);
+                    state.splice_after(i, mv.seg_len, mv.anchor, mv.reversed);
+                    for x in mv.wake {
+                        dlb[x] = false;
+                    }
+                    total += mv.gain as Weight;
+                    moved = true;
+                }
+            }
+            if moved {
+                improved_round = true;
+            } else {
+                dlb[a] = true;
+            }
+        }
+        if !improved_round {
+            break;
+        }
+    }
+    total
+}
+
+/// Best-gain 2-opt move out of `a` over both tour edges `(a, succ(a))` and
+/// `(pred(a), a)`, scanning the sorted candidate prefix with `w_ac < w_ab`
+/// in fixed chunks of [`CHUNK`]. Returns `(gain, dir, b, c)`; strict
+/// best-gain comparison makes the lowest-index qualifying candidate win
+/// ties, matching the scalar oracle's scan order exactly.
+fn best_two_opt(
+    inst: &TspInstance,
+    state: &TourState,
+    cands: &CandidateLists,
+    a: usize,
+) -> Option<(i64, usize, usize, usize)> {
+    let n = state.n();
+    let ia = state.position(a);
+    let mut best_gain = 0i64;
+    let mut best: Option<(usize, usize, usize)> = None;
+    let (ids, wts) = cands.padded(a);
+    for dir in 0..2 {
+        let ib = if dir == 0 {
+            state.succ_pos(ia)
+        } else {
+            state.pred_pos(ia)
+        };
+        let b = state.city_at(ib);
+        let w_ab = inst.weight(a, b) as i64;
+        let mut base = 0;
+        while base < ids.len() {
+            let id8 = &ids[base..base + CHUNK];
+            let wt8 = &wts[base..base + CHUNK];
+            let mut gain8 = [NEG; CHUNK];
+            // Whole-chunk evaluation with per-lane masking instead of an
+            // early exit: padding lanes hold (a, PAD_WEIGHT), so every lane
+            // loads safely and the loop body is branch-free (the qualify
+            // test compiles to a select, not a branch).
+            for l in 0..CHUNK {
+                let c = id8[l] as usize;
+                let w_ac = wt8[l];
+                let ic = state.position(c);
+                let idx = if dir == 0 {
+                    let s = ic + 1;
+                    s - ((s == n) as usize) * n
+                } else {
+                    ic + ((ic == 0) as usize) * n - 1
+                };
+                let d = state.city_at(idx);
+                let g = w_ab + inst.weight(c, d) as i64 - w_ac - inst.weight(b, d) as i64;
+                gain8[l] = if w_ac < w_ab { g } else { NEG };
+            }
+            for l in 0..CHUNK {
+                if gain8[l] > best_gain {
+                    best_gain = gain8[l];
+                    best = Some((dir, b, id8[l] as usize));
+                }
+            }
+            // Sorted cutoff: once the last lane fails `w_ac < w_ab`, no
+            // later chunk can qualify either.
+            if wt8[CHUNK - 1] >= w_ab {
+                break;
+            }
+            base += CHUNK;
+        }
+    }
+    best.map(|(dir, b, c)| (best_gain, dir, b, c))
+}
+
+/// First-improvement Or-opt: relocate the segment of length 1–3 starting
+/// at `a` (cyclically — it may wrap the array boundary) to after a
+/// candidate city, forward via candidates of the segment head, reversed
+/// via candidates of the segment tail. Candidate edge weights come from
+/// the SoA lists; only the replaced tour edges are read from the matrix.
+fn first_or_opt(
+    inst: &TspInstance,
+    state: &TourState,
+    cands: &CandidateLists,
+    a: usize,
+) -> Option<OrOptMove> {
+    let n = state.n();
+    let max_len = 3.min(n - 3);
+    let i = state.position(a);
+    let ip = state.pred_pos(i);
+    let p = state.city_at(ip);
+    for seg_len in 1..=max_len {
+        let j = (i + seg_len - 1) % n;
+        let sl = state.city_at(j);
+        let q = state.city_at(state.succ_pos(j));
+        let remove_base =
+            inst.weight(p, a) as i64 + inst.weight(sl, q) as i64 - inst.weight(p, q) as i64;
+        let (head_ids, head_wts) = (cands.ids(a), cands.weights(a));
+        for l in 0..head_ids.len() {
+            let c = head_ids[l] as usize;
+            let pc = state.position(c);
+            if (pc + n - i) % n < seg_len || c == p {
+                continue;
+            }
+            let d = state.city_at(state.succ_pos(pc));
+            let gain =
+                remove_base + inst.weight(c, d) as i64 - head_wts[l] - inst.weight(sl, d) as i64;
+            if gain > 0 {
+                return Some(OrOptMove {
+                    gain,
+                    seg_len,
+                    anchor: pc,
+                    reversed: false,
+                    wake: [p, q, a, sl, c, d],
+                });
+            }
+        }
+        if seg_len > 1 {
+            let (tail_ids, tail_wts) = (cands.ids(sl), cands.weights(sl));
+            for l in 0..tail_ids.len() {
+                let c = tail_ids[l] as usize;
+                let pc = state.position(c);
+                if (pc + n - i) % n < seg_len || c == p {
+                    continue;
+                }
+                let d = state.city_at(state.succ_pos(pc));
+                let gain =
+                    remove_base + inst.weight(c, d) as i64 - tail_wts[l] - inst.weight(a, d) as i64;
+                if gain > 0 {
+                    return Some(OrOptMove {
+                        gain,
+                        seg_len,
+                        anchor: pc,
+                        reversed: true,
+                        wake: [p, q, a, sl, c, d],
+                    });
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,85 @@
+//! Regression test for deadline overshoot in local search.
+//!
+//! The pre-PR-6 kernels polled `cfg.deadline` once per full improvement
+//! round, so at n = 512 a 5 ms budget was routinely blown by ~50 ms (the
+//! e13 `race_wall_ms_max` symptom). The descent now checks every 64 city
+//! scans; one scan is `O(neighbor_k)` work, so overshoot must stay in the
+//! microsecond range. CI machines are noisy, so the assertions take the
+//! *minimum* over several attempts (systematic overshoot shows up in every
+//! attempt; scheduler noise doesn't survive a min) and use bounds well
+//! above the intended 10 ms acceptance line measured by `e14_localsearch`.
+
+use dclab_par::Deadline;
+use dclab_tsp::construct::nearest_neighbor;
+use dclab_tsp::localsearch::{local_opt, LocalSearchConfig, TourState};
+use dclab_tsp::tour::is_permutation;
+use dclab_tsp::TspInstance;
+use std::time::Instant;
+
+fn big_instance(n: usize) -> TspInstance {
+    TspInstance::from_fn(n, |u, v| {
+        let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+        (a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F)) % 10_000 + 1
+    })
+}
+
+#[test]
+fn local_opt_respects_a_5ms_deadline() {
+    // Large enough that the undeadlined descent takes ~4× the budget even
+    // in the vectorized path (n = 512 finishes in under a millisecond now).
+    let n = 4096;
+    let t = big_instance(n);
+    let cl = t.candidate_lists(10);
+    // A deliberately bad start (identity order) so the descent would run
+    // far beyond the budget if left alone.
+    let start: Vec<u32> = (0..n as u32).collect();
+    let budget_ms = 5u64;
+    let mut best_overshoot_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let cfg = LocalSearchConfig {
+            deadline: Deadline::in_millis(budget_ms),
+            ..LocalSearchConfig::default()
+        };
+        let t0 = Instant::now();
+        let mut state = TourState::new(start.clone());
+        local_opt(&t, &mut state, &cl, &cfg);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(is_permutation(n, &state.order), "cut-off left a bad tour");
+        best_overshoot_ms = best_overshoot_ms.min(elapsed_ms - budget_ms as f64);
+    }
+    // Sanity floor: without a deadline the same descent takes much longer
+    // than the budget, i.e. the deadline is actually doing the cutting.
+    let t0 = Instant::now();
+    let mut free = TourState::new(start.clone());
+    local_opt(&t, &mut free, &cl, &LocalSearchConfig::default());
+    let free_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        free_ms > budget_ms as f64,
+        "descent finished under the budget anyway ({free_ms:.1} ms) — test is vacuous"
+    );
+    assert!(
+        best_overshoot_ms < 10.0,
+        "deadline overshoot {best_overshoot_ms:.2} ms (budget {budget_ms} ms) — \
+         per-scan checkpointing regressed"
+    );
+}
+
+#[test]
+fn unlimited_deadline_is_not_throttled() {
+    // `Deadline::none()` must keep the descent running to the local
+    // optimum — the checkpoint is amortized and must never early-out.
+    let n = 128;
+    let t = big_instance(n);
+    let cl = t.candidate_lists(10);
+    let mut a = TourState::new(nearest_neighbor(&t, 0));
+    let mut b = TourState::new(nearest_neighbor(&t, 0));
+    let cfg = LocalSearchConfig::default();
+    let cfg_deadline = LocalSearchConfig {
+        deadline: Deadline::in_millis(60_000),
+        ..LocalSearchConfig::default()
+    };
+    let ga = local_opt(&t, &mut a, &cl, &cfg);
+    let gb = local_opt(&t, &mut b, &cl, &cfg_deadline);
+    assert_eq!(a.order, b.order, "a generous deadline changed the descent");
+    assert_eq!(ga, gb);
+}

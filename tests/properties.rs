@@ -180,7 +180,7 @@ proptest! {
         let start = dclab::tsp::construct::nearest_neighbor(&inst, 0);
         let before = cycle_weight(&inst, &start);
         let mut state = TourState::new(start);
-        let nl = inst.neighbor_lists(8);
+        let nl = inst.candidate_lists(8);
         let gain = local_opt(&inst, &mut state, &nl, &LocalSearchConfig::default());
         prop_assert!(is_permutation(n, &state.order));
         prop_assert_eq!(cycle_weight(&inst, &state.order) + gain, before);

@@ -13,6 +13,8 @@
 //! | `anytime_race_win_rate`       | BENCH_anytime.json | higher | 30% |
 //! | `anytime_race_median_span`    | BENCH_anytime.json | lower  | 30% |
 //! | `localsearch_speedup_n512`    | BENCH_localsearch.json | higher | 70% |
+//! | `serve_p99_us`                | BENCH_serve.json   | lower  | 70% |
+//! | `trace_disabled_rounds_per_s` | BENCH_trace.json   | higher | 70% |
 //!
 //! The anytime metrics are computed by `e13_anytime` over the *gated*
 //! deadline's cells only (same instance count in quick and full mode), so
@@ -115,6 +117,26 @@ const METRICS: &[MetricSpec] = &[
         higher_is_better: true,
         tolerance: 0.70,
         extract: |doc| doc.get("speedup").and_then(Value::as_f64),
+    },
+    // Tail latency of the mixed serve corpus: raw wall time, so runner-
+    // dependent like the throughput gates — 70% is a catastrophic-drop
+    // detector (a tail that triples fails, scheduler jitter does not).
+    MetricSpec {
+        name: "serve_p99_us",
+        file: "BENCH_serve.json",
+        higher_is_better: false,
+        tolerance: 0.70,
+        extract: |doc| doc.get("serve_p99_us").and_then(Value::as_f64),
+    },
+    // Solve throughput with tracing *disabled*: guards the zero-cost
+    // contract of `Trace::disabled()` against accidental always-on
+    // instrumentation (raw throughput → loose 70% gate).
+    MetricSpec {
+        name: "trace_disabled_rounds_per_s",
+        file: "BENCH_trace.json",
+        higher_is_better: true,
+        tolerance: 0.70,
+        extract: |doc| doc.get("disabled_rounds_per_s").and_then(Value::as_f64),
     },
 ];
 

@@ -18,6 +18,8 @@ struct Opts {
     format: Option<io::Format>,
     /// Persistent solution archive: look up before solving, append after.
     store: Option<String>,
+    /// Write the solve's span trace (JSON) to this file (`solve` only).
+    trace_out: Option<String>,
 }
 
 /// The `--help` text for the instance commands (including the worker
@@ -54,6 +56,10 @@ SOLVE/BATCH FLAGS:
   --store <archive>     persistent solution archive: canonical lookups skip
                         the solve, fresh solves are appended — the same file
                         `dclab serve --store-path` warm-boots from
+  --trace <file>        (solve only) run under a live span trace and write
+                        the span tree as JSON; the report also carries
+                        per-phase totals in stats.phases. Convert with
+                        `dclab trace export --chrome <file>`
   --threads <N>         worker threads for this run. Precedence:
                         --threads beats the DCLAB_THREADS environment
                         variable, which beats available_parallelism.
@@ -68,6 +74,9 @@ SERVE FLAGS:
   --max-deadline-ms <N> server-side cap on client deadline-ms requests
                         (default 60000); requests without a deadline are
                         untouched
+  --slow-solve-ms <N>   solves at or over this wall time get a structured
+                        slow-solve log line (stderr + GET /debug/slowlog;
+                        default 250)
   --self-test           start on an ephemeral port, replay the loadgen corpus
                         (~2 s), assert cache hits + clean shutdown, then exit
   --duration-ms <N>     self-test duration (default 2000)
@@ -88,6 +97,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
         budget: Budget::default(),
         format: None,
         store: None,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -131,6 +141,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
                 })
             }
             "--store" => opts.store = Some(flag_value("--store")?),
+            "--trace" => opts.trace_out = Some(flag_value("--trace")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             _ => positional.push(arg.clone()),
         }
@@ -222,7 +233,30 @@ pub fn solve_cmd(args: &[String]) -> Result<(), String> {
     }
     let store = open_store(&opts)?;
     let graph = load_graph(&files[0], opts.format)?;
-    let (report, store_status) = solve_with_store(store.as_ref(), graph, &opts)?;
+    let (report, store_status) = match &opts.trace_out {
+        None => solve_with_store(store.as_ref(), graph, &opts)?,
+        Some(path) => {
+            // Traced run: install a live trace for the solve, then write
+            // the finished span tree next to the report. Archive hits
+            // still trace (the trace just shows no solve phases).
+            let trace = dclab_trace::Trace::enabled();
+            let result = {
+                let _install = trace.install();
+                solve_with_store(store.as_ref(), graph, &opts)
+            };
+            let (report, store_status) = result?;
+            let finished = trace
+                .finish(files[0].clone(), report.strategy_used.name().to_string())
+                .expect("trace was enabled");
+            std::fs::write(path, finished.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote trace ({} spans, {}us) to {path}",
+                finished.spans.len(),
+                finished.total_us
+            );
+            (report, store_status)
+        }
+    };
     finish_store(&store);
     println!("{}", report_line(&files[0], &report, store_status));
     Ok(())
@@ -378,6 +412,10 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
                 if cfg.max_deadline_ms == 0 {
                     return Err("--max-deadline-ms must be at least 1".into());
                 }
+            }
+            "--slow-solve-ms" => {
+                let v = flag_value("--slow-solve-ms")?;
+                cfg.slow_solve_ms = v.parse().map_err(|e| format!("bad --slow-solve-ms: {e}"))?;
             }
             "--threads" => {
                 let v = flag_value("--threads")?;

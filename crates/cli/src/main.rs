@@ -19,6 +19,9 @@
 //!      # split graphs, classic families, ...)
 //! dclab store stats|compact|export|import <archive> [args]
 //!      # manage a persistent solution archive offline
+//! dclab trace export --chrome <trace.json> [--out PATH]
+//!      # convert a solve trace (from `solve --trace` or
+//!      # GET /debug/traces/<id>) to Chrome trace_event JSON
 //!
 //! dclab e1   # reduction correctness (Thm 2 / Claim 1 / Fig. 1)
 //! dclab e2   # exact scaling (Cor 1a: Held–Karp vs oracle)
@@ -38,6 +41,7 @@ mod commands;
 mod experiments;
 mod gen;
 mod store_cmd;
+mod trace_cmd;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +58,7 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "solve" | "batch" | "serve" | "gen" | "store" | "bench-gate" => {
+        "solve" | "batch" | "serve" | "gen" | "store" | "trace" | "bench-gate" => {
             let rest: Vec<String> = args
                 .iter()
                 .skip_while(|a| a.as_str() != which)
@@ -66,6 +70,7 @@ fn main() {
                 "batch" => commands::batch_cmd(&rest),
                 "gen" => gen::gen_cmd(&rest),
                 "store" => store_cmd::store_cmd(&rest),
+                "trace" => trace_cmd::trace_cmd(&rest),
                 "bench-gate" => bench_gate::bench_gate_cmd(&rest),
                 _ => commands::serve_cmd(&rest),
             };
@@ -117,7 +122,7 @@ fn run_experiments(which: &str, args: &[String]) {
     if !ran {
         eprintln!(
             "unknown command '{which}'; use solve <file>, batch <dir>, serve, gen, store, \
-             bench-gate, e1..e8 or all (experiments take --quick; see --help)"
+             trace, bench-gate, e1..e8 or all (experiments take --quick; see --help)"
         );
         std::process::exit(2);
     }

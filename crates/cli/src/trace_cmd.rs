@@ -1,0 +1,197 @@
+//! `dclab trace` — offline tooling for solve traces written by
+//! `dclab solve --trace` or fetched from a server's
+//! `GET /debug/traces/<request-id>`.
+//!
+//! `trace export --chrome` converts the span-tree JSON into Chrome
+//! `trace_event` format, loadable in `chrome://tracing` and Perfetto: each
+//! recording thread becomes a track, spans become complete events, and
+//! zero-duration checkpoints (branch-and-bound node milestones) become
+//! instant events.
+
+use dclab_engine::json::{parse, Value};
+use dclab_trace::{phase_index, SolveTrace, Span, PHASES};
+
+/// Usage string for `dclab trace` (also returned on malformed calls).
+const USAGE: &str = "usage: dclab trace export --chrome <trace.json> [--out <file>]";
+
+/// Resolve a span name from a parsed trace back to a `&'static str`.
+/// Registry names map to their `PHASES` entry; unknown names (from a newer
+/// or foreign producer) are leaked — fine for a one-shot CLI process, and
+/// it keeps `Span.name` allocation-free on the hot recording path.
+fn static_name(name: &str) -> &'static str {
+    match phase_index(name) {
+        Some(i) => PHASES[i],
+        None => Box::leak(name.to_string().into_boxed_str()),
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("trace span missing numeric '{key}'"))
+}
+
+/// Parse the JSON written by `SolveTrace::to_json` back into a
+/// [`SolveTrace`].
+fn parse_trace(text: &str) -> Result<SolveTrace, String> {
+    let doc = parse(text).map_err(|e| format!("not valid trace JSON: {e}"))?;
+    let id = doc
+        .get("id")
+        .and_then(Value::as_str)
+        .ok_or("trace missing 'id'")?
+        .to_string();
+    let label = doc
+        .get("label")
+        .and_then(Value::as_str)
+        .ok_or("trace missing 'label'")?
+        .to_string();
+    let total_us = field_u64(&doc, "total_us")?;
+    let mut spans = Vec::new();
+    for s in doc
+        .get("spans")
+        .and_then(Value::as_arr)
+        .ok_or("trace missing 'spans' array")?
+    {
+        let name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("trace span missing 'name'")?;
+        spans.push(Span {
+            id: field_u64(s, "id")? as u32,
+            parent: field_u64(s, "parent")? as u32,
+            name: static_name(name),
+            detail: s
+                .get("detail")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            start_us: field_u64(s, "start_us")?,
+            dur_us: field_u64(s, "dur_us")?,
+            tid: field_u64(s, "tid")? as u32,
+        });
+    }
+    Ok(SolveTrace {
+        id,
+        label,
+        total_us,
+        seq: 0,
+        spans,
+    })
+}
+
+/// `dclab trace export --chrome <trace.json> [--out <file>]` — convert a
+/// solve trace to Chrome `trace_event` JSON (stdout unless `--out`).
+pub fn trace_cmd(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("export") => {}
+        _ => return Err(USAGE.into()),
+    }
+    let mut chrome = false;
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--chrome" => chrome = true,
+            "--out" => {
+                out = Some(it.next().cloned().ok_or("--out needs a value")?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown trace flag '{flag}'\n{USAGE}"));
+            }
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    return Err(USAGE.into());
+                }
+            }
+        }
+    }
+    if !chrome {
+        return Err(format!("trace export needs a target format\n{USAGE}"));
+    }
+    let input = input.ok_or(USAGE)?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("{input}: {e}"))?;
+    let trace = parse_trace(&text).map_err(|e| format!("{input}: {e}"))?;
+    let rendered = trace.to_chrome_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote Chrome trace for '{}' ({} spans) to {path}",
+                trace.id,
+                trace.spans.len()
+            );
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_rendered_trace() {
+        let original = SolveTrace {
+            id: "req-7".into(),
+            label: "heuristic".into(),
+            total_us: 900,
+            seq: 3,
+            spans: vec![
+                Span {
+                    id: 1,
+                    parent: 0,
+                    name: "solve",
+                    detail: String::new(),
+                    start_us: 0,
+                    dur_us: 880,
+                    tid: 1,
+                },
+                Span {
+                    id: 2,
+                    parent: 1,
+                    name: "lk",
+                    detail: "kicks=4".into(),
+                    start_us: 10,
+                    dur_us: 600,
+                    tid: 1,
+                },
+            ],
+        };
+        let parsed = parse_trace(&original.to_json()).unwrap();
+        assert_eq!(parsed.id, "req-7");
+        assert_eq!(parsed.label, "heuristic");
+        assert_eq!(parsed.total_us, 900);
+        assert_eq!(parsed.spans.len(), 2);
+        assert_eq!(parsed.spans[1].name, "lk");
+        assert_eq!(parsed.spans[1].detail, "kicks=4");
+        assert_eq!(parsed.spans[1].parent, 1);
+        // seq is recorder-assigned, not serialized.
+        assert_eq!(parsed.seq, 0);
+        // And the parsed trace renders to Chrome format.
+        let chrome = parsed.to_chrome_json();
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"name\":\"lk\""));
+    }
+
+    #[test]
+    fn foreign_span_names_survive() {
+        let t = parse_trace(
+            "{\"id\":\"x\",\"label\":\"y\",\"total_us\":5,\"spans\":[{\"id\":1,\
+             \"parent\":0,\"name\":\"custom-phase\",\"start_us\":0,\"dur_us\":5,\"tid\":1}]}",
+        )
+        .unwrap();
+        assert_eq!(t.spans[0].name, "custom-phase");
+    }
+
+    #[test]
+    fn malformed_traces_error_cleanly() {
+        assert!(parse_trace("not json").is_err());
+        assert!(parse_trace("{\"id\":\"x\"}").is_err());
+        assert!(
+            parse_trace("{\"id\":\"x\",\"label\":\"y\",\"total_us\":5,\"spans\":[{}]}").is_err()
+        );
+    }
+}

@@ -115,6 +115,7 @@ fn exact_coloring_with(g: &Graph, k: usize) -> Option<Vec<u32>> {
 /// **Corollary 3**: `p_max`-approximate `L(p)`-labeling by scaling an
 /// optimal `L(1^k)`-labeling by `p_max`. Valid on any graph.
 pub fn solve_pmax_approx(g: &Graph, p: &PVec, engine: L1Engine) -> Solution {
+    let _span = dclab_trace::current().span("l1");
     let (l1, _) = solve_l1(g, p.k(), engine);
     let pmax = p.pmax();
     let labels: Vec<u64> = l1.labels().iter().map(|&c| c * pmax).collect();

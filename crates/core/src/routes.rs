@@ -30,6 +30,7 @@ fn solution_from_order(reduced: &ReducedInstance, order: Vec<u32>, span: u64) ->
 /// [`crate::guard::EXACT_MAX_N`].
 pub fn exact_route(reduced: &ReducedInstance) -> Result<Solution, GuardError> {
     check_exact_size(reduced.tsp.n())?;
+    let _span = dclab_trace::current().span("exact");
     let (order, span) = held_karp_path(&reduced.tsp);
     Ok(solution_from_order(reduced, order, span))
 }
@@ -66,6 +67,7 @@ pub fn branch_bound_route_anytime(
 
 /// Hoogeveen/Christofides 1.5-approximation (Corollary 1b).
 pub fn approx15_route(reduced: &ReducedInstance, backend: MatchingBackend) -> Solution {
+    let _span = dclab_trace::current().span("approx15");
     let (order, span) = christofides_path(&reduced.tsp, backend);
     solution_from_order(reduced, order, span)
 }

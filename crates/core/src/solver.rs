@@ -136,6 +136,7 @@ pub fn solve_greedy(g: &Graph, p: &PVec) -> Solution {
 /// after the first are skipped once the clock fires, so the result is
 /// always a complete valid labeling, just possibly from fewer orders.
 pub fn solve_greedy_anytime(g: &Graph, p: &PVec, deadline: &dclab_par::Deadline) -> Solution {
+    let _span = dclab_trace::current().span("greedy");
     let (labeling, span) = crate::baseline::greedy::best_greedy_span_anytime(g, p, deadline);
     let order = labeling.sorted_order();
     Solution {

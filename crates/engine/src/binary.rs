@@ -21,7 +21,12 @@
 //! Version 1 records (every archive written before anytime solving
 //! existed) still decode — the missing byte reads as `timed_out = false`,
 //! which is exactly right: a deadline-free solve cannot time out.
-//! Encoding always emits the current version.
+//!
+//! **Version 3** appends the per-phase timing tail after `timed_out`:
+//! `varint #phases, (varint len, utf8 name, varint calls, varint
+//! total_us)…`. Version ≤ 2 records decode with empty `phases` — archives
+//! written before tracing existed simply have no attribution. Encoding
+//! always emits the current version.
 //!
 //! Decoding is strict: unknown versions, unknown strategy codes, truncated
 //! buffers, and trailing bytes are all errors — a corrupt archive record
@@ -37,7 +42,7 @@ use crate::report::{EngineStats, SolveReport};
 use crate::request::Strategy;
 
 /// Current codec version (first byte of every encoded report).
-pub const REPORT_CODEC_VERSION: u8 = 2;
+pub const REPORT_CODEC_VERSION: u8 = 3;
 
 /// Oldest codec version [`report_from_bytes`] still accepts (pre-anytime
 /// records without the `timed_out` byte).
@@ -193,6 +198,14 @@ pub fn report_to_bytes(r: &SolveReport) -> Vec<u8> {
     );
     // Version 2 extension: the anytime timeout flag.
     buf.push(stats.timed_out as u8);
+    // Version 3 extension: per-phase timing attribution (empty for
+    // untraced solves — one count byte).
+    put_uvarint(&mut buf, stats.phases.len() as u64);
+    for p in &stats.phases {
+        put_str(&mut buf, &p.name);
+        put_uvarint(&mut buf, p.calls);
+        put_uvarint(&mut buf, p.total_us);
+    }
     buf
 }
 
@@ -275,6 +288,26 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
     } else {
         false
     };
+    // Version 3 adds the per-phase timing tail; older records decode with
+    // no attribution.
+    let mut phases = Vec::new();
+    if version >= 3 {
+        let n_phases = get_uvarint(bytes, pos)? as usize;
+        if n_phases > bytes.len() {
+            return Err(err(*pos, format!("phase count {n_phases} exceeds buffer")));
+        }
+        phases.reserve(n_phases);
+        for _ in 0..n_phases {
+            let name = get_str(bytes, pos)?;
+            let calls = get_uvarint(bytes, pos)?;
+            let total_us = get_uvarint(bytes, pos)?;
+            phases.push(crate::report::PhaseStat {
+                name,
+                calls,
+                total_us,
+            });
+        }
+    }
     if *pos != bytes.len() {
         return Err(err(*pos, "trailing bytes after report"));
     }
@@ -305,6 +338,7 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
                 two_valued: flags & 4 != 0,
                 cograph: flags & 8 != 0,
             },
+            phases,
         },
     })
 }
@@ -386,28 +420,74 @@ mod tests {
         assert!(report_from_bytes(&bytes).is_err());
     }
 
-    /// Versioned decode: a version-1 record (pre-anytime, no `timed_out`
-    /// byte) must still decode, reading as `timed_out = false`, and
-    /// re-encode as an equivalent version-2 record.
+    /// Versioned decode: version-1 records (pre-anytime, no `timed_out`
+    /// byte) and version-2 records (pre-trace, no phase tail) must still
+    /// decode — reading `timed_out = false` and `phases = []` respectively
+    /// — and re-encode as equivalent current-version records.
     #[test]
-    fn version_one_records_still_decode() {
+    fn older_version_records_still_decode() {
         let report = sample_report(Strategy::Auto);
         assert!(!report.stats.timed_out, "deadline-free sample");
-        let v2 = report.to_bytes();
-        assert_eq!(v2[0], REPORT_CODEC_VERSION);
-        // A v1 record is the v2 bytes minus the trailing timed_out byte,
-        // stamped with the old version — exactly what PR 4 archives hold.
+        assert!(report.stats.phases.is_empty(), "untraced sample");
+        let v3 = report.to_bytes();
+        assert_eq!(v3[0], REPORT_CODEC_VERSION);
+        // An untraced v3 record's phase tail is exactly one zero-count
+        // byte; stripping it (and restamping) is exactly what PR 4–6
+        // archives hold as v2.
+        assert_eq!(*v3.last().unwrap(), 0, "empty phase tail");
+        let mut v2 = v3[..v3.len() - 1].to_vec();
+        v2[0] = 2;
+        let decoded = SolveReport::from_bytes(&v2).expect("v2 decodes");
+        assert_eq!(decoded, report);
+        assert!(decoded.stats.phases.is_empty());
+        assert_eq!(decoded.to_bytes(), v3, "re-encode upgrades to v3");
+        // A v1 record further drops the timed_out byte.
         let mut v1 = v2[..v2.len() - 1].to_vec();
         v1[0] = 1;
         let decoded = SolveReport::from_bytes(&v1).expect("v1 decodes");
         assert_eq!(decoded, report);
         assert!(!decoded.stats.timed_out);
-        assert_eq!(decoded.to_bytes(), v2, "re-encode upgrades to v2");
-        // Strictness survives the versioning: a v1 record with a stray
-        // trailing byte that is not a valid flag is still rejected.
-        let mut v1_trailing = v1.clone();
-        v1_trailing.push(7);
-        assert!(SolveReport::from_bytes(&v1_trailing).is_err());
+        assert_eq!(decoded.to_bytes(), v3, "re-encode upgrades to v3");
+        // Strictness survives the versioning: stray trailing bytes on the
+        // old layouts are still rejected.
+        for old in [&v1, &v2] {
+            let mut trailing = old.clone();
+            trailing.push(7);
+            assert!(SolveReport::from_bytes(&trailing).is_err());
+        }
+    }
+
+    #[test]
+    fn phase_tail_round_trips() {
+        let mut report = sample_report(Strategy::Auto);
+        report.stats.phases = vec![
+            crate::report::PhaseStat {
+                name: "reduce".into(),
+                calls: 1,
+                total_us: 1200,
+            },
+            crate::report::PhaseStat {
+                name: "lk".into(),
+                calls: 4,
+                total_us: 98_765,
+            },
+        ];
+        let bytes = report.to_bytes();
+        let back = SolveReport::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, report);
+        assert_eq!(back.to_bytes(), bytes);
+        // Truncating anywhere inside the phase tail fails cleanly.
+        let untraced_len = {
+            let mut r = report.clone();
+            r.stats.phases.clear();
+            r.to_bytes().len()
+        };
+        for cut in untraced_len..bytes.len() {
+            assert!(
+                SolveReport::from_bytes(&bytes[..cut]).is_err(),
+                "phase-tail prefix of {cut} bytes must not decode"
+            );
+        }
     }
 
     #[test]

@@ -125,6 +125,7 @@ impl<'a> Ctx<'a> {
     /// first use.
     fn reduced(&mut self) -> Result<&ReducedInstance, ReductionError> {
         if self.reduced.is_none() {
+            let _span = dclab_trace::current().span("reduce");
             self.reduced = Some(reduce_to_path_tsp(self.g, self.p)?);
             self.reductions_computed += 1;
         }
@@ -136,6 +137,7 @@ impl<'a> Ctx<'a> {
     /// construct labelings via the always-valid tight recovery).
     fn reduced_unchecked(&mut self) -> Result<&ReducedInstance, ReductionError> {
         if self.reduced.is_none() {
+            let _span = dclab_trace::current().span("reduce");
             self.reduced = Some(reduce_unchecked(self.g, self.p)?);
             self.reductions_computed += 1;
         }
@@ -151,7 +153,44 @@ impl<'a> Ctx<'a> {
 /// `Auto` and `Race` portfolios, goes through here. The wall clock (when
 /// `Budget::deadline_ms` is set) starts here, so reduction and feature
 /// extraction spend from the same budget as the search.
+///
+/// When the caller has a live [`dclab_trace::Trace`] installed, the solve
+/// runs under a `"solve"` span and the finished report carries the trace's
+/// per-phase µs attribution in `stats.phases`. With no trace installed
+/// (the default) this wrapper is a single thread-local read and the report
+/// is bit-identical to a pre-trace build — timings never enter
+/// deterministic output.
 pub fn solve(req: &SolveRequest) -> Result<SolveReport, EngineError> {
+    let trace = dclab_trace::current();
+    if !trace.is_enabled() {
+        return solve_impl(req);
+    }
+    let mut report = {
+        let mut span = trace.span("solve");
+        let report = solve_impl(req)?;
+        span.set_detail(format!(
+            "strategy={} span={}",
+            report.strategy_used.name(),
+            report.solution.span
+        ));
+        report
+    };
+    // Snapshot after the solve span closed so it is part of its own
+    // attribution (one trace per solve: the caller installs a fresh
+    // `Trace` per request).
+    report.stats.phases = trace
+        .phase_totals()
+        .into_iter()
+        .map(|t| crate::report::PhaseStat {
+            name: t.name,
+            calls: t.calls,
+            total_us: t.total_us,
+        })
+        .collect();
+    Ok(report)
+}
+
+fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
     let deadline = req.budget.deadline();
     let g = &req.graph;
     let p = &req.pvec;
@@ -454,6 +493,13 @@ fn run_race_member(
     shared_bound: Option<&AtomicU64>,
 ) -> MemberRun {
     let strategy = member.strategy();
+    // Each member gets its own span on its worker thread; the parent link
+    // (the race span) rode across the fan-out with the installed trace.
+    let trace = dclab_trace::current();
+    let mut span = trace.span("member");
+    if span.is_enabled() {
+        span.set_detail(format!("{member:?}"));
+    }
     match member {
         RaceMember::Greedy => MemberRun {
             // Order-granular anytime greedy: the first vertex order always
@@ -560,6 +606,7 @@ fn race_route(
     let g = ctx.g;
     let p = ctx.p;
     let reduced = ctx.reduced.as_ref();
+    let race_span = dclab_trace::current().span("race");
     let runs: Vec<MemberRun> = dclab_par::par_map(&members, |&member| {
         let run = run_race_member(member, g, p, reduced, req, &member_deadline, shared);
         if armed {
@@ -570,6 +617,7 @@ fn race_route(
         }
         run
     });
+    drop(race_span);
 
     let any_proved = runs.iter().any(|r| r.proved);
     // `deadline` carries no token, so this is a pure clock check — a race
@@ -761,6 +809,7 @@ fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool, deadline: &
     if deadline.expired() {
         return degree_bound(ctx.g, ctx.p);
     }
+    let _span = dclab_trace::current().span("lower_bound");
     let ensured = if checked {
         ctx.reduced().is_ok()
     } else {
@@ -801,11 +850,14 @@ fn finish(
             ctx.reductions_computed
         )));
     }
-    let valid = match &ctx.reduced {
-        Some(r) => solution
-            .labeling
-            .validate_with_distances(&r.dist, &req.pvec),
-        None => solution.labeling.validate(&req.graph, &req.pvec),
+    let valid = {
+        let _span = dclab_trace::current().span("validate");
+        match &ctx.reduced {
+            Some(r) => solution
+                .labeling
+                .validate_with_distances(&r.dist, &req.pvec),
+            None => solution.labeling.validate(&req.graph, &req.pvec),
+        }
     };
     if let Err(v) = valid {
         return Err(EngineError::Internal(format!(
@@ -833,6 +885,9 @@ fn finish(
             // still landed on the optimum is not a timeout.
             timed_out: ctx.timed_out && !optimal,
             features,
+            // Filled by the traced `solve` wrapper; empty (and absent from
+            // JSON) for untraced solves.
+            phases: Vec::new(),
         },
     })
 }
@@ -973,6 +1028,65 @@ mod tests {
                 report.stats.timed_out || report.optimal,
                 "{strategy}: neither timed out nor optimal"
             );
+        }
+    }
+
+    /// The `Trace::disabled()` contract at engine level: a traced solve is
+    /// identical to an untraced one except for `stats.phases`, and the
+    /// untraced JSON carries no phases key at all (byte-stability with
+    /// pre-trace builds).
+    #[test]
+    fn tracing_changes_nothing_but_phases() {
+        for strategy in [Strategy::Auto, Strategy::Race, Strategy::Heuristic] {
+            let req =
+                SolveRequest::new(diam2_instance(40, 17), PVec::l21()).with_strategy(strategy);
+            let untraced = solve(&req).expect("solves");
+            assert!(untraced.stats.phases.is_empty());
+            assert!(!untraced.to_json().contains("\"phases\""));
+
+            let trace = dclab_trace::Trace::enabled();
+            let traced = {
+                let _g = trace.install();
+                solve(&req).expect("solves traced")
+            };
+            assert!(!traced.stats.phases.is_empty(), "{strategy}: no phases");
+            let mut stripped = traced.clone();
+            stripped.stats.phases.clear();
+            assert_eq!(
+                stripped, untraced,
+                "{strategy}: tracing perturbed the solve"
+            );
+
+            // The attribution is coherent: a solve span exists and every
+            // phase the pipeline must run is attributed.
+            let names: Vec<&str> = traced
+                .stats
+                .phases
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect();
+            assert!(names.contains(&"solve"), "{strategy}: {names:?}");
+            assert!(names.contains(&"reduce"), "{strategy}: {names:?}");
+            assert!(names.contains(&"apsp"), "{strategy}: {names:?}");
+            if strategy == Strategy::Race {
+                assert!(names.contains(&"race"), "{names:?}");
+                assert!(names.contains(&"member"), "{names:?}");
+            }
+            let solve_total = traced
+                .stats
+                .phases
+                .iter()
+                .find(|p| p.name == "solve")
+                .unwrap();
+            assert_eq!(solve_total.calls, 1);
+            // Single-threaded child phases cannot exceed the solve span.
+            let apsp = traced
+                .stats
+                .phases
+                .iter()
+                .find(|p| p.name == "apsp")
+                .unwrap();
+            assert!(apsp.total_us <= solve_total.total_us);
         }
     }
 

@@ -7,10 +7,35 @@ use crate::features::InstanceFeatures;
 use crate::json::Obj;
 use crate::request::Strategy;
 
+/// Per-phase timing attribution snapshotted from an installed
+/// [`dclab_trace::Trace`]: total µs and call count for every span name the
+/// solve recorded. Empty whenever tracing is disabled — timings never leak
+/// into untraced (deterministic) reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Phase name from the trace registry ("reduce", "apsp", "lk", …).
+    pub name: String,
+    /// Number of spans recorded under this name.
+    pub calls: u64,
+    /// Total duration across those spans, in µs.
+    pub total_us: u64,
+}
+
+impl PhaseStat {
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("name", &self.name)
+            .u64("calls", self.calls)
+            .u64("total_us", self.total_us)
+            .finish()
+    }
+}
+
 /// How a request was executed. Without a wall-clock deadline every field
-/// is deterministic (no timings), so batch reports compare bit-for-bit
-/// across thread counts; `timed_out` can only become `true` when the
-/// request armed `Budget::deadline_ms`.
+/// except `phases` is deterministic (no timings), so batch reports compare
+/// bit-for-bit across thread counts; `timed_out` can only become `true`
+/// when the request armed `Budget::deadline_ms`, and `phases` is only
+/// non-empty when the caller installed a live trace.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EngineStats {
     /// Theorem 2 reductions computed for this request. The engine's
@@ -28,17 +53,25 @@ pub struct EngineStats {
     pub timed_out: bool,
     /// The features the dispatch decision was based on.
     pub features: InstanceFeatures,
+    /// Per-phase µs attribution (empty unless a live trace was installed
+    /// for the solve). Omitted from the JSON when empty so untraced
+    /// reports stay byte-identical to pre-trace builds.
+    pub phases: Vec<PhaseStat>,
 }
 
 impl EngineStats {
     pub fn to_json(&self) -> String {
-        Obj::new()
+        let mut obj = Obj::new()
             .usize("reductions_computed", self.reductions_computed)
             .str_array("routes_tried", self.routes_tried.iter().map(|s| s.name()))
             .str_array("notes", self.notes.iter().map(String::as_str))
             .bool("timed_out", self.timed_out)
-            .raw("features", &self.features.to_json())
-            .finish()
+            .raw("features", &self.features.to_json());
+        if !self.phases.is_empty() {
+            let items: Vec<String> = self.phases.iter().map(PhaseStat::to_json).collect();
+            obj = obj.raw("phases", &format!("[{}]", items.join(",")));
+        }
+        obj.finish()
     }
 }
 
@@ -112,6 +145,7 @@ mod tests {
                 notes: vec!["n=3 within exact guard".into()],
                 timed_out: false,
                 features: crate::features::InstanceFeatures::extract(&g, &PVec::l21()),
+                phases: Vec::new(),
             },
         };
         let j = report.to_json();
@@ -121,5 +155,16 @@ mod tests {
         assert!(j.contains("\"labels\":[0,2,4]"));
         assert!(j.contains("\"reductions_computed\":1"));
         assert!(j.contains("\"features\":{\"n\":3"));
+        // Untraced reports carry no phases key at all (byte-stability with
+        // pre-trace builds); traced ones do.
+        assert!(!j.contains("\"phases\""));
+        let mut traced = report.clone();
+        traced.stats.phases = vec![PhaseStat {
+            name: "apsp".into(),
+            calls: 1,
+            total_us: 42,
+        }];
+        let tj = traced.to_json();
+        assert!(tj.contains("\"phases\":[{\"name\":\"apsp\",\"calls\":1,\"total_us\":42}]"));
     }
 }

@@ -37,6 +37,11 @@ impl DistanceMatrix {
     /// Blocked bit-parallel APSP over an existing CSR view.
     pub fn compute_csr(csr: &Csr) -> Self {
         let n = csr.n();
+        let trace = dclab_trace::current();
+        let mut span = trace.span("apsp");
+        if span.is_enabled() {
+            span.set_detail(format!("n={n}"));
+        }
         let blocks = dclab_par::par_map_chunks(n, BLOCK, |range| {
             let sources: Vec<usize> = range.collect();
             let mut rows = vec![0u32; sources.len() * n];

@@ -81,25 +81,32 @@ where
     out.resize_with(n, || None);
     let slots = Mutex::new(&mut out);
     let next = AtomicUsize::new(0);
+    // Propagate the caller's tracing context onto the workers (disabled
+    // traces skip the per-worker install entirely).
+    let trace_ctx = dclab_trace::FanoutCtx::capture();
     // Grab work in small batches to amortize the atomic without losing load
     // balance on skewed items.
     let batch = (n / (threads * 8)).max(1);
     crossbeam::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let start = next.fetch_add(batch, Ordering::Relaxed);
-                if start >= n {
-                    break;
-                }
-                let end = (start + batch).min(n);
-                // Compute outside the lock; store under it.
-                let mut local: Vec<(usize, U)> = Vec::with_capacity(end - start);
-                for i in start..end {
-                    local.push((i, f(i)));
-                }
-                let mut guard = slots.lock();
-                for (i, v) in local {
-                    guard[i] = Some(v);
+            let (next, slots, f, trace_ctx) = (&next, &slots, &f, &trace_ctx);
+            s.spawn(move |_| {
+                let _trace = trace_ctx.is_enabled().then(|| trace_ctx.install());
+                loop {
+                    let start = next.fetch_add(batch, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + batch).min(n);
+                    // Compute outside the lock; store under it.
+                    let mut local: Vec<(usize, U)> = Vec::with_capacity(end - start);
+                    for i in start..end {
+                        local.push((i, f(i)));
+                    }
+                    let mut guard = slots.lock();
+                    for (i, v) in local {
+                        guard[i] = Some(v);
+                    }
                 }
             });
         }
@@ -145,11 +152,13 @@ where
     }
     let next = AtomicUsize::new(0);
     let best = Mutex::new(identity.clone());
+    let trace_ctx = dclab_trace::FanoutCtx::capture();
     crossbeam::scope(|s| {
         for _ in 0..threads {
             let mut acc = identity.clone();
-            let (next, best, f, reduce) = (&next, &best, &f, &reduce);
+            let (next, best, f, reduce, trace_ctx) = (&next, &best, &f, &reduce, &trace_ctx);
             s.spawn(move |_| {
+                let _trace = trace_ctx.is_enabled().then(|| trace_ctx.install());
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {

@@ -24,7 +24,11 @@
 //!   single-flight deduplication.
 //! * [`metrics`] — lock-free counters + log-scale latency histogram.
 //! * [`server`] — accept loop over a bounded [`dclab_par::WorkerPool`],
-//!   routing, graceful shutdown.
+//!   routing, graceful shutdown, per-request solve tracing (every
+//!   response carries `X-Request-Id`; finished traces land in a
+//!   [`dclab_trace::FlightRecorder`] behind `GET /debug/traces`, feed the
+//!   `dclab_phase_seconds` histograms, and slow solves get a structured
+//!   log line behind `GET /debug/slowlog`).
 //! * [`persist`] — glue to the persistent solution archive
 //!   (`dclab-store`): warm-boot the cache on start, read-through on LRU
 //!   miss, write-behind fresh solves, seal the log at the shutdown drain.
@@ -41,4 +45,4 @@ pub mod server;
 pub use cache::{CacheKey, CacheStatus, ReportCache};
 pub use loadgen::{self_test, Client, CorpusItem, PassStats};
 pub use metrics::{Metrics, StoreGauges};
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{start, ServeConfig, ServerHandle, SlowLog};

@@ -62,12 +62,24 @@ impl Client {
         target: &str,
         body: &str,
     ) -> std::io::Result<ClientResponse> {
-        match self.request_once(method, target, body) {
+        self.request_with_headers(method, target, &[], body)
+    }
+
+    /// Like [`Client::request`] but with extra request headers (e.g. a
+    /// client-chosen `x-request-id` for trace correlation).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        match self.request_once(method, target, headers, body) {
             Ok(r) => Ok(r),
             Err(_) => {
                 // Server may have closed the idle connection; reconnect.
                 self.conn = None;
-                self.request_once(method, target, body)
+                self.request_once(method, target, headers, body)
             }
         }
     }
@@ -76,14 +88,22 @@ impl Client {
         &mut self,
         method: &str,
         target: &str,
+        headers: &[(&str, &str)],
         body: &str,
     ) -> std::io::Result<ClientResponse> {
         let addr = self.addr;
         let reader = self.connect()?;
-        let head = format!(
-            "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let stream = reader.get_mut();
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;
@@ -278,6 +298,7 @@ impl PassStats {
             .u64("p50_us", self.percentile_us(0.50))
             .u64("p90_us", self.percentile_us(0.90))
             .u64("p99_us", self.percentile_us(0.99))
+            .u64("p999_us", self.percentile_us(0.999))
             .finish()
     }
 }

@@ -2,6 +2,11 @@
 //! rendered as Prometheus text exposition (the `GET /metrics` default,
 //! `text/plain; version=0.0.4`) or deterministic JSON
 //! (`GET /metrics?format=json`).
+//!
+//! Every family gets a `# HELP` line and label values pass through
+//! [`escape_label`] (backslash, double-quote, newline), so the output obeys
+//! the text-format grammar even if a label value ever carries hostile bytes
+//! — asserted by a parser test that walks the full exposition line by line.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -15,6 +20,27 @@ use crate::cache::CacheCounters;
 /// `[2^i, 2^{i+1})` microseconds, the last bucket is open-ended (≥ ~35 min).
 pub const LATENCY_BUCKETS: usize = 32;
 
+/// One histogram per registered trace phase (`dclab_trace::PHASES`), so the
+/// `dclab_phase_seconds` metric set stays bounded no matter what span names
+/// show up in traces.
+pub const PHASE_COUNT: usize = dclab_trace::PHASES.len();
+
+/// Escape a Prometheus label *value* per the text exposition format:
+/// backslash, double-quote, and line-feed must be written as `\\`, `\"`,
+/// and `\n`.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Histogram over microsecond latencies with power-of-two buckets.
 #[derive(Default)]
 pub struct LatencyHistogram {
@@ -25,7 +51,13 @@ pub struct LatencyHistogram {
 
 impl LatencyHistogram {
     pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.record_us(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record a raw microsecond sample (what per-phase trace attribution
+    /// feeds in). Samples past the last bucket boundary clamp into the
+    /// open-ended bucket rather than indexing out of bounds.
+    pub fn record_us(&self, us: u64) {
         let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -54,10 +86,21 @@ impl LatencyHistogram {
         u64::MAX
     }
 
-    /// Prometheus histogram lines (`*_bucket{le=…}` cumulative counts in
-    /// seconds, `*_sum`, `*_count`) for a metric named `name`.
-    pub fn to_prometheus(&self, name: &str) -> String {
-        let mut out = format!("# TYPE {name} histogram\n");
+    /// Prometheus histogram family (`# HELP` + `# TYPE` header, then
+    /// `*_bucket{le=…}` cumulative counts in seconds, `*_sum`, `*_count`)
+    /// for a metric named `name`.
+    pub fn to_prometheus(&self, name: &str, help: &str) -> String {
+        let mut out = format!("# HELP {name} {help}\n# TYPE {name} histogram\n");
+        out.push_str(&self.prometheus_samples(name, ""));
+        out
+    }
+
+    /// The sample lines of one histogram series without the family header,
+    /// so several labeled series (e.g. `phase="apsp"`) can share one
+    /// `# TYPE` declaration. `labels` is either empty or `key="value",` —
+    /// trailing comma included — and composes with `le`.
+    pub fn prometheus_samples(&self, name: &str, labels: &str) -> String {
+        let mut out = String::new();
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             let count = bucket.load(Ordering::Relaxed);
@@ -69,16 +112,20 @@ impl LatencyHistogram {
             }
             let le_seconds = (1u64 << (i + 1)) as f64 / 1e6;
             out.push_str(&format!(
-                "{name}_bucket{{le=\"{le_seconds}\"}} {cumulative}\n"
+                "{name}_bucket{{{labels}le=\"{le_seconds}\"}} {cumulative}\n"
             ));
         }
         let count = self.count();
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
-        out.push_str(&format!(
-            "{name}_sum {}\n",
-            self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
-        ));
-        out.push_str(&format!("{name}_count {count}\n"));
+        let sum = self.sum_us.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("{name}_bucket{{{labels}le=\"+Inf\"}} {count}\n"));
+        let bare = labels.trim_end_matches(',');
+        if bare.is_empty() {
+            out.push_str(&format!("{name}_sum {sum}\n"));
+            out.push_str(&format!("{name}_count {count}\n"));
+        } else {
+            out.push_str(&format!("{name}_sum{{{bare}}} {sum}\n"));
+            out.push_str(&format!("{name}_count{{{bare}}} {count}\n"));
+        }
         out
     }
 
@@ -142,6 +189,11 @@ pub struct Metrics {
     pub race_wins: [AtomicU64; 7],
     /// End-to-end `/solve` handling latency (includes cache hits).
     pub solve_latency: LatencyHistogram,
+    /// Per-phase time attribution from request traces, one histogram per
+    /// `dclab_trace::PHASES` entry (`dclab_phase_seconds{phase=…}`).
+    pub phase_latency: [LatencyHistogram; PHASE_COUNT],
+    /// Solves slow enough to hit the slow-solve log (`--slow-solve-ms`).
+    pub slow_solves: AtomicU64,
     /// Archive reads that found a record (LRU miss → store hit).
     pub store_hits: AtomicU64,
     /// Archive reads that fell through to a fresh solve.
@@ -168,6 +220,15 @@ impl Metrics {
         }
     }
 
+    /// Record one phase's total µs from a finished request trace. Phase
+    /// names outside the `dclab_trace::PHASES` registry are dropped so the
+    /// metric set stays bounded.
+    pub fn record_phase(&self, name: &str, total_us: u64) {
+        if let Some(i) = dclab_trace::phase_index(name) {
+            self.phase_latency[i].record_us(total_us);
+        }
+    }
+
     /// Record one finished request. This is the single place
     /// `requests_total` is incremented — every path that answers a client
     /// (routed, parse failure, overload shed) calls it exactly once, so
@@ -189,14 +250,26 @@ impl Metrics {
     /// (the store counters still render, pinned at zero, so dashboards
     /// need not special-case the flag).
     pub fn to_prometheus(&self, cache: CacheCounters, store: Option<StoreGauges>) -> String {
-        let counter = |name: &str, value: u64| format!("# TYPE {name} counter\n{name} {value}\n");
-        let gauge = |name: &str, value: u64| format!("# TYPE {name} gauge\n{name} {value}\n");
+        let counter = |name: &str, help: &str, value: u64| {
+            format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n")
+        };
+        let gauge = |name: &str, help: &str, value: u64| {
+            format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n")
+        };
+        let family = |name: &str, help: &str, kind: &str| {
+            format!("# HELP {name} {help}\n# TYPE {name} {kind}\n")
+        };
         let mut out = String::new();
         out.push_str(&counter(
             "dclab_requests_total",
+            "Requests answered, over all endpoints and error paths.",
             self.requests_total.load(Ordering::Relaxed),
         ));
-        out.push_str("# TYPE dclab_endpoint_requests_total counter\n");
+        out.push_str(&family(
+            "dclab_endpoint_requests_total",
+            "Requests routed, by endpoint.",
+            "counter",
+        ));
         for (name, v) in [
             ("solve", &self.solve_requests),
             ("batch", &self.batch_requests),
@@ -204,81 +277,159 @@ impl Metrics {
             ("metrics", &self.metrics_requests),
         ] {
             out.push_str(&format!(
-                "dclab_endpoint_requests_total{{endpoint=\"{name}\"}} {}\n",
+                "dclab_endpoint_requests_total{{endpoint=\"{}\"}} {}\n",
+                escape_label(name),
                 v.load(Ordering::Relaxed)
             ));
         }
-        out.push_str("# TYPE dclab_responses_total counter\n");
+        out.push_str(&family(
+            "dclab_responses_total",
+            "Responses sent, by status class.",
+            "counter",
+        ));
         for (class, v) in [
             ("2xx", &self.responses_2xx),
             ("4xx", &self.responses_4xx),
             ("5xx", &self.responses_5xx),
         ] {
             out.push_str(&format!(
-                "dclab_responses_total{{class=\"{class}\"}} {}\n",
+                "dclab_responses_total{{class=\"{}\"}} {}\n",
+                escape_label(class),
                 v.load(Ordering::Relaxed)
             ));
         }
         out.push_str(&counter(
             "dclab_rejected_overload_total",
+            "Connections shed with 503 because the worker queue was full.",
             self.rejected_overload.load(Ordering::Relaxed),
         ));
-        out.push_str(&counter("dclab_cache_hits_total", cache.hits));
-        out.push_str(&counter("dclab_cache_misses_total", cache.misses));
-        out.push_str(&counter("dclab_cache_coalesced_total", cache.coalesced));
-        out.push_str(&counter("dclab_cache_evictions_total", cache.evictions));
-        out.push_str(&gauge("dclab_cache_entries", cache.entries));
-        out.push_str(&gauge("dclab_cache_bytes", cache.bytes));
-        out.push_str(&gauge("dclab_store_enabled", store.is_some() as u64));
+        out.push_str(&counter(
+            "dclab_cache_hits_total",
+            "Report-cache hits.",
+            cache.hits,
+        ));
+        out.push_str(&counter(
+            "dclab_cache_misses_total",
+            "Report-cache misses (fresh solves).",
+            cache.misses,
+        ));
+        out.push_str(&counter(
+            "dclab_cache_coalesced_total",
+            "Requests that joined an identical in-flight solve.",
+            cache.coalesced,
+        ));
+        out.push_str(&counter(
+            "dclab_cache_evictions_total",
+            "Cache entries evicted under the memory budget.",
+            cache.evictions,
+        ));
+        out.push_str(&gauge(
+            "dclab_cache_entries",
+            "Live report-cache entries.",
+            cache.entries,
+        ));
+        out.push_str(&gauge(
+            "dclab_cache_bytes",
+            "Approximate report-cache bytes.",
+            cache.bytes,
+        ));
+        out.push_str(&gauge(
+            "dclab_store_enabled",
+            "1 when a persistent solution archive is attached.",
+            store.is_some() as u64,
+        ));
         out.push_str(&counter(
             "dclab_store_hits_total",
+            "LRU misses answered from the persistent archive.",
             self.store_hits.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "dclab_store_misses_total",
+            "Archive lookups that fell through to a fresh solve.",
             self.store_misses.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "dclab_store_appends_total",
+            "Fresh solves write-behind-appended to the archive.",
             self.store_appends.load(Ordering::Relaxed),
         ));
         out.push_str(&counter(
             "dclab_store_flushes_total",
+            "Archive fsyncs (shutdown drain, explicit flushes).",
             self.store_flushes.load(Ordering::Relaxed),
         ));
         out.push_str(&gauge(
             "dclab_store_warm_boot_entries",
+            "Entries loaded from the archive into the cache at start.",
             self.store_warm_boot.load(Ordering::Relaxed),
         ));
         let gauges = store.unwrap_or_default();
-        out.push_str(&gauge("dclab_store_entries", gauges.entries));
-        out.push_str(&gauge("dclab_store_bytes", gauges.bytes));
-        out.push_str(&gauge("dclab_store_generation", gauges.generation));
-        out.push_str("# TYPE dclab_solves_total counter\n");
+        out.push_str(&gauge(
+            "dclab_store_entries",
+            "Live records in the persistent archive.",
+            gauges.entries,
+        ));
+        out.push_str(&gauge(
+            "dclab_store_bytes",
+            "Bytes of live archive log data.",
+            gauges.bytes,
+        ));
+        out.push_str(&gauge(
+            "dclab_store_generation",
+            "Archive compaction generation stamp.",
+            gauges.generation,
+        ));
+        out.push_str(&family(
+            "dclab_solves_total",
+            "Fresh solves completed, by concrete strategy.",
+            "counter",
+        ));
         for (s, count) in Strategy::CONCRETE.iter().zip(self.per_strategy.iter()) {
             out.push_str(&format!(
                 "dclab_solves_total{{strategy=\"{}\"}} {}\n",
-                s.name(),
+                escape_label(s.name()),
                 count.load(Ordering::Relaxed)
             ));
         }
         out.push_str(&counter(
             "dclab_solve_timeouts_total",
+            "Fresh solves whose deadline fired before an optimality proof.",
             self.solve_timeouts.load(Ordering::Relaxed),
         ));
-        out.push_str("# TYPE dclab_race_wins_total counter\n");
+        out.push_str(&counter(
+            "dclab_slow_solves_total",
+            "Solves slow enough to be written to the slow-solve log.",
+            self.slow_solves.load(Ordering::Relaxed),
+        ));
+        out.push_str(&family(
+            "dclab_race_wins_total",
+            "Race-strategy solves won, by winning member.",
+            "counter",
+        ));
         for (s, count) in Strategy::CONCRETE.iter().zip(self.race_wins.iter()) {
             out.push_str(&format!(
                 "dclab_race_wins_total{{strategy=\"{}\"}} {}\n",
-                s.name(),
+                escape_label(s.name()),
                 count.load(Ordering::Relaxed)
             ));
         }
-        out.push_str(
-            &self
-                .solve_latency
-                .to_prometheus("dclab_solve_latency_seconds"),
-        );
+        out.push_str(&self.solve_latency.to_prometheus(
+            "dclab_solve_latency_seconds",
+            "End-to-end /solve handling latency (cache hits included).",
+        ));
+        out.push_str(&family(
+            "dclab_phase_seconds",
+            "Per-phase solve time attribution from request traces.",
+            "histogram",
+        ));
+        for (i, name) in dclab_trace::PHASES.iter().enumerate() {
+            let h = &self.phase_latency[i];
+            if h.count() == 0 {
+                continue;
+            }
+            let labels = format!("phase=\"{}\",", escape_label(name));
+            out.push_str(&h.prometheus_samples("dclab_phase_seconds", &labels));
+        }
         out
     }
 
@@ -296,6 +447,14 @@ impl Metrics {
             .zip(self.race_wins.iter())
             .fold(Obj::new(), |obj, (s, count)| {
                 obj.u64(s.name(), count.load(Ordering::Relaxed))
+            })
+            .finish();
+        let phases = dclab_trace::PHASES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.phase_latency[*i].count() > 0)
+            .fold(Obj::new(), |obj, (i, name)| {
+                obj.raw(name, &self.phase_latency[i].to_json())
             })
             .finish();
         let cache_json = Obj::new()
@@ -350,11 +509,13 @@ impl Metrics {
                 "solve_timeouts",
                 self.solve_timeouts.load(Ordering::Relaxed),
             )
+            .u64("slow_solves", self.slow_solves.load(Ordering::Relaxed))
             .raw("cache", &cache_json)
             .raw("store", &store_json)
             .raw("strategies", &strategies)
             .raw("race_wins", &race_wins)
             .raw("solve_latency", &self.solve_latency.to_json())
+            .raw("phases", &phases)
             .finish()
     }
 }
@@ -379,6 +540,113 @@ mod tests {
     }
 
     #[test]
+    fn quantile_at_exact_bucket_boundaries() {
+        // A sample exactly on a power-of-two boundary belongs to the bucket
+        // it *opens*: 2^i lands in [2^i, 2^{i+1}), so the reported quantile
+        // upper bound is 2^{i+1}.
+        for i in 0..8u32 {
+            let h = LatencyHistogram::default();
+            h.record_us(1u64 << i);
+            assert_eq!(h.quantile_us(0.5), 1u64 << (i + 1), "boundary 2^{i}");
+            assert_eq!(h.quantile_us(1.0), 1u64 << (i + 1));
+        }
+        // Zero clamps up into the first bucket rather than underflowing.
+        let h = LatencyHistogram::default();
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(1.0), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.0), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.quantile_us(1.0), 0);
+        assert!(h.to_json().contains("\"count\":0"));
+        // Exposition still renders a complete (all-zero) histogram family.
+        let text = h.to_prometheus("x_seconds", "help");
+        assert!(text.contains("x_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("x_seconds_count 0\n"));
+    }
+
+    #[test]
+    fn huge_samples_clamp_into_the_open_ended_bucket() {
+        let h = LatencyHistogram::default();
+        // Everything at or past 2^{LATENCY_BUCKETS-1} µs shares the last
+        // bucket — including u64::MAX, which must not index out of bounds.
+        h.record_us(1u64 << (LATENCY_BUCKETS - 1));
+        h.record_us(u64::MAX);
+        h.record(Duration::from_secs(u64::MAX / 1_000_000));
+        assert_eq!(h.count(), 3);
+        // The open-ended bucket has no finite upper bound to report.
+        assert!(h.quantile_us(0.5) >= 1u64 << LATENCY_BUCKETS);
+        // Prometheus: the last bucket renders only under +Inf, never a
+        // finite le.
+        let text = h.to_prometheus("x_seconds", "help");
+        assert!(text.contains("x_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert_eq!(text.matches("_bucket{le=").count(), 1, "{text}");
+    }
+
+    #[test]
+    fn prometheus_and_json_agree() {
+        let h = LatencyHistogram::default();
+        let samples = [1u64, 5, 5, 130, 4000, 4000, 4001, 70_000];
+        for us in samples {
+            h.record_us(us);
+        }
+        let text = h.to_prometheus("x_seconds", "help");
+        let json = h.to_json();
+        // Totals agree.
+        assert!(text.contains(&format!("x_seconds_count {}\n", h.count())));
+        assert!(json.contains(&format!("\"count\":{}", h.count())));
+        let sum: u64 = samples.iter().sum();
+        assert!(text.contains(&format!("x_seconds_sum {}\n", sum as f64 / 1e6)));
+        assert!(json.contains(&format!("\"mean_us\":{}", sum / samples.len() as u64)));
+        // The +Inf cumulative count equals the total in both renderings.
+        assert!(text.contains(&format!("x_seconds_bucket{{le=\"+Inf\"}} {}\n", h.count())));
+        // Per-bucket counts: the JSON buckets sum to the Prometheus count.
+        let bucket_part = json
+            .split("\"bucket_counts_pow2_us\":[")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .unwrap();
+        let bucket_sum: u64 = bucket_part
+            .split(',')
+            .map(|t| t.parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(bucket_sum, h.count());
+        // Quantiles in the JSON match quantile_us directly.
+        assert!(json.contains(&format!("\"p99_us\":{}", h.quantile_us(0.99))));
+    }
+
+    #[test]
+    fn label_values_escape_prometheus_metacharacters() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        assert_eq!(escape_label("\\\"\n"), "\\\\\\\"\\n");
+    }
+
+    #[test]
+    fn phase_histograms_render_per_phase() {
+        let m = Metrics::default();
+        m.record_phase("apsp", 100);
+        m.record_phase("lk", 900);
+        m.record_phase("lk", 1_100);
+        m.record_phase("not-a-registered-phase", 5);
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert_eq!(text.matches("# TYPE dclab_phase_seconds").count(), 1);
+        assert!(text.contains("dclab_phase_seconds_bucket{phase=\"apsp\",le=\"0.000128\"} 1\n"));
+        assert!(text.contains("dclab_phase_seconds_count{phase=\"lk\"} 2\n"));
+        assert!(!text.contains("not-a-registered-phase"));
+        let json = m.to_json(CacheCounters::default(), None);
+        assert!(json.contains("\"phases\":{\"apsp\":{\"count\":1"));
+        assert!(json.contains("\"lk\":{\"count\":2"));
+    }
+
+    #[test]
     fn metrics_json_shape() {
         let m = Metrics::default();
         m.record_strategy(Strategy::Exact);
@@ -393,13 +661,7 @@ mod tests {
         assert!(json.contains("\"responses_4xx\":1"));
         assert!(json.contains("\"cache\":{\"hits\":0"));
         assert!(json.contains("\"store\":{\"enabled\":false"));
-    }
-
-    #[test]
-    fn empty_histogram_is_sane() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert!(h.to_json().contains("\"count\":0"));
+        assert!(json.contains("\"phases\":{}"));
     }
 
     #[test]
@@ -411,6 +673,7 @@ mod tests {
         m.solve_latency.record(Duration::from_micros(100));
         let text = m.to_prometheus(CacheCounters::default(), None);
         assert!(text.contains("# TYPE dclab_requests_total counter\ndclab_requests_total 2\n"));
+        assert!(text.contains("# HELP dclab_requests_total "));
         assert!(text.contains("dclab_responses_total{class=\"2xx\"} 1\n"));
         assert!(text.contains("dclab_responses_total{class=\"4xx\"} 1\n"));
         assert!(text.contains("dclab_solves_total{strategy=\"exact\"} 1\n"));
@@ -468,5 +731,112 @@ mod tests {
         assert!(json.contains("\"store\":{\"enabled\":true,\"hits\":3"));
         assert!(json.contains("\"warm_boot\":7"));
         assert!(json.contains("\"generation\":2"));
+    }
+
+    /// Minimal validator for the Prometheus text exposition format: every
+    /// line is a `# HELP`/`# TYPE` comment or a `name[{labels}] value`
+    /// sample whose family was declared, label values use only the legal
+    /// escapes, and values parse as floats.
+    fn assert_prometheus_grammar(text: &str) {
+        use std::collections::HashSet;
+        fn is_name(s: &str) -> bool {
+            !s.is_empty()
+                && !s.starts_with(|c: char| c.is_ascii_digit())
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        fn check_labels(s: &str) {
+            let mut rest = s;
+            while !rest.is_empty() {
+                let eq = rest.find("=\"").expect("label has ='\"'");
+                assert!(is_name(&rest[..eq]), "bad label name in {s}");
+                rest = &rest[eq + 2..];
+                let mut end = None;
+                let mut chars = rest.char_indices();
+                while let Some((i, c)) = chars.next() {
+                    match c {
+                        '\\' => {
+                            let next = chars.next().map(|(_, c)| c);
+                            assert!(
+                                matches!(next, Some('\\' | '"' | 'n')),
+                                "illegal escape in label value: {s}"
+                            );
+                        }
+                        '"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        '\n' => panic!("raw newline in label value: {s}"),
+                        _ => {}
+                    }
+                }
+                rest = &rest[end.expect("unterminated label value") + 1..];
+                match rest.strip_prefix(',') {
+                    Some(r) => rest = r,
+                    None => assert!(rest.is_empty(), "junk after label value: {s}"),
+                }
+            }
+        }
+        let mut declared: HashSet<&str> = HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(is_name(name), "bad HELP target: {line}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap();
+                let kind = it.next().unwrap_or("");
+                assert!(is_name(name), "bad TYPE target: {line}");
+                assert!(
+                    ["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind),
+                    "bad TYPE kind: {line}"
+                );
+                declared.insert(name);
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment form: {line}");
+            let (series, value) = line.rsplit_once(' ').expect("sample needs a value");
+            assert!(value.parse::<f64>().is_ok(), "bad sample value: {line}");
+            let name = match series.split_once('{') {
+                Some((n, labels)) => {
+                    let labels = labels.strip_suffix('}').expect("unterminated label set");
+                    check_labels(labels);
+                    n
+                }
+                None => series,
+            };
+            assert!(is_name(name), "bad metric name: {line}");
+            let family_declared = declared.contains(name)
+                || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                    name.strip_suffix(suffix)
+                        .is_some_and(|b| declared.contains(b))
+                });
+            assert!(family_declared, "sample without TYPE declaration: {line}");
+        }
+    }
+
+    #[test]
+    fn full_exposition_obeys_text_format_grammar() {
+        let m = Metrics::default();
+        m.record_status(200);
+        m.record_status(503);
+        m.record_strategy(Strategy::Heuristic);
+        m.record_race_winner(Strategy::Exact);
+        m.solve_latency.record(Duration::from_micros(250));
+        m.record_phase("solve", 240);
+        m.record_phase("apsp", 90);
+        m.record_phase("lk", 120);
+        let gauges = StoreGauges {
+            entries: 3,
+            bytes: 99,
+            generation: 1,
+        };
+        assert_prometheus_grammar(&m.to_prometheus(CacheCounters::default(), Some(gauges)));
+        // And the empty server renders a valid exposition too.
+        assert_prometheus_grammar(
+            &Metrics::default().to_prometheus(CacheCounters::default(), None),
+        );
     }
 }

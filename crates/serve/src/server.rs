@@ -10,21 +10,31 @@
 //! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts`, `deadline-ms` → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced`. A deadline returns 200 with the best incumbent (`"timed_out":true`), never a 5xx; requested deadlines are clamped to the server cap |
 //! | `POST /batch`    | body = instances separated by `%%` lines, same query params → JSON array |
 //! | `GET /healthz`   | liveness                                             |
-//! | `GET /metrics`   | Prometheus text (default; `text/plain; version=0.0.4`) or `?format=json`: counters, cache stats, per-strategy counts, latency histogram |
+//! | `GET /metrics`   | Prometheus text (default; `text/plain; version=0.0.4`) or `?format=json`: counters, cache stats, per-strategy counts, latency + per-phase histograms |
+//! | `GET /debug/traces` | flight-recorder index: recent + slowest solve-trace summaries |
+//! | `GET /debug/traces/<request-id>` | full span tree of one retained solve trace (404 once evicted) |
+//! | `GET /debug/slowlog` | recent slow-solve log lines (solves over `--slow-solve-ms`) |
 //! | `POST /shutdown` | graceful shutdown (drain queue, join workers)        |
+//!
+//! Every response carries an `X-Request-Id` header: the client's value
+//! echoed back when it sent one (so distributed traces line up), a
+//! generated id otherwise. `/solve` requests run under a live
+//! [`dclab_trace::Trace`] keyed by that id; finished traces land in the
+//! flight recorder and feed the `dclab_phase_seconds` histograms.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use dclab_engine::json::{array, Obj};
-use dclab_engine::{solve, Budget, EngineError, SolveRequest, Strategy};
+use dclab_engine::json::{array, escape, Obj};
+use dclab_engine::{solve, Budget, EngineError, SolveReport, SolveRequest, Strategy};
 use dclab_graph::io as graph_io;
 use dclab_graph::Graph;
 use dclab_par::{SubmitError, WorkerPool};
 use dclab_store::Store;
+use dclab_trace::FlightRecorder;
 
 use crate::cache::{CacheKey, CacheStatus, ReportCache};
 use crate::http::{read_request, write_response, ParseError, Request};
@@ -51,10 +61,25 @@ pub struct ServeConfig {
     /// that ask for *no* deadline are untouched — they keep the pure
     /// logical-budget semantics (and the pre-anytime cache/archive keys).
     pub max_deadline_ms: u64,
+    /// Solves taking at least this long get a one-line structured record
+    /// in the slow-solve log (stderr + `GET /debug/slowlog`).
+    pub slow_solve_ms: u64,
 }
 
 /// Default server-side deadline cap (one minute).
 pub const DEFAULT_MAX_DEADLINE_MS: u64 = 60_000;
+
+/// Default slow-solve log threshold.
+pub const DEFAULT_SLOW_SOLVE_MS: u64 = 250;
+
+/// Completed solve traces the flight recorder retains by recency.
+const FLIGHT_LAST_N: usize = 128;
+
+/// Slowest solve traces retained separately from the recency ring.
+const FLIGHT_SLOWEST_K: usize = 16;
+
+/// Slow-solve log lines kept for `GET /debug/slowlog`.
+const SLOWLOG_CAP: usize = 128;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -65,7 +90,41 @@ impl Default for ServeConfig {
             queue_cap: 0,
             store_path: None,
             max_deadline_ms: DEFAULT_MAX_DEADLINE_MS,
+            slow_solve_ms: DEFAULT_SLOW_SOLVE_MS,
         }
+    }
+}
+
+/// Bounded ring of slow-solve log lines. Lines also go to stderr as they
+/// happen; the ring backs `GET /debug/slowlog` so tests and operators can
+/// read recent entries without scraping the process's stderr.
+pub struct SlowLog {
+    lines: Mutex<Vec<String>>,
+    cap: usize,
+}
+
+impl SlowLog {
+    fn new(cap: usize) -> SlowLog {
+        SlowLog {
+            lines: Mutex::new(Vec::new()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Print the line to stderr and retain it (evicting the oldest past
+    /// the cap).
+    pub fn push(&self, line: String) {
+        eprintln!("{line}");
+        let mut lines = self.lines.lock().expect("slowlog poisoned");
+        if lines.len() == self.cap {
+            lines.remove(0);
+        }
+        lines.push(line);
+    }
+
+    /// Retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("slowlog poisoned").clone()
     }
 }
 
@@ -75,8 +134,15 @@ pub struct ServeCtx {
     pub metrics: Metrics,
     /// The persistent solution archive, when serving with `--store-path`.
     pub store: Option<Arc<Store>>,
+    /// Completed solve traces: last-N ring + slowest-K, behind
+    /// `GET /debug/traces`.
+    pub flight: FlightRecorder,
+    /// Recent slow-solve records, behind `GET /debug/slowlog`.
+    pub slowlog: SlowLog,
     /// Cap applied to client-requested `deadline-ms` values.
     max_deadline_ms: u64,
+    /// Threshold for the slow-solve log, in ms.
+    slow_solve_ms: u64,
     shutdown: AtomicBool,
 }
 
@@ -145,7 +211,10 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cache: ReportCache::new(cfg.cache_mb.max(1) * 1024 * 1024),
         metrics: Metrics::default(),
         store,
+        flight: FlightRecorder::new(FLIGHT_LAST_N, FLIGHT_SLOWEST_K),
+        slowlog: SlowLog::new(SLOWLOG_CAP),
         max_deadline_ms: cfg.max_deadline_ms.max(1),
+        slow_solve_ms: cfg.slow_solve_ms,
         shutdown: AtomicBool::new(false),
     });
     if let Some(store) = &ctx.store {
@@ -194,7 +263,14 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize, queue_
                         ctx.metrics.record_status(503);
                         if let Some(mut s) = shed_stream {
                             let body = error_json("server overloaded", "overload");
-                            let _ = write_response(&mut s, 503, &[], body.as_bytes(), false);
+                            let rid = generate_request_id();
+                            let _ = write_response(
+                                &mut s,
+                                503,
+                                &[("x-request-id", &rid)],
+                                body.as_bytes(),
+                                false,
+                            );
                         }
                     }
                     Err(SubmitError::ShuttingDown) => break,
@@ -225,6 +301,30 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize, queue_
     }
 }
 
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh server-generated request id (process-unique).
+fn generate_request_id() -> String {
+    format!(
+        "req-{:x}-{:06x}",
+        std::process::id(),
+        NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// The id for one request: the client's `X-Request-Id` echoed back when it
+/// sent a sane one (printable ASCII, bounded length), a generated id
+/// otherwise. Client ids flow into logs, trace lookups, and response
+/// headers, so hostile bytes are rejected rather than escaped everywhere.
+fn request_id(req: &Request) -> String {
+    match req.header("x-request-id") {
+        Some(v) if !v.is_empty() && v.len() <= 64 && v.bytes().all(|b| b.is_ascii_graphic()) => {
+            v.to_string()
+        }
+        _ => generate_request_id(),
+    }
+}
+
 /// Serve one connection until close/EOF/timeout.
 fn handle_connection(ctx: Arc<ServeCtx>, stream: TcpStream) {
     let mut write_half = match stream.try_clone() {
@@ -235,14 +335,16 @@ fn handle_connection(ctx: Arc<ServeCtx>, stream: TcpStream) {
     loop {
         match read_request(&mut reader) {
             Ok(req) => {
-                let (status, extra, body) = route(&ctx, &req);
+                let rid = request_id(&req);
+                let (status, extra, body) = route(&ctx, &req, &rid);
                 // Re-check shutdown *after* routing so the `/shutdown`
                 // response itself closes the connection and frees this
                 // worker for the pool drain.
                 let keep_alive = req.keep_alive() && !ctx.shutdown_requested();
                 ctx.metrics.record_status(status);
-                let header_refs: Vec<(&str, &str)> =
+                let mut header_refs: Vec<(&str, &str)> =
                     extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
+                header_refs.push(("x-request-id", &rid));
                 if write_response(
                     &mut write_half,
                     status,
@@ -260,14 +362,28 @@ fn handle_connection(ctx: Arc<ServeCtx>, stream: TcpStream) {
             Err(ParseError::Bad(reason)) => {
                 ctx.metrics.record_status(400);
                 let body = error_json(reason, "bad-request");
-                let _ = write_response(&mut write_half, 400, &[], body.as_bytes(), false);
+                let rid = generate_request_id();
+                let _ = write_response(
+                    &mut write_half,
+                    400,
+                    &[("x-request-id", &rid)],
+                    body.as_bytes(),
+                    false,
+                );
                 return;
             }
             Err(ParseError::TooLarge(reason)) => {
                 let status = if reason.contains("header") { 431 } else { 413 };
                 ctx.metrics.record_status(status);
                 let body = error_json(reason, "too-large");
-                let _ = write_response(&mut write_half, status, &[], body.as_bytes(), false);
+                let rid = generate_request_id();
+                let _ = write_response(
+                    &mut write_half,
+                    status,
+                    &[("x-request-id", &rid)],
+                    body.as_bytes(),
+                    false,
+                );
                 return;
             }
         }
@@ -282,7 +398,7 @@ type Response = (u16, Vec<(&'static str, String)>, String);
 
 // `requests_total` is bumped by `record_status` in every answer path
 // (routed, parse failure, overload shed), so totals always reconcile.
-fn route(ctx: &ServeCtx, req: &Request) -> Response {
+fn route(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
@@ -312,10 +428,60 @@ fn route(ctx: &ServeCtx, req: &Request) -> Response {
                 ),
             }
         }
+        ("GET", "/debug/traces") => {
+            let recent: Vec<String> = ctx
+                .flight
+                .recent()
+                .iter()
+                .map(|t| t.summary_json())
+                .collect();
+            let slowest: Vec<String> = ctx
+                .flight
+                .slowest()
+                .iter()
+                .map(|t| t.summary_json())
+                .collect();
+            (
+                200,
+                vec![],
+                Obj::new()
+                    .raw("recent", &array(recent))
+                    .raw("slowest", &array(slowest))
+                    .finish(),
+            )
+        }
+        ("GET", "/debug/slowlog") => {
+            let lines = ctx.slowlog.lines();
+            (
+                200,
+                vec![],
+                Obj::new()
+                    .u64("slow_solve_ms", ctx.slow_solve_ms)
+                    .raw(
+                        "lines",
+                        &array(lines.iter().map(|l| format!("\"{}\"", escape(l)))),
+                    )
+                    .finish(),
+            )
+        }
+        ("GET", p) if p.starts_with("/debug/traces/") => {
+            match ctx.flight.get(&p["/debug/traces/".len()..]) {
+                Some(trace) => (200, vec![], trace.to_json()),
+                None => (
+                    404,
+                    vec![],
+                    error_json(
+                        "no retained trace for that request id (the flight recorder \
+                         keeps a bounded window of recent and slowest solves)",
+                        "not-found",
+                    ),
+                ),
+            }
+        }
         ("POST", "/solve") => {
             ctx.metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
             let started = Instant::now();
-            let resp = solve_endpoint(ctx, req);
+            let resp = solve_endpoint(ctx, req, rid);
             ctx.metrics.solve_latency.record(started.elapsed());
             resp
         }
@@ -331,7 +497,16 @@ fn route(ctx: &ServeCtx, req: &Request) -> Response {
                 Obj::new().str("status", "shutting-down").finish(),
             )
         }
-        (_, "/healthz" | "/metrics" | "/solve" | "/batch" | "/shutdown") => (
+        (
+            _,
+            "/healthz" | "/metrics" | "/solve" | "/batch" | "/shutdown" | "/debug/traces"
+            | "/debug/slowlog",
+        ) => (
+            405,
+            vec![],
+            error_json("method not allowed for this path", "method"),
+        ),
+        (_, p) if p.starts_with("/debug/traces/") => (
             405,
             vec![],
             error_json("method not allowed for this path", "method"),
@@ -424,13 +599,13 @@ fn engine_error_meta(e: &EngineError) -> (u16, &'static str) {
     }
 }
 
-/// Cache-through solve of one instance. Returns the report JSON and cache
+/// Cache-through solve of one instance. Returns the report and cache
 /// status, or an error response triple.
 fn cached_solve(
     ctx: &ServeCtx,
     graph: Graph,
     params: &SolveParams,
-) -> Result<(String, CacheStatus), (u16, &'static str, String)> {
+) -> Result<(SolveReport, CacheStatus), (u16, &'static str, String)> {
     let key = CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
     let (result, status) = ctx.cache.get_or_solve(&key, || {
         // LRU miss: consult the persistent archive before paying for a
@@ -479,7 +654,7 @@ fn cached_solve(
         }
     });
     match result {
-        Ok(report) => Ok((report.to_json(), status)),
+        Ok(report) => Ok((report, status)),
         Err(encoded) => {
             let mut parts = encoded.splitn(3, '\x1f');
             let code: u16 = parts.next().and_then(|c| c.parse().ok()).unwrap_or(500);
@@ -495,7 +670,7 @@ fn cached_solve(
     }
 }
 
-fn solve_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
+fn solve_endpoint(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
     let params = match parse_params(req, ctx.max_deadline_ms) {
         Ok(p) => p,
         Err(e) => return (400, vec![], error_json(&e, "bad-request")),
@@ -508,11 +683,57 @@ fn solve_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
         Ok(g) => g,
         Err(e) => return (400, vec![], error_json(&e, "parse")),
     };
-    match cached_solve(ctx, graph, &params) {
-        Ok((report_json, status)) => (
+    // Every accepted solve runs under a live trace keyed by the request id:
+    // cache hits record just the request span, fresh solves the full phase
+    // tree (the engine snapshots per-phase totals into `stats.phases`).
+    let trace = dclab_trace::Trace::enabled();
+    let outcome = {
+        let _install = trace.install();
+        let mut span = trace.span("request");
+        let outcome = cached_solve(ctx, graph, &params);
+        if let Ok((report, status)) = &outcome {
+            span.set_detail(format!(
+                "strategy={} cache={} span={}",
+                report.strategy_used.name(),
+                status.name(),
+                report.solution.span
+            ));
+        }
+        outcome
+    };
+    let (label, timed_out) = match &outcome {
+        Ok((report, _)) => (
+            report.strategy_used.name().to_string(),
+            report.stats.timed_out,
+        ),
+        Err((_, kind, _)) => (format!("error-{kind}"), false),
+    };
+    let finished = trace
+        .finish(rid.to_string(), label.clone())
+        .expect("trace was enabled");
+    let recorded = ctx.flight.record(finished);
+    let totals = recorded.phase_totals();
+    for phase in &totals {
+        ctx.metrics.record_phase(&phase.name, phase.total_us);
+    }
+    if recorded.total_us >= ctx.slow_solve_ms.saturating_mul(1000) {
+        ctx.metrics.slow_solves.fetch_add(1, Ordering::Relaxed);
+        let phases = totals
+            .iter()
+            .map(|p| format!("{}:{}us", p.name, p.total_us))
+            .collect::<Vec<_>>()
+            .join(",");
+        ctx.slowlog.push(format!(
+            "slow-solve request_id={rid} strategy={label} total_us={} timed_out={timed_out} \
+             phases={phases}",
+            recorded.total_us
+        ));
+    }
+    match outcome {
+        Ok((report, status)) => (
             200,
             vec![("x-dclab-cache", status.name().to_string())],
-            report_json,
+            report.to_json(),
         ),
         Err((code, kind, message)) => (code, vec![], error_json(&message, kind)),
     }
@@ -540,14 +761,14 @@ fn batch_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
     for text in &instances {
         let item = match parse_instance(text, params.format) {
             Ok(graph) => match cached_solve(ctx, graph, &params) {
-                Ok((report_json, status)) => {
+                Ok((report, status)) => {
                     match status {
                         CacheStatus::Miss => misses += 1,
                         _ => hits += 1,
                     }
                     Obj::new()
                         .str("cache", status.name())
-                        .raw("report", &report_json)
+                        .raw("report", &report.to_json())
                         .finish()
                 }
                 Err((_, kind, message)) => {
@@ -615,5 +836,42 @@ mod tests {
         assert_eq!(sniff_format("\n\n0 1\n"), graph_io::Format::EdgeList);
         assert_eq!(sniff_format("n 4\n0 1\n"), graph_io::Format::EdgeList);
         assert_eq!(sniff_format(""), graph_io::Format::EdgeList);
+    }
+
+    #[test]
+    fn request_ids_echo_sane_client_values_only() {
+        let req = |headers: Vec<(&str, &str)>| Request {
+            method: "POST".into(),
+            path: "/solve".into(),
+            query: vec![],
+            headers: headers
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: vec![],
+            version_minor: 1,
+        };
+        assert_eq!(
+            request_id(&req(vec![("x-request-id", "client-abc-123")])),
+            "client-abc-123"
+        );
+        // Hostile or absent ids get a generated one.
+        let generated = request_id(&req(vec![]));
+        assert!(generated.starts_with("req-"), "{generated}");
+        assert!(request_id(&req(vec![("x-request-id", "has space")])).starts_with("req-"));
+        assert!(request_id(&req(vec![("x-request-id", "")])).starts_with("req-"));
+        let long = "x".repeat(65);
+        assert!(request_id(&req(vec![("x-request-id", &long)])).starts_with("req-"));
+        // Generated ids are unique.
+        assert_ne!(generate_request_id(), generate_request_id());
+    }
+
+    #[test]
+    fn slowlog_ring_evicts_oldest() {
+        let log = SlowLog::new(3);
+        for i in 0..5 {
+            log.push(format!("line-{i}"));
+        }
+        assert_eq!(log.lines(), vec!["line-2", "line-3", "line-4"]);
     }
 }

@@ -393,3 +393,175 @@ fn deadline_requests_are_clamped_to_the_server_cap() {
     );
     stop(handle, client);
 }
+
+#[test]
+fn request_ids_and_debug_traces() {
+    let (handle, mut client) = test_server();
+    let body = graph_io::write_edge_list(&classic::petersen());
+
+    // A sane client-supplied X-Request-Id is echoed back and keys the
+    // retained trace; heuristic keeps the solve single-threaded so phase
+    // totals nest inside the engine's "solve" span.
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/solve?p=2,1&strategy=heuristic",
+            &[("x-request-id", "e2e-trace-1")],
+            &body,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(resp.header("x-request-id"), Some("e2e-trace-1"));
+
+    // The traced solve surfaced per-phase attribution in the report.
+    let report = dclab_engine::json::parse(&resp.body).unwrap();
+    let phases = report
+        .path("stats.phases")
+        .and_then(|v| v.as_arr())
+        .expect("traced solve carries stats.phases");
+    assert!(!phases.is_empty());
+    let solve_total = phases
+        .iter()
+        .find(|p| p.get("name").and_then(|v| v.as_str()) == Some("solve"))
+        .and_then(|p| p.get("total_us").and_then(|v| v.as_f64()))
+        .expect("solve phase present");
+    for p in phases {
+        let name = p.get("name").and_then(|v| v.as_str()).unwrap();
+        let total = p.get("total_us").and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            total <= solve_total,
+            "phase {name} ({total}µs) exceeds the enclosing solve span ({solve_total}µs)"
+        );
+    }
+
+    // Requests without the header get a generated id.
+    let anon = client.request("GET", "/healthz", "").unwrap();
+    assert!(anon.header("x-request-id").unwrap().starts_with("req-"));
+    // Hostile ids are replaced, not echoed.
+    let hostile = client
+        .request_with_headers("GET", "/healthz", &[("x-request-id", "a b")], "")
+        .unwrap();
+    assert!(hostile.header("x-request-id").unwrap().starts_with("req-"));
+
+    // The flight recorder indexes the finished trace…
+    let index = client.request("GET", "/debug/traces", "").unwrap();
+    assert_eq!(index.status, 200);
+    let index_json = dclab_engine::json::parse(&index.body).unwrap();
+    let recent = index_json.get("recent").and_then(|v| v.as_arr()).unwrap();
+    assert!(
+        recent
+            .iter()
+            .any(|t| t.get("id").and_then(|v| v.as_str()) == Some("e2e-trace-1")),
+        "{}",
+        index.body
+    );
+
+    // …and serves the full span tree by request id.
+    let full = client
+        .request("GET", "/debug/traces/e2e-trace-1", "")
+        .unwrap();
+    assert_eq!(full.status, 200, "{}", full.body);
+    let trace = dclab_engine::json::parse(&full.body).unwrap();
+    assert_eq!(
+        trace.get("label").and_then(|v| v.as_str()),
+        Some("heuristic")
+    );
+    let spans = trace.get("spans").and_then(|v| v.as_arr()).unwrap();
+    let span_names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|v| v.as_str()))
+        .collect();
+    assert!(span_names.contains(&"request"), "{span_names:?}");
+    assert!(span_names.contains(&"solve"), "{span_names:?}");
+
+    // Unknown ids 404; wrong method on the debug surface is 405.
+    let missing = client
+        .request("GET", "/debug/traces/no-such-id", "")
+        .unwrap();
+    assert_eq!(missing.status, 404);
+    let wrong = client.request("POST", "/debug/traces", "").unwrap();
+    assert_eq!(wrong.status, 405);
+
+    // A warm hit returns byte-identical JSON (phases come from the cached
+    // report) and still records its own request trace.
+    let warm = client
+        .request_with_headers(
+            "POST",
+            "/solve?p=2,1&strategy=heuristic",
+            &[("x-request-id", "e2e-trace-2")],
+            &body,
+        )
+        .unwrap();
+    assert_eq!(warm.header("x-dclab-cache"), Some("hit"));
+    assert_eq!(warm.body, resp.body);
+    let warm_trace = client
+        .request("GET", "/debug/traces/e2e-trace-2", "")
+        .unwrap();
+    assert_eq!(warm_trace.status, 200, "{}", warm_trace.body);
+
+    // Per-phase histograms made it to /metrics.
+    let metrics = client.request("GET", "/metrics", "").unwrap();
+    assert!(
+        metrics
+            .body
+            .contains("# TYPE dclab_phase_seconds histogram"),
+        "{}",
+        metrics.body
+    );
+    assert!(metrics
+        .body
+        .contains("dclab_phase_seconds_count{phase=\"solve\"}"));
+    stop(handle, client);
+}
+
+#[test]
+fn slow_solves_hit_the_structured_log() {
+    // Threshold 0: every solve is "slow", so the log line contract is
+    // testable without an actually slow instance.
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_mb: 8,
+        queue_cap: 0,
+        slow_solve_ms: 0,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::new(handle.addr());
+    let body = graph_io::write_edge_list(&classic::petersen());
+    let resp = client
+        .request_with_headers(
+            "POST",
+            "/solve?p=2,1&strategy=greedy",
+            &[("x-request-id", "e2e-slow-1")],
+            &body,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let slowlog = client.request("GET", "/debug/slowlog", "").unwrap();
+    assert_eq!(slowlog.status, 200);
+    let parsed = dclab_engine::json::parse(&slowlog.body).unwrap();
+    assert_eq!(
+        parsed.get("slow_solve_ms").and_then(|v| v.as_f64()),
+        Some(0.0)
+    );
+    let lines = parsed.get("lines").and_then(|v| v.as_arr()).unwrap();
+    let line = lines
+        .iter()
+        .filter_map(|l| l.as_str())
+        .find(|l| l.contains("request_id=e2e-slow-1"))
+        .expect("slow-solve line for our request id");
+    assert!(line.starts_with("slow-solve "), "{line}");
+    assert!(line.contains("strategy=greedy"), "{line}");
+    assert!(line.contains("total_us="), "{line}");
+    assert!(line.contains("timed_out=false"), "{line}");
+    assert!(line.contains("phases="), "{line}");
+    assert!(line.contains("solve:"), "{line}");
+
+    // The counter moved too.
+    let metrics = client.request("GET", "/metrics?format=json", "").unwrap();
+    let m = dclab_engine::json::parse(&metrics.body).unwrap();
+    assert!(m.get("slow_solves").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    stop(handle, client);
+}

@@ -1,0 +1,203 @@
+//! The flight recorder: a process-wide ring of recently completed solve
+//! traces, plus the slowest K retained separately so a pathological solve
+//! survives being pushed out of the recency window.
+//!
+//! The ring is lock-sharded by request-id hash — recording a trace or
+//! looking one up takes exactly one shard lock, so a busy serve worker
+//! pool never serializes on the recorder.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::SolveTrace;
+
+/// Shard count (power of two so the hash folds with a mask).
+const SHARDS: usize = 8;
+
+/// Lock-sharded ring buffer of the last N completed solve traces, with the
+/// slowest K kept aside. Lookup is by trace id.
+pub struct FlightRecorder {
+    shards: Vec<Mutex<VecDeque<Arc<SolveTrace>>>>,
+    per_shard_cap: usize,
+    slowest: Mutex<Vec<Arc<SolveTrace>>>,
+    slowest_cap: usize,
+    seq: AtomicU64,
+}
+
+fn shard_of(id: &str) -> usize {
+    // FNV-1a over the id bytes; cheap and stable.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
+impl FlightRecorder {
+    /// A recorder retaining roughly `last_n` recent traces and the
+    /// `slowest_k` slowest ever seen.
+    pub fn new(last_n: usize, slowest_k: usize) -> Self {
+        let per_shard_cap = last_n.div_ceil(SHARDS).max(1);
+        FlightRecorder {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_shard_cap)))
+                .collect(),
+            per_shard_cap,
+            slowest: Mutex::new(Vec::with_capacity(slowest_k)),
+            slowest_cap: slowest_k,
+            seq: AtomicU64::new(1),
+        }
+    }
+
+    /// Record a finished trace, evicting the oldest trace in its shard if
+    /// the shard is full, and folding it into the slowest-K set.
+    pub fn record(&self, mut trace: SolveTrace) -> Arc<SolveTrace> {
+        trace.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let trace = Arc::new(trace);
+        {
+            let mut shard = self.shards[shard_of(&trace.id)]
+                .lock()
+                .expect("flight shard poisoned");
+            if shard.len() == self.per_shard_cap {
+                shard.pop_front();
+            }
+            shard.push_back(Arc::clone(&trace));
+        }
+        if self.slowest_cap > 0 {
+            let mut slow = self.slowest.lock().expect("flight slowest poisoned");
+            if slow.len() < self.slowest_cap {
+                slow.push(Arc::clone(&trace));
+                slow.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+            } else if let Some(last) = slow.last() {
+                if trace.total_us > last.total_us {
+                    slow.pop();
+                    slow.push(Arc::clone(&trace));
+                    slow.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+                }
+            }
+        }
+        trace
+    }
+
+    /// Look up a trace by id: its recency shard first, then the slow set.
+    pub fn get(&self, id: &str) -> Option<Arc<SolveTrace>> {
+        let shard = self.shards[shard_of(id)]
+            .lock()
+            .expect("flight shard poisoned");
+        if let Some(t) = shard.iter().rev().find(|t| t.id == id) {
+            return Some(Arc::clone(t));
+        }
+        drop(shard);
+        let slow = self.slowest.lock().expect("flight slowest poisoned");
+        slow.iter().find(|t| t.id == id).map(Arc::clone)
+    }
+
+    /// Most-recent-first snapshot of the recency ring (across all shards).
+    pub fn recent(&self) -> Vec<Arc<SolveTrace>> {
+        let mut out: Vec<Arc<SolveTrace>> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("flight shard poisoned");
+            out.extend(shard.iter().cloned());
+        }
+        out.sort_by_key(|t| std::cmp::Reverse(t.seq));
+        out
+    }
+
+    /// Slowest-first snapshot of the slow set.
+    pub fn slowest(&self) -> Vec<Arc<SolveTrace>> {
+        self.slowest
+            .lock()
+            .expect("flight slowest poisoned")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: &str, total_us: u64) -> SolveTrace {
+        SolveTrace {
+            id: id.to_string(),
+            label: "auto".into(),
+            total_us,
+            seq: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn record_then_get_round_trips() {
+        let fr = FlightRecorder::new(16, 4);
+        fr.record(trace("a", 100));
+        fr.record(trace("b", 200));
+        assert_eq!(fr.get("a").unwrap().total_us, 100);
+        assert_eq!(fr.get("b").unwrap().total_us, 200);
+        assert!(fr.get("missing").is_none());
+    }
+
+    #[test]
+    fn recency_ring_evicts_oldest_but_slowest_survive() {
+        let fr = FlightRecorder::new(8, 2);
+        // One standout slow trace, then enough traffic to evict it from
+        // every recency shard.
+        fr.record(trace("slow-one", 9_999));
+        for i in 0..200 {
+            fr.record(trace(&format!("r{i}"), 10));
+        }
+        assert!(fr.recent().iter().all(|t| t.id != "slow-one"));
+        // Still reachable: the slow set retained it.
+        assert_eq!(fr.get("slow-one").unwrap().total_us, 9_999);
+        assert_eq!(fr.slowest()[0].id, "slow-one");
+    }
+
+    #[test]
+    fn recent_is_most_recent_first() {
+        let fr = FlightRecorder::new(32, 0);
+        for i in 0..10 {
+            fr.record(trace(&format!("t{i}"), i));
+        }
+        let recent = fr.recent();
+        assert_eq!(recent[0].id, "t9");
+        assert_eq!(recent.last().unwrap().id, "t0");
+    }
+
+    #[test]
+    fn slowest_keeps_top_k_sorted() {
+        let fr = FlightRecorder::new(64, 3);
+        for (id, us) in [("a", 5), ("b", 50), ("c", 20), ("d", 40), ("e", 60)] {
+            fr.record(trace(id, us));
+        }
+        let slow: Vec<(String, u64)> = fr
+            .slowest()
+            .iter()
+            .map(|t| (t.id.clone(), t.total_us))
+            .collect();
+        assert_eq!(
+            slow,
+            vec![("e".into(), 60), ("b".into(), 50), ("d".into(), 40)]
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let fr = Arc::new(FlightRecorder::new(64, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let fr = Arc::clone(&fr);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        fr.record(trace(&format!("w{t}-{i}"), i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(!fr.recent().is_empty());
+        assert_eq!(fr.slowest().len(), 8);
+    }
+}

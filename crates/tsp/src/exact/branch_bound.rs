@@ -105,6 +105,10 @@ pub fn branch_bound_path_anytime(
             status: BbStatus::Cancelled,
         };
     }
+    // One handle per search; the disabled mode reduces every per-node
+    // checkpoint to a dead branch on a hoisted bool (no clock reads).
+    let trace = dclab_trace::current();
+    let mut span = trace.span("bb");
     let mut search = Search {
         inst,
         best_w,
@@ -113,6 +117,8 @@ pub fn branch_bound_path_anytime(
         budget: node_budget,
         deadline,
         shared_bound,
+        traced: trace.is_enabled(),
+        trace: &trace,
     };
     let mut path = Vec::with_capacity(n);
     let mut used = vec![false; n];
@@ -130,12 +136,21 @@ pub fn branch_bound_path_anytime(
             break;
         }
     }
+    let status = stopped.unwrap_or(BbStatus::Proved);
+    if span.is_enabled() {
+        span.set_detail(format!("n={n} nodes={} status={status:?}", search.nodes));
+    }
     BbResult {
         order: search.best_order,
         weight: search.best_w,
-        status: stopped.unwrap_or(BbStatus::Proved),
+        status,
     }
 }
+
+/// Node interval between flight-recorder checkpoints (power of two so the
+/// cadence test is a mask). ~65k nodes of MST-bounded DFS is a few
+/// milliseconds — fine-grained enough to see where a budget went.
+const BB_CHECKPOINT_NODES: u64 = 1 << 16;
 
 /// DFS state bundle (keeps the recursion signature tractable).
 struct Search<'a> {
@@ -146,6 +161,10 @@ struct Search<'a> {
     budget: u64,
     deadline: &'a Deadline,
     shared_bound: Option<&'a AtomicU64>,
+    /// Hoisted `trace.is_enabled()` so the per-node checkpoint test is a
+    /// single predictable branch when tracing is off.
+    traced: bool,
+    trace: &'a dclab_trace::Trace,
 }
 
 impl Search<'_> {
@@ -163,6 +182,11 @@ impl Search<'_> {
         }
         if self.deadline.expired() {
             return Err(BbStatus::Cancelled);
+        }
+        if self.traced && self.nodes.is_multiple_of(BB_CHECKPOINT_NODES) {
+            let (nodes, best_w) = (self.nodes, self.best_w);
+            self.trace
+                .instant("bb_checkpoint", || format!("nodes={nodes} best={best_w}"));
         }
         let inst = self.inst;
         let n = inst.n();

@@ -116,10 +116,19 @@ pub fn chained_lk_with_candidates<R: Rng>(
         let w = cycle_weight(inst, &order);
         return (order, w);
     }
+    // One trace handle per run, hoisted out of the kick loop: a disabled
+    // trace costs one thread-local read here and a branch per kick, never
+    // a clock read (the e15_trace bench gates this against
+    // `chained_lk_untraced`).
+    let trace = dclab_trace::current();
+    let mut span = trace.span("lk");
     let start = construct::nearest_neighbor(inst, start_city);
     if cfg.local.deadline.expired() {
         // Deadline beat us to the first descent: surrender the construction
         // tour now.
+        if span.is_enabled() {
+            span.set_detail(format!("n={n} rounds=0 kicks=0/{}", cfg.kicks));
+        }
         let w = cycle_weight(inst, &start);
         return (start, w);
     }
@@ -128,6 +137,7 @@ pub fn chained_lk_with_candidates<R: Rng>(
     local_opt_with_dlb(inst, &mut state, cands, &cfg.local, &mut dlb);
     let mut best = state.order.clone();
     let mut best_w = cycle_weight(inst, &best);
+    let mut kicks_done = 0usize;
     for _ in 0..cfg.kicks {
         // Checkpoint between kicks: an expired deadline surrenders the
         // incumbent (never worse than the construction tour) instead of
@@ -141,6 +151,70 @@ pub fn chained_lk_with_candidates<R: Rng>(
         // every city away from them starts asleep and the descent touches
         // just the perturbed neighborhood (improvements then wake their
         // own surroundings transitively).
+        match cuts {
+            Some((p, q, r)) if cfg.local.dont_look => {
+                dlb.fill(true);
+                for jp in kick_junction_positions(n, p, q, r) {
+                    dlb[s.order[jp] as usize] = false;
+                }
+            }
+            _ => dlb.fill(false),
+        }
+        local_opt_with_dlb(inst, &mut s, cands, &cfg.local, &mut dlb);
+        kicks_done += 1;
+        let w = cycle_weight(inst, &s.order);
+        if w < best_w {
+            best_w = w;
+            best = s.order.clone();
+        }
+    }
+    if span.is_enabled() {
+        // rounds = first descent + one re-optimization per completed kick.
+        span.set_detail(format!(
+            "n={n} rounds={} kicks={kicks_done}/{}",
+            kicks_done + 1,
+            cfg.kicks
+        ));
+    }
+    (best, best_w)
+}
+
+/// [`chained_lk_with_candidates`] with the tracing hooks compiled out —
+/// the body is otherwise verbatim. Two jobs, mirroring the
+/// [`chained_lk_scalar`] oracle pattern: the differential baseline for the
+/// "tracing never perturbs a solve" bit-identity tests, and the untraced
+/// throughput baseline the `e15_trace` bench holds the instrumented path
+/// to (disabled tracing within 2%, enabled within 5%).
+#[doc(hidden)]
+pub fn chained_lk_untraced<R: Rng>(
+    inst: &TspInstance,
+    start_city: usize,
+    cfg: &ChainedLkConfig,
+    cands: &CandidateLists,
+    rng: &mut R,
+) -> (Vec<u32>, Weight) {
+    let n = inst.n();
+    if n <= 3 {
+        let order: Vec<u32> = (0..n as u32).collect();
+        let w = cycle_weight(inst, &order);
+        return (order, w);
+    }
+    let start = construct::nearest_neighbor(inst, start_city);
+    if cfg.local.deadline.expired() {
+        let w = cycle_weight(inst, &start);
+        return (start, w);
+    }
+    let mut dlb = vec![false; n];
+    let mut state = TourState::new(start);
+    local_opt_with_dlb(inst, &mut state, cands, &cfg.local, &mut dlb);
+    let mut best = state.order.clone();
+    let mut best_w = cycle_weight(inst, &best);
+    for _ in 0..cfg.kicks {
+        if cfg.local.deadline.expired() {
+            break;
+        }
+        let (kicked, cuts) = double_bridge_with_cuts(&best, rng);
+        let mut s = TourState::new(kicked);
         match cuts {
             Some((p, q, r)) if cfg.local.dont_look => {
                 dlb.fill(true);
@@ -372,6 +446,35 @@ mod tests {
             assert!(is_permutation(60, &order));
             assert!(w <= nn_w, "incumbent {w} worse than construction {nn_w}");
         }
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_run() {
+        // The `Trace::disabled()` contract: instrumented runs — with no
+        // trace installed AND with a live trace recording — are
+        // bit-identical to the untraced twin (the pre-instrumentation
+        // body kept verbatim).
+        let t = random_instance(60, 21);
+        let cfg = ChainedLkConfig::default();
+        let cands = t.candidate_lists(cfg.local.neighbor_k);
+        let oracle = chained_lk_untraced(&t, 0, &cfg, &cands, &mut StdRng::seed_from_u64(13));
+        let disabled =
+            chained_lk_with_candidates(&t, 0, &cfg, &cands, &mut StdRng::seed_from_u64(13));
+        assert_eq!(oracle, disabled, "disabled tracing must be bit-identical");
+        let trace = dclab_trace::Trace::enabled();
+        let enabled = {
+            let _g = trace.install();
+            chained_lk_with_candidates(&t, 0, &cfg, &cands, &mut StdRng::seed_from_u64(13))
+        };
+        assert_eq!(oracle, enabled, "live tracing must be bit-identical");
+        let spans = trace.finish("t".into(), "lk".into()).unwrap().spans;
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "lk");
+        assert!(
+            spans[0].detail.contains("kicks=30/30"),
+            "{}",
+            spans[0].detail
+        );
     }
 
     #[test]

@@ -57,6 +57,11 @@ impl CandidateLists {
     /// [`TspInstance::neighbor_lists`] exactly.
     pub fn build(inst: &TspInstance, k: usize) -> CandidateLists {
         let n = inst.n();
+        let trace = dclab_trace::current();
+        let mut span = trace.span("candidates");
+        if span.is_enabled() {
+            span.set_detail(format!("n={n} k={k}"));
+        }
         let k = k.min(n.saturating_sub(1));
         let stride = if k == 0 { 0 } else { k.div_ceil(CHUNK) * CHUNK };
         let mut offsets = Vec::with_capacity(n + 1);

@@ -11,13 +11,29 @@
 //!   adversarial guard 422s): the warm pass must run ≥ 90 % hits with
 //!   bit-identical report bodies.
 //!
+//! * **connection capacity**: keep-alive connections sustained
+//!   concurrently by the epoll reactor vs. the `--legacy-blocking`
+//!   thread-per-connection path at equal worker count (the reactor must
+//!   manage ≥ 4× — gated as `serve_conns_sustained` in bench-gate).
+//! * **cluster soak**: two consistent-hash replicas under concurrent
+//!   mixed load; publishes the latency histogram (p50/p90/p99/p999),
+//!   routing tallies, and the hard-5xx count (must be zero).
+//!
 //! Writes machine-readable results to `BENCH_serve.json` at the workspace
 //! root and exits non-zero if the acceptance invariants fail (warm p50 at
-//! least 10× faster than cold on the exact corpus; warm hit rate ≥ 0.9).
+//! least 10× faster than cold on the exact corpus; warm hit rate ≥ 0.9;
+//! reactor capacity ≥ 4× legacy; clean cluster soak).
+//!
+//! `DCLAB_BENCH_QUICK=1` shrinks the corpora, the capacity probe cap, and
+//! the soak duration for CI.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
 
 use dclab_engine::json::{array, Obj};
-use dclab_serve::loadgen::{exact_corpus, mixed_corpus, run_pass, PassStats};
-use dclab_serve::{start, ServeConfig};
+use dclab_serve::loadgen::{exact_corpus, mixed_corpus, run_pass, PassStats, SoakConfig};
+use dclab_serve::{loadgen, start, ServeConfig};
 
 fn pass_json(name: &str, stats: &PassStats) -> String {
     Obj::new()
@@ -26,7 +42,50 @@ fn pass_json(name: &str, stats: &PassStats) -> String {
         .finish()
 }
 
+/// Open keep-alive connections one at a time, each proving liveness with
+/// a served `/healthz`, until one fails to get a response or `limit` is
+/// reached. All sockets are held open, so the count is true concurrency.
+fn sustained_conns(addr: SocketAddr, limit: usize) -> usize {
+    let mut held = Vec::new();
+    for i in 0..limit {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            return i;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(700)));
+        let req = format!("GET /healthz HTTP/1.1\r\nhost: b\r\nx-request-id: cap-{i}\r\ncontent-length: 0\r\n\r\n");
+        if stream.write_all(req.as_bytes()).is_err() {
+            return i;
+        }
+        let mut buf = [0u8; 1024];
+        let mut got = Vec::new();
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => return i,
+                Ok(n) => {
+                    got.extend_from_slice(&buf[..n]);
+                    if got.windows(4).any(|w| w == b"\r\n\r\n") {
+                        break;
+                    }
+                }
+            }
+        }
+        if !got.starts_with(b"HTTP/1.1 200") {
+            return i;
+        }
+        held.push(stream);
+    }
+    limit
+}
+
+fn free_addr() -> String {
+    let l = TcpListener::bind("127.0.0.1:0").expect("probe a free port");
+    let addr = l.local_addr().expect("local addr").to_string();
+    drop(l);
+    addr
+}
+
 fn main() {
+    let quick = std::env::var("DCLAB_BENCH_QUICK").is_ok();
     let handle = start(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: 4,
@@ -38,7 +97,7 @@ fn main() {
     let addr = handle.addr();
 
     // --- Exact-strategy corpus: cold (all solves) vs. warm (all hits). ---
-    let exact = exact_corpus(2024, 10);
+    let exact = exact_corpus(2024, if quick { 6 } else { 10 });
     let cold = run_pass(addr, &exact).expect("cold exact pass");
     let warm = run_pass(addr, &exact).expect("warm exact pass");
     let (cold_p50, warm_p50) = (cold.percentile_us(0.5), warm.percentile_us(0.5));
@@ -50,7 +109,7 @@ fn main() {
     );
 
     // --- Mixed corpus: warm hit rate and bit-identical reports. ---
-    let mixed = mixed_corpus(2024, 16);
+    let mixed = mixed_corpus(2024, if quick { 10 } else { 16 });
     let mixed_cold = run_pass(addr, &mixed).expect("cold mixed pass");
     let mixed_warm = run_pass(addr, &mixed).expect("warm mixed pass");
     // Gated tail latency (bench-gate `serve_p99_us`): the cold mixed pass
@@ -62,6 +121,70 @@ fn main() {
         mixed_warm.hit_rate(),
         mixed_cold.unexpected + mixed_warm.unexpected
     );
+
+    // --- Connection capacity: reactor vs. the legacy blocking path. ---
+    // Same worker count, same small queue; every legacy keep-alive
+    // connection pins a worker, the reactor's cost only a buffer.
+    let cap_limit = if quick { 96 } else { 256 };
+    let conns_sustained = sustained_conns(addr, cap_limit);
+    let legacy_handle = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        cache_mb: 8,
+        queue_cap: 4,
+        legacy_blocking: true,
+        ..Default::default()
+    })
+    .expect("bind legacy server");
+    let legacy_conns_sustained = sustained_conns(legacy_handle.addr(), 32);
+    drop(legacy_handle); // its workers are pinned by held conns; just drop
+    println!(
+        "bench e10_serve/capacity: reactor sustained {conns_sustained} keep-alive conns \
+         (probe cap {cap_limit}), legacy {legacy_conns_sustained} at equal workers"
+    );
+
+    // --- Two-replica cluster soak: mixed load, latency histogram, ---
+    // --- routing tallies, zero hard 5xx. ---
+    let addr_a = free_addr();
+    let addr_b = free_addr();
+    let replicas = vec![addr_a.clone(), addr_b.clone()];
+    let mk_replica = |own: &String| {
+        start(ServeConfig {
+            addr: own.clone(),
+            workers: 2,
+            cache_mb: 16,
+            queue_cap: 0,
+            cluster: replicas.clone(),
+            ..Default::default()
+        })
+        .expect("bind cluster replica")
+    };
+    let replica_a = mk_replica(&addr_a);
+    let replica_b = mk_replica(&addr_b);
+    let soak = loadgen::soak(&SoakConfig {
+        addrs: vec![replica_a.addr(), replica_b.addr()],
+        connections: 8,
+        duration: Duration::from_millis(if quick { 800 } else { 2000 }),
+        seed: 2024,
+        instances: 12,
+    })
+    .expect("cluster soak");
+    println!(
+        "bench e10_serve/cluster: {} reqs, p50 {} us, p99 {} us, p999 {} us, \
+         hit rate {:.3}, local rate {:.3}, forwarded {}, hard 5xx {}",
+        soak.requests,
+        soak.percentile_us(0.5),
+        soak.percentile_us(0.99),
+        soak.percentile_us(0.999),
+        soak.hit_rate(),
+        soak.routing_local_rate(),
+        soak.routed_forwarded,
+        soak.hard_5xx
+    );
+    replica_a.shutdown();
+    replica_b.shutdown();
+    replica_a.join();
+    replica_b.join();
 
     let passes = array(vec![
         pass_json("exact_cold", &cold),
@@ -78,6 +201,9 @@ fn main() {
             .f64("exact_warm_speedup_p50", speedup)
             .f64("mixed_warm_hit_rate", mixed_warm.hit_rate())
             .u64("serve_p99_us", serve_p99_us)
+            .usize("serve_conns_sustained", conns_sustained)
+            .usize("legacy_conns_sustained", legacy_conns_sustained)
+            .raw("cluster_soak", &soak.to_json())
             .raw("passes", &passes)
             .finish()
     );
@@ -114,6 +240,32 @@ fn main() {
     }
     if cold.unexpected + warm.unexpected + mixed_cold.unexpected + mixed_warm.unexpected > 0 {
         failures.push("unexpected HTTP statuses".into());
+    }
+    // Tentpole acceptance: the reactor sustains ≥ 4× the concurrent
+    // keep-alive connections of the blocking path at equal worker count.
+    if conns_sustained < 4 * legacy_conns_sustained.max(1) {
+        failures.push(format!(
+            "reactor sustained {conns_sustained} conns < 4x legacy's {legacy_conns_sustained}"
+        ));
+    }
+    // Cluster soak: routing live, no hard 5xx, no transport errors.
+    if soak.hard_5xx > 0 {
+        failures.push(format!("cluster soak saw {} hard 5xx", soak.hard_5xx));
+    }
+    if soak.unexpected > 0 {
+        failures.push(format!(
+            "cluster soak saw {} unexpected statuses",
+            soak.unexpected
+        ));
+    }
+    if soak.transport_errors > 0 {
+        failures.push(format!(
+            "cluster soak saw {} transport errors",
+            soak.transport_errors
+        ));
+    }
+    if soak.routed_forwarded == 0 || soak.routed_local == 0 {
+        failures.push("cluster soak routing not exercised both ways".into());
     }
     if !failures.is_empty() {
         eprintln!("e10_serve FAILED: {}", failures.join("; "));

@@ -14,6 +14,7 @@
 //! | `anytime_race_median_span`    | BENCH_anytime.json | lower  | 30% |
 //! | `localsearch_speedup_n512`    | BENCH_localsearch.json | higher | 70% |
 //! | `serve_p99_us`                | BENCH_serve.json   | lower  | 70% |
+//! | `serve_conns_sustained`       | BENCH_serve.json   | higher | 30% |
 //! | `trace_disabled_rounds_per_s` | BENCH_trace.json   | higher | 70% |
 //!
 //! The anytime metrics are computed by `e13_anytime` over the *gated*
@@ -127,6 +128,17 @@ const METRICS: &[MetricSpec] = &[
         higher_is_better: false,
         tolerance: 0.70,
         extract: |doc| doc.get("serve_p99_us").and_then(Value::as_f64),
+    },
+    // Concurrent keep-alive connections the reactor sustained in the
+    // capacity probe. Nearly deterministic (bounded by the probe cap and
+    // the connection budget, not wall time), so a tight 30% gate: it
+    // fails if the reactor regresses toward worker-pinned capacity.
+    MetricSpec {
+        name: "serve_conns_sustained",
+        file: "BENCH_serve.json",
+        higher_is_better: true,
+        tolerance: 0.30,
+        extract: |doc| doc.get("serve_conns_sustained").and_then(Value::as_f64),
     },
     // Solve throughput with tracing *disabled*: guards the zero-cost
     // contract of `Trace::disabled()` against accidental always-on

@@ -31,6 +31,7 @@ USAGE:
   dclab solve <file> [FLAGS]     solve one instance, print a JSON SolveReport
   dclab batch <dir>  [FLAGS]     solve every instance file in <dir> in parallel
   dclab serve [SERVE FLAGS]      run the HTTP solve service
+  dclab loadgen [LOADGEN FLAGS]  concurrent soak against running server(s)
   dclab gen <family> [FLAGS]     generate instance corpora (run `dclab gen`
                                  with no family for families and flags)
   dclab store <sub> <archive>    stats | compact | export | import on a
@@ -77,9 +78,31 @@ SERVE FLAGS:
   --slow-solve-ms <N>   solves at or over this wall time get a structured
                         slow-solve log line (stderr + GET /debug/slowlog;
                         default 250)
+  --max-conns <N>       reactor connection budget (default 1024); connections
+                        beyond it are shed with 503 + Retry-After at accept,
+                        before a worker is consumed
+  --conn-idle-ms <N>    idle deadline per connection (default 5000); idle
+                        keep-alive connections past it are reaped
+                        (dclab_conns_reaped_total)
+  --max-body-bytes <N>  request-body cap (default 8388608 = 8 MiB); larger
+                        declared bodies get 413 with a JSON error
+  --cluster <a,b,...>   replica list incl. this server's --addr; canonical
+                        instance identities are consistent-hashed to an owner
+                        replica, non-owners proxy one hop (x-dclab-routed)
+  --legacy-blocking     serve with the pre-reactor thread-per-connection path
+                        (the reactor's differential oracle; capacity = workers)
   --self-test           start on an ephemeral port, replay the loadgen corpus
                         (~2 s), assert cache hits + clean shutdown, then exit
   --duration-ms <N>     self-test duration (default 2000)
+
+LOADGEN FLAGS:
+  --addrs <a,b,...>     target server address(es); clients round-robin
+  --connections <N>     concurrent keep-alive connections (default 8)
+  --duration-ms <N>     soak duration (default 5000)
+  --seed <N>            corpus seed (default 42)
+  --instances <N>       corpus size (default 12)
+  prints one JSON line: latency percentiles (p50/p90/p99/p999 us), cache
+  hit rate, x-dclab-routed tallies, sheds, hard_5xx
 ";
 
 fn parse_pvec(s: &str) -> Result<PVec, String> {
@@ -423,6 +446,42 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
                 dclab_par::set_thread_override(Some(n.max(1)));
                 cfg.workers = n.max(1);
             }
+            "--max-conns" => {
+                let v = flag_value("--max-conns")?;
+                cfg.max_conns = v.parse().map_err(|e| format!("bad --max-conns: {e}"))?;
+                if cfg.max_conns == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+            }
+            "--conn-idle-ms" => {
+                let v = flag_value("--conn-idle-ms")?;
+                cfg.conn_idle_ms = v.parse().map_err(|e| format!("bad --conn-idle-ms: {e}"))?;
+                if cfg.conn_idle_ms == 0 {
+                    return Err("--conn-idle-ms must be at least 1".into());
+                }
+            }
+            "--max-body-bytes" => {
+                let v = flag_value("--max-body-bytes")?;
+                cfg.max_body_bytes = v
+                    .parse()
+                    .map_err(|e| format!("bad --max-body-bytes: {e}"))?;
+                if cfg.max_body_bytes == 0 {
+                    return Err("--max-body-bytes must be at least 1".into());
+                }
+            }
+            "--cluster" => {
+                cfg.cluster = flag_value("--cluster")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if cfg.cluster.len() < 2 {
+                    return Err(
+                        "--cluster needs at least two comma-separated replica addresses".into(),
+                    );
+                }
+            }
+            "--legacy-blocking" => cfg.legacy_blocking = true,
             "--self-test" => self_test = true,
             "--duration-ms" => {
                 let v = flag_value("--duration-ms")?;
@@ -454,8 +513,71 @@ pub fn serve_cmd(args: &[String]) -> Result<(), String> {
         Some(path) => line.str("store", path).u64("warm_boot", warm_boot),
         None => line,
     };
+    let line = if cfg.cluster.is_empty() {
+        line
+    } else {
+        line.str("cluster", &cfg.cluster.join(","))
+    };
     println!("{}", line.finish());
     eprintln!("dclab serve: POST /shutdown for graceful shutdown");
     handle.join();
+    Ok(())
+}
+
+/// `dclab loadgen --addrs a,b [--connections N] [--duration-ms D]
+/// [--seed S] [--instances N]` — concurrent soak against already-running
+/// server(s); prints one JSON stats line (see `dclab_serve::soak`).
+pub fn loadgen_cmd(args: &[String]) -> Result<(), String> {
+    let mut cfg = dclab_serve::SoakConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addrs" => {
+                cfg.addrs = flag_value("--addrs")?
+                    .split(',')
+                    .map(|s| s.trim())
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|e| format!("bad address '{s}' in --addrs: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--connections" => {
+                let v = flag_value("--connections")?;
+                cfg.connections = v.parse().map_err(|e| format!("bad --connections: {e}"))?;
+                if cfg.connections == 0 {
+                    return Err("--connections must be at least 1".into());
+                }
+            }
+            "--duration-ms" => {
+                let v = flag_value("--duration-ms")?;
+                let ms: u64 = v.parse().map_err(|e| format!("bad --duration-ms: {e}"))?;
+                cfg.duration = std::time::Duration::from_millis(ms);
+            }
+            "--seed" => {
+                let v = flag_value("--seed")?;
+                cfg.seed = v.parse().map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--instances" => {
+                let v = flag_value("--instances")?;
+                cfg.instances = v.parse().map_err(|e| format!("bad --instances: {e}"))?;
+            }
+            other => return Err(format!("unknown loadgen flag '{other}'")),
+        }
+    }
+    if cfg.addrs.is_empty() {
+        return Err("loadgen needs --addrs <host:port[,host:port...]>".into());
+    }
+    let stats = dclab_serve::soak(&cfg)?;
+    println!("{}", stats.to_json());
+    if stats.transport_errors > 0 {
+        return Err(format!("{} transport errors", stats.transport_errors));
+    }
     Ok(())
 }

@@ -9,11 +9,16 @@
 //!      # solve every instance file in <dir> in parallel (DCLAB_THREADS),
 //!      # one JSON line per instance, deterministic order
 //! dclab serve [--addr host:port] [--workers N] [--cache-mb M]
-//!             [--store-path archive]
+//!             [--store-path archive] [--cluster a,b,...] [--legacy-blocking]
 //!      # long-running HTTP solve service with a canonical-instance report
 //!      # cache (POST /solve, POST /batch, GET /healthz, GET /metrics);
-//!      # --store-path warm-boots the cache from a persistent archive and
-//!      # write-behinds fresh solves
+//!      # epoll-reactor core on Linux (thousands of keep-alive connections
+//!      # on a handful of workers); --cluster consistent-hashes canonical
+//!      # instances across replicas; --store-path warm-boots the cache from
+//!      # a persistent archive and write-behinds fresh solves
+//! dclab loadgen --addrs a,b [--connections N] [--duration-ms D]
+//!      # concurrent multi-replica soak against running servers; prints
+//!      # latency percentiles, hit rate, routing tallies as one JSON line
 //! dclab gen <family> [--n N] [--seed S] [--count C] [--out PATH]
 //!      # seeded instance corpora from graph::generators (gnp, trees,
 //!      # split graphs, classic families, ...)
@@ -58,7 +63,7 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "solve" | "batch" | "serve" | "gen" | "store" | "trace" | "bench-gate" => {
+        "solve" | "batch" | "serve" | "loadgen" | "gen" | "store" | "trace" | "bench-gate" => {
             let rest: Vec<String> = args
                 .iter()
                 .skip_while(|a| a.as_str() != which)
@@ -72,6 +77,7 @@ fn main() {
                 "store" => store_cmd::store_cmd(&rest),
                 "trace" => trace_cmd::trace_cmd(&rest),
                 "bench-gate" => bench_gate::bench_gate_cmd(&rest),
+                "loadgen" => commands::loadgen_cmd(&rest),
                 _ => commands::serve_cmd(&rest),
             };
             if let Err(e) = result {

@@ -16,6 +16,7 @@
 //!   rejected.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -54,6 +55,11 @@ struct Shared {
     job_ready: Condvar,
     /// Signaled when a job is popped (blocked submitters wait on it).
     slot_free: Condvar,
+    /// Jobs currently *executing* (popped but not finished). Together with
+    /// `queue_len` this lets an event loop see real pool pressure — a full
+    /// queue with idle workers and a full queue with saturated workers
+    /// call for different shed decisions.
+    in_flight: AtomicUsize,
 }
 
 struct QueueState {
@@ -80,6 +86,7 @@ impl WorkerPool {
             }),
             job_ready: Condvar::new(),
             slot_free: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
         });
         let handles = (0..workers_n)
             .map(|i| {
@@ -100,6 +107,22 @@ impl WorkerPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The queue bound this pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently executing on workers (diagnostic gauge).
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Total outstanding work: queued + executing. An event loop uses this
+    /// to size `Retry-After` hints and to expose pool-pressure gauges.
+    pub fn load(&self) -> usize {
+        self.queue_len() + self.in_flight()
     }
 
     /// Enqueue `job`, blocking while the queue is at capacity.
@@ -184,11 +207,13 @@ fn worker_loop(shared: &Shared) {
             }
         };
         shared.slot_free.notify_one();
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         // A panicking job must not kill the worker: in a long-running
         // server that would silently shrink the pool until every request
         // is shed. The job owns any response channel, so the panic is the
         // job's problem; the worker moves on.
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,340 @@
+//! Cluster mode: consistent-hash routing of canonical instance keys
+//! across serve replicas.
+//!
+//! `dclab serve --cluster a:7001,b:7002,...` makes every replica a router:
+//! each `/solve` request's [`CacheKey::hash`](crate::cache::CacheKey) —
+//! the isomorphism-invariant canonical identity from PR 2 — is looked up
+//! on a shared hash ring, and the replica that owns the key either solves
+//! locally or proxies to the owner. Because every replica builds the ring
+//! from the same `--cluster` list, they all agree on ownership with zero
+//! coordination traffic, and isomorphic relabelings of one instance land
+//! on the same owner (one cache entry, one archive record, cluster-wide).
+//!
+//! The ring uses virtual nodes (`VNODES` points per replica, placed by
+//! FNV-64 over `addr#index`) so key ranges stay balanced for small replica
+//! counts and only `1/N` of keys move when a replica joins or leaves.
+//! Warm-up/replication reuses the existing `dclab store export/import`
+//! streaming — there is no separate replication protocol.
+//!
+//! Forwarding protocol (plain HTTP between replicas):
+//!
+//! * the proxy adds `x-dclab-forwarded: <self-addr>` — a replica seeing
+//!   that header always solves locally (loop prevention, one hop max);
+//! * every cluster-routed response carries `x-dclab-routed:
+//!   local|forwarded|fallback` so clients and the loadgen soak can audit
+//!   routing behavior;
+//! * a proxy failure (owner down, timeout) falls back to a local solve —
+//!   the mesh degrades to independent replicas instead of erroring, which
+//!   is what keeps a soak 5xx-free through single-replica restarts.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use dclab_graph::canon::Fnv64;
+
+use crate::http::Request;
+
+/// Loop-prevention header: present on replica-to-replica forwarded
+/// requests; its value is the proxying replica's address.
+pub const FORWARDED_HEADER: &str = "x-dclab-forwarded";
+
+/// Response header naming the route taken: `local`, `forwarded`, or
+/// `fallback`.
+pub const ROUTED_HEADER: &str = "x-dclab-routed";
+
+/// Virtual nodes per replica on the ring. 64 points keeps the max/min
+/// ownership ratio tight (≈1.3 at N=2..8) while the ring stays a few
+/// hundred entries — binary search cost is noise next to a solve.
+const VNODES: usize = 64;
+
+/// Proxy connect/read/write timeout. Generous enough for a warm hit or a
+/// small solve on the owner; a slow owner trips the local fallback rather
+/// than stalling the client indefinitely.
+const PROXY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Consistent-hash ring over the replica set, plus this node's identity.
+#[derive(Debug)]
+pub struct Cluster {
+    /// Replica addresses exactly as given on the command line (the ring
+    /// hash is over these strings, so every replica must receive the same
+    /// list — document order does not matter, the ring sorts by point).
+    replicas: Vec<String>,
+    /// `(ring_point, replica_index)` sorted by point.
+    ring: Vec<(u64, usize)>,
+    /// Index of this node in `replicas`.
+    self_index: usize,
+}
+
+impl Cluster {
+    /// Build the ring from the `--cluster` replica list. `self_addr` must
+    /// appear in the list (it is how a replica knows which ranges are its
+    /// own); returns `None` otherwise so the caller can fail fast with a
+    /// configuration error.
+    pub fn new(replicas: Vec<String>, self_addr: &str) -> Option<Cluster> {
+        let self_index = replicas.iter().position(|r| r == self_addr)?;
+        let mut ring = Vec::with_capacity(replicas.len() * VNODES);
+        for (i, addr) in replicas.iter().enumerate() {
+            for v in 0..VNODES {
+                let mut h = Fnv64::new();
+                h.write_bytes(addr.as_bytes());
+                h.write_bytes(b"#");
+                h.write_u64(v as u64);
+                ring.push((h.finish(), i));
+            }
+        }
+        ring.sort_unstable();
+        Some(Cluster {
+            replicas,
+            ring,
+            self_index,
+        })
+    }
+
+    pub fn replicas(&self) -> &[String] {
+        &self.replicas
+    }
+
+    pub fn self_addr(&self) -> &str {
+        &self.replicas[self.self_index]
+    }
+
+    /// Which replica owns `key_hash`: first ring point at or after the
+    /// hash, wrapping to the first point past the top.
+    pub fn owner_index(&self, key_hash: u64) -> usize {
+        let i = self.ring.partition_point(|&(p, _)| p < key_hash);
+        let (_, replica) = self.ring[i % self.ring.len()];
+        replica
+    }
+
+    /// `Some(owner_addr)` when another replica owns the key, `None` when
+    /// this node does.
+    pub fn owner_if_remote(&self, key_hash: u64) -> Option<&str> {
+        let owner = self.owner_index(key_hash);
+        (owner != self.self_index).then(|| self.replicas[owner].as_str())
+    }
+}
+
+/// A relayed upstream response: status, the upstream's `x-dclab-cache`
+/// header when present, and the body verbatim.
+pub struct ProxiedResponse {
+    pub status: u16,
+    pub cache_status: Option<String>,
+    pub body: Vec<u8>,
+}
+
+/// Forward `req` to the owning replica and relay its response. The
+/// request is re-sent with its original target (query string and all) and
+/// body; `connection: close` keeps the proxy protocol trivially correct
+/// (replica-to-replica connections are cheap on the reactor). Any error —
+/// connect, timeout, malformed upstream response — returns `Err` and the
+/// caller solves locally instead.
+pub fn proxy(
+    owner: &str,
+    req: &Request,
+    rid: &str,
+    self_addr: &str,
+) -> std::io::Result<ProxiedResponse> {
+    let addr = owner
+        .parse::<std::net::SocketAddr>()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    let mut stream = TcpStream::connect_timeout(&addr, PROXY_TIMEOUT)?;
+    stream.set_read_timeout(Some(PROXY_TIMEOUT))?;
+    stream.set_write_timeout(Some(PROXY_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let head = format!(
+        "{} {} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nx-request-id: {}\r\n{}: {}\r\nconnection: close\r\n\r\n",
+        req.method,
+        req.target,
+        owner,
+        req.body.len(),
+        rid,
+        FORWARDED_HEADER,
+        self_addr,
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&req.body)?;
+    stream.flush()?;
+    read_proxy_response(&mut stream)
+}
+
+fn bad(msg: &'static str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Read one `connection: close` HTTP response: status line, headers,
+/// `content-length` body.
+fn read_proxy_response(stream: &mut impl Read) -> std::io::Result<ProxiedResponse> {
+    let mut buf = Vec::with_capacity(4096);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("upstream closed before response head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > 64 * 1024 {
+            return Err(bad("upstream response head too large"));
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length = None;
+    let mut cache_status = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value.parse::<usize>().ok();
+        } else if name == "x-dclab-cache" {
+            cache_status = Some(value.to_string());
+        }
+    }
+    let content_length = content_length.ok_or_else(|| bad("missing content-length"))?;
+    if content_length > crate::http::MAX_BODY_BYTES {
+        return Err(bad("upstream body too large"));
+    }
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("upstream closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ProxiedResponse {
+        status,
+        cache_status,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> (Cluster, Cluster) {
+        let replicas = vec!["127.0.0.1:7001".to_string(), "127.0.0.1:7002".to_string()];
+        let a = Cluster::new(replicas.clone(), "127.0.0.1:7001").unwrap();
+        let b = Cluster::new(replicas, "127.0.0.1:7002").unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn replicas_agree_on_ownership() {
+        let (a, b) = two_node();
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)) {
+            assert_eq!(a.owner_index(key), b.owner_index(key), "key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn ownership_is_roughly_balanced() {
+        let (a, _) = two_node();
+        let total = 20_000u64;
+        let mine = (0..total)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .filter(|&k| a.owner_index(k) == 0)
+            .count() as f64;
+        let share = mine / total as f64;
+        assert!(
+            (0.3..=0.7).contains(&share),
+            "replica 0 owns {share:.2} of the keyspace"
+        );
+    }
+
+    #[test]
+    fn remote_owner_is_never_self() {
+        let (a, b) = two_node();
+        for key in (0..1000u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15)) {
+            if let Some(owner) = a.owner_if_remote(key) {
+                assert_eq!(owner, b.self_addr());
+                assert!(b.owner_if_remote(key).is_none(), "owner must serve locally");
+            } else {
+                assert_eq!(b.owner_if_remote(key), Some(a.self_addr()));
+            }
+        }
+    }
+
+    #[test]
+    fn self_must_be_in_replica_list() {
+        assert!(Cluster::new(vec!["a:1".into(), "b:2".into()], "c:3").is_none());
+    }
+
+    #[test]
+    fn join_moves_only_a_fraction_of_keys() {
+        let two = Cluster::new(
+            vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+            "127.0.0.1:7001",
+        )
+        .unwrap();
+        let three = Cluster::new(
+            vec![
+                "127.0.0.1:7001".into(),
+                "127.0.0.1:7002".into(),
+                "127.0.0.1:7003".into(),
+            ],
+            "127.0.0.1:7001",
+        )
+        .unwrap();
+        let total = 20_000u64;
+        let moved = (0..total)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .filter(|&k| {
+                let before = two.replicas()[two.owner_index(k)].clone();
+                let after = three.replicas()[three.owner_index(k)].clone();
+                before != after
+            })
+            .count() as f64;
+        let fraction = moved / total as f64;
+        // Consistent hashing: adding a third replica should move about 1/3
+        // of keys, nowhere near the ~100% a mod-N scheme reshuffles.
+        assert!(
+            fraction < 0.55,
+            "adding a replica moved {fraction:.2} of keys"
+        );
+    }
+
+    #[test]
+    fn proxy_response_parser_handles_split_reads() {
+        // A reader that returns one byte at a time exercises the head/body
+        // accumulation paths.
+        struct OneByte<'a>(&'a [u8], usize);
+        impl Read for OneByte<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\nx-dclab-cache: hit\r\n\r\nhello";
+        let resp = read_proxy_response(&mut OneByte(raw, 0)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.cache_status.as_deref(), Some("hit"));
+        assert_eq!(resp.body, b"hello");
+        // Truncated upstream is an error, not a phantom success.
+        let trunc = b"HTTP/1.1 200 OK\r\ncontent-length: 5\r\n\r\nhe";
+        assert!(read_proxy_response(&mut OneByte(trunc, 0)).is_err());
+    }
+}

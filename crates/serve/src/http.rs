@@ -2,24 +2,38 @@
 //! and nothing more: request parsing with bounded header/body sizes,
 //! percent-decoded query strings, keep-alive, and response writing.
 //!
+//! The parser is **incremental**: [`try_parse`] inspects a byte slice and
+//! either produces a complete [`Request`] plus the number of bytes it
+//! consumed, or reports that more bytes are needed — no blocking reads, no
+//! per-line temporary strings. Connections feed it from a [`RecvBuffer`],
+//! a ring-style buffer whose allocation is recycled across every request
+//! on the connection, so steady-state keep-alive traffic parses without
+//! per-request buffer allocation. The same parser serves both the epoll
+//! reactor (non-blocking) and the `--legacy-blocking` path (via
+//! [`read_request_buffered`]), which is what makes their responses
+//! byte-identical by construction.
+//!
 //! Not a general web server: no chunked transfer encoding, no multipart,
 //! no TLS. Clients that need those get a clean 4xx, not undefined behavior.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{Read, Write};
 
 /// Upper bound on the request line + headers block.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Upper bound on a request body (instances beyond this are absurd for
-/// small-diameter graphs and would only stall a worker).
+/// Default upper bound on a request body (instances beyond this are absurd
+/// for small-diameter graphs and would only stall a worker). Overridable
+/// per server via `--max-body-bytes`.
 pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
 
 /// A parsed request.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Request {
     pub method: String,
     /// Path without the query string, e.g. `/solve`.
     pub path: String,
+    /// The raw request target (path + query, still percent-encoded), kept
+    /// verbatim so a cluster proxy can forward the request byte-exactly.
+    pub target: String,
     /// Percent-decoded `key=value` pairs from the query string, in order.
     pub query: Vec<(String, String)>,
     /// Header `(name, value)` pairs; names lower-cased.
@@ -78,69 +92,137 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
-/// Read one `\n`-terminated line into `buf`, buffering at most `limit`
-/// bytes. `BufRead::read_line` alone would grow without bound on a line
-/// that never terminates — a trivial memory-exhaustion attack on a
-/// long-running service.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut String,
-    limit: usize,
-) -> Result<usize, ParseError> {
-    let mut raw: Vec<u8> = Vec::new();
-    loop {
-        let chunk = reader.fill_buf()?;
-        if chunk.is_empty() {
-            break;
-        }
-        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
-            if raw.len() + pos + 1 > limit {
-                return Err(ParseError::TooLarge("header line too large"));
-            }
-            raw.extend_from_slice(&chunk[..=pos]);
-            reader.consume(pos + 1);
-            break;
-        }
-        if raw.len() + chunk.len() > limit {
-            return Err(ParseError::TooLarge("header line too large"));
-        }
-        raw.extend_from_slice(chunk);
-        let n = chunk.len();
-        reader.consume(n);
-    }
-    let s = std::str::from_utf8(&raw).map_err(|_| ParseError::Bad("non-UTF-8 header bytes"))?;
-    buf.push_str(s);
-    Ok(s.len())
+/// A growable ring-style receive buffer: bytes are committed at the tail,
+/// consumed from the head, and the allocation is recycled — when the head
+/// catches the tail the indices snap back to zero, and when the tail hits
+/// the end the live bytes slide to the front. Steady-state keep-alive
+/// traffic therefore reuses one allocation for every request on the
+/// connection instead of allocating per request.
+#[derive(Debug)]
+pub struct RecvBuffer {
+    buf: Vec<u8>,
+    head: usize,
+    tail: usize,
 }
 
-/// Read one request from the stream (blocking; honors the stream's read
-/// timeout). Returns `ConnectionClosed` on EOF before any byte.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
-    let mut head = String::new();
-    let mut first_line = String::new();
-    let n = read_line_bounded(reader, &mut first_line, MAX_HEAD_BYTES)?;
-    if n == 0 {
-        return Err(ParseError::ConnectionClosed);
+impl Default for RecvBuffer {
+    fn default() -> Self {
+        RecvBuffer::with_capacity(4096)
     }
-    loop {
-        let mut line = String::new();
-        let remaining = MAX_HEAD_BYTES.saturating_sub(head.len() + first_line.len());
-        let n = read_line_bounded(reader, &mut line, remaining.max(2))?;
-        if n == 0 {
-            return Err(ParseError::Bad("truncated header block"));
+}
+
+impl RecvBuffer {
+    pub fn with_capacity(cap: usize) -> RecvBuffer {
+        RecvBuffer {
+            buf: vec![0u8; cap.max(64)],
+            head: 0,
+            tail: 0,
         }
-        if line == "\r\n" || line == "\n" {
+    }
+
+    /// The unconsumed bytes, oldest first.
+    pub fn data(&self) -> &[u8] {
+        &self.buf[self.head..self.tail]
+    }
+
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Drop `n` consumed bytes from the head. Fully drained buffers snap
+    /// their indices back to the start so the next request reuses the
+    /// whole allocation without any copying.
+    pub fn consume(&mut self, n: usize) {
+        self.head += n.min(self.tail - self.head);
+        if self.head == self.tail {
+            self.head = 0;
+            self.tail = 0;
+        }
+    }
+
+    /// A writable tail slice of at least `min` bytes; slides live bytes to
+    /// the front (ring wrap) before growing the allocation.
+    pub fn spare(&mut self, min: usize) -> &mut [u8] {
+        if self.buf.len() - self.tail < min {
+            if self.head > 0 {
+                self.buf.copy_within(self.head..self.tail, 0);
+                self.tail -= self.head;
+                self.head = 0;
+            }
+            if self.buf.len() - self.tail < min {
+                let want = (self.tail + min).max(self.buf.len() * 2);
+                self.buf.resize(want.next_power_of_two(), 0);
+            }
+        }
+        &mut self.buf[self.tail..]
+    }
+
+    /// Mark `n` bytes (just written into [`RecvBuffer::spare`]) as live.
+    pub fn commit(&mut self, n: usize) {
+        self.tail += n;
+        debug_assert!(self.tail <= self.buf.len());
+    }
+}
+
+/// Incrementally parse one request from `data`.
+///
+/// * `Ok(Some((request, consumed)))` — a complete request; the caller must
+///   consume `consumed` bytes.
+/// * `Ok(None)` — the bytes so far are a valid prefix; read more.
+/// * `Err(..)` — malformed or over-limit; the connection should answer an
+///   error and close.
+///
+/// The head is parsed in place from the slice (no intermediate line
+/// buffers); only the final `Request` fields are materialized.
+pub fn try_parse(
+    data: &[u8],
+    max_head: usize,
+    max_body: usize,
+) -> Result<Option<(Request, usize)>, ParseError> {
+    // Locate the end of the head: the first empty line ("\r\n" or "\n").
+    let mut head_end = None; // byte offset one past the blank line
+    let mut line_start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        let line = &data[line_start..i];
+        let line = if line.last() == Some(&b'\r') {
+            &line[..line.len() - 1]
+        } else {
+            line
+        };
+        if line.is_empty() && line_start > 0 {
+            head_end = Some(i + 1);
             break;
         }
-        head.push_str(&line);
-        if head.len() + first_line.len() > MAX_HEAD_BYTES {
+        line_start = i + 1;
+        if line_start > max_head {
             return Err(ParseError::TooLarge("header block too large"));
         }
     }
+    let Some(head_end) = head_end else {
+        if data.len() > max_head {
+            return Err(ParseError::TooLarge("header block too large"));
+        }
+        return Ok(None);
+    };
+    if head_end > max_head {
+        return Err(ParseError::TooLarge("header block too large"));
+    }
 
+    let head = std::str::from_utf8(&data[..head_end])
+        .map_err(|_| ParseError::Bad("non-UTF-8 header bytes"))?;
+    let mut lines = head.lines();
+    let first_line = lines.next().ok_or(ParseError::Bad("empty request line"))?;
     let mut parts = first_line.split_whitespace();
     let method = parts
         .next()
+        .filter(|m| !m.is_empty())
         .ok_or(ParseError::Bad("empty request line"))?
         .to_string();
     let target = parts
@@ -166,7 +248,10 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseE
     };
 
     let mut headers = Vec::new();
-    for line in head.lines() {
+    for line in lines {
+        if line.is_empty() {
+            break; // the blank terminator
+        }
         let (name, value) = line
             .split_once(':')
             .ok_or(ParseError::Bad("malformed header line"))?;
@@ -185,20 +270,55 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseE
             .map_err(|_| ParseError::Bad("bad content-length"))?,
         None => 0,
     };
-    if content_length > MAX_BODY_BYTES {
+    // Reject an oversized body from the Content-Length declaration alone —
+    // before buffering a single body byte (→ 413, connection closes).
+    if content_length > max_body {
         return Err(ParseError::TooLarge("body too large"));
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    if data.len() < head_end + content_length {
+        return Ok(None);
+    }
+    let body = data[head_end..head_end + content_length].to_vec();
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
-        version_minor,
-    })
+    Ok(Some((
+        Request {
+            method,
+            path,
+            target: target.to_string(),
+            query,
+            headers,
+            body,
+            version_minor,
+        },
+        head_end + content_length,
+    )))
+}
+
+/// Blocking companion to [`try_parse`] for the `--legacy-blocking` path
+/// and tests: read from `stream` into `rb` until one complete request
+/// parses (honoring the stream's read timeout). Returns
+/// `ConnectionClosed` on EOF before any byte of a new request.
+pub fn read_request_buffered(
+    stream: &mut impl Read,
+    rb: &mut RecvBuffer,
+    max_body: usize,
+) -> Result<Request, ParseError> {
+    loop {
+        if let Some((req, consumed)) = try_parse(rb.data(), MAX_HEAD_BYTES, max_body)? {
+            rb.consume(consumed);
+            return Ok(req);
+        }
+        let spare = rb.spare(4096);
+        let n = stream.read(spare)?;
+        if n == 0 {
+            return Err(if rb.is_empty() {
+                ParseError::ConnectionClosed
+            } else {
+                ParseError::Bad("truncated request")
+            });
+        }
+        rb.commit(n);
+    }
 }
 
 /// Parse `a=1&b=x%20y` (missing `=` means empty value).
@@ -253,44 +373,62 @@ pub fn reason(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
         _ => "",
     }
 }
 
-/// Write one response. `extra_headers` are `(name, value)` pairs appended
-/// after the standard set. The default `content-type` is
+/// Render one response to bytes. `extra_headers` are `(name, value)` pairs
+/// appended after the standard set. The default `content-type` is
 /// `application/json`; an `extra_headers` entry named `content-type`
 /// (case-insensitive) **replaces** the default instead of duplicating it,
 /// so non-JSON endpoints (Prometheus `/metrics`) can declare themselves.
+///
+/// Both serve paths (epoll reactor and `--legacy-blocking`) emit responses
+/// through this one function, which is what pins them byte-identical.
+pub fn render_response(
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> Vec<u8> {
+    let caller_sets_content_type = extra_headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
+    let mut out = Vec::with_capacity(256 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", status, reason(status)).as_bytes());
+    if !caller_sets_content_type {
+        out.extend_from_slice(b"content-type: application/json\r\n");
+    }
+    out.extend_from_slice(
+        format!(
+            "content-length: {}\r\nconnection: {}\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    for (k, v) in extra_headers {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(v.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// Write one response (blocking). See [`render_response`].
 pub fn write_response(
-    stream: &mut TcpStream,
+    stream: &mut impl Write,
     status: u16,
     extra_headers: &[(&str, &str)],
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let caller_sets_content_type = extra_headers
-        .iter()
-        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
-    let mut head = format!("HTTP/1.1 {} {}\r\n", status, reason(status));
-    if !caller_sets_content_type {
-        head.push_str("content-type: application/json\r\n");
-    }
-    head.push_str(&format!(
-        "content-length: {}\r\nconnection: {}\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    ));
-    for (k, v) in extra_headers {
-        head.push_str(k);
-        head.push_str(": ");
-        head.push_str(v);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(&render_response(status, extra_headers, body, keep_alive))?;
     stream.flush()
 }
 
@@ -322,7 +460,7 @@ mod tests {
 
     #[test]
     fn reasons_cover_served_codes() {
-        for code in [200, 400, 404, 405, 413, 422, 431, 500, 503] {
+        for code in [200, 400, 404, 405, 413, 422, 431, 500, 502, 503] {
             assert!(!reason(code).is_empty(), "{code}");
         }
     }
@@ -332,6 +470,7 @@ mod tests {
         let req = |version_minor, connection: Option<&str>| Request {
             method: "GET".into(),
             path: "/healthz".into(),
+            target: "/healthz".into(),
             query: vec![],
             headers: connection
                 .map(|v| vec![("connection".to_string(), v.to_string())])
@@ -349,51 +488,161 @@ mod tests {
         assert!(!req(0, Some("close")).keep_alive());
     }
 
-    /// Feed raw bytes to `read_request` over a real socket, optionally
-    /// closing the write side mid-request (EOF injection).
-    fn parse_raw(bytes: &'static [u8]) -> Result<Request, ParseError> {
-        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let writer = std::thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(bytes).unwrap();
-            // EOF: close the stream without completing the request.
-            drop(s);
-        });
-        let (stream, _) = listener.accept().unwrap();
-        let mut reader = BufReader::new(stream);
-        let result = read_request(&mut reader);
-        writer.join().unwrap();
-        result
+    fn parse_all(bytes: &[u8]) -> Result<Option<(Request, usize)>, ParseError> {
+        try_parse(bytes, MAX_HEAD_BYTES, MAX_BODY_BYTES)
     }
 
     #[test]
-    fn truncated_request_line_does_not_parse() {
-        // EOF in the middle of the request line: the bytes so far must
-        // never come back as a complete request.
-        let r = parse_raw(b"GET /healthz HT");
+    fn incremental_prefixes_are_incomplete_never_errors() {
+        let full = b"POST /solve?p=2,1 HTTP/1.1\r\nhost: x\r\ncontent-length: 4\r\n\r\nBODY";
+        // Every strict prefix parses to "need more bytes".
+        for cut in 0..full.len() {
+            let r = parse_all(&full[..cut]);
+            assert!(matches!(r, Ok(None)), "prefix of {cut} bytes gave {r:?}");
+        }
+        let (req, consumed) = parse_all(full).unwrap().expect("complete");
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.target, "/solve?p=2,1");
+        assert_eq!(req.query_param("p"), Some("2,1"));
+        assert_eq!(req.body, b"BODY");
+        assert_eq!(req.version_minor, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        let two = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let (first, used) = parse_all(two).unwrap().expect("first");
+        assert_eq!(first.path, "/healthz");
+        let (second, used2) = parse_all(&two[used..]).unwrap().expect("second");
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(used + used2, two.len());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_accepted() {
+        let (req, _) = parse_all(b"GET /healthz HTTP/1.0\nhost: x\n\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.version_minor, 0);
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn oversized_declared_body_rejected_before_body_bytes_arrive() {
+        // Content-Length over the cap errors immediately — no body bytes
+        // present yet, so the shed costs nothing.
+        let head = b"POST /solve HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
+        let r = try_parse(head, MAX_HEAD_BYTES, 1024);
         assert!(
-            matches!(r, Err(ParseError::Bad(_))),
-            "mid-request-line EOF parsed as {r:?}"
+            matches!(r, Err(ParseError::TooLarge("body too large"))),
+            "{r:?}"
         );
     }
 
     #[test]
-    fn truncated_header_block_does_not_parse() {
-        // Full request line but EOF before the blank line.
-        let r = parse_raw(b"GET /healthz HTTP/1.1\r\nhost: x\r\n");
-        assert!(
-            matches!(r, Err(ParseError::Bad("truncated header block"))),
-            "mid-headers EOF parsed as {r:?}"
-        );
+    fn oversized_head_rejected() {
+        let mut head = b"GET /x HTTP/1.1\r\n".to_vec();
+        head.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        let r = parse_all(&head);
+        assert!(matches!(r, Err(ParseError::TooLarge(reason)) if reason.contains("header")));
     }
 
     #[test]
-    fn complete_request_still_parses() {
-        let r = parse_raw(b"GET /healthz?x=1 HTTP/1.0\r\nhost: x\r\n\r\n").unwrap();
-        assert_eq!(r.method, "GET");
-        assert_eq!(r.path, "/healthz");
-        assert_eq!(r.version_minor, 0);
-        assert!(!r.keep_alive());
+    fn malformed_requests_are_bad() {
+        assert!(matches!(
+            parse_all(b"GARBAGE\r\n\r\n"),
+            Err(ParseError::Bad("missing request target"))
+        ));
+        assert!(matches!(
+            parse_all(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(ParseError::Bad("unsupported HTTP version"))
+        ));
+        assert!(matches!(
+            parse_all(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::Bad("malformed header line"))
+        ));
+        assert!(matches!(
+            parse_all(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            Err(ParseError::Bad("transfer-encoding not supported"))
+        ));
+    }
+
+    #[test]
+    fn recv_buffer_recycles_one_allocation_across_requests() {
+        let mut rb = RecvBuffer::with_capacity(64);
+        let req = b"GET /healthz HTTP/1.1\r\n\r\n";
+        for _ in 0..100 {
+            let spare = rb.spare(req.len());
+            spare[..req.len()].copy_from_slice(req);
+            rb.commit(req.len());
+            let (parsed, used) = try_parse(rb.data(), MAX_HEAD_BYTES, MAX_BODY_BYTES)
+                .unwrap()
+                .expect("complete");
+            assert_eq!(parsed.path, "/healthz");
+            rb.consume(used);
+        }
+        // Fully-drained buffer snapped back: no growth ever needed.
+        assert!(rb.is_empty());
+        assert!(rb.buf.len() <= 64, "buffer grew to {}", rb.buf.len());
+    }
+
+    #[test]
+    fn recv_buffer_slides_partial_bytes_on_wrap() {
+        let mut rb = RecvBuffer::with_capacity(64);
+        // Leave a partial request stuck at a high offset, then demand space.
+        let junk = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let spare = rb.spare(junk.len());
+        spare[..junk.len()].copy_from_slice(junk);
+        rb.commit(junk.len());
+        rb.consume(junk.len() - 4); // 4 live bytes near the end
+        let _ = rb.spare(60); // must slide, not grow past need
+        assert_eq!(rb.len(), 4);
+        assert_eq!(rb.data(), &junk[junk.len() - 4..]);
+    }
+
+    #[test]
+    fn blocking_reader_handles_eof_and_dribble() {
+        // EOF before any byte → clean ConnectionClosed.
+        let mut empty: &[u8] = b"";
+        let mut rb = RecvBuffer::default();
+        assert!(matches!(
+            read_request_buffered(&mut empty, &mut rb, MAX_BODY_BYTES),
+            Err(ParseError::ConnectionClosed)
+        ));
+        // EOF mid-request → Bad, never a phantom complete request.
+        let mut trunc: &[u8] = b"GET /healthz HT";
+        let mut rb = RecvBuffer::default();
+        assert!(matches!(
+            read_request_buffered(&mut trunc, &mut rb, MAX_BODY_BYTES),
+            Err(ParseError::Bad("truncated request"))
+        ));
+        // A whole request followed by EOF parses fine.
+        let mut ok: &[u8] = b"GET /healthz?x=1 HTTP/1.0\r\nhost: x\r\n\r\n";
+        let mut rb = RecvBuffer::default();
+        let req = read_request_buffered(&mut ok, &mut rb, MAX_BODY_BYTES).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.version_minor, 0);
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn render_response_shape() {
+        let bytes = render_response(200, &[("x-extra", "1")], b"{}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-extra: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        // Caller-supplied content-type replaces the default.
+        let prom = render_response(200, &[("content-type", "text/plain")], b"x", false);
+        let prom = String::from_utf8(prom).unwrap();
+        assert_eq!(prom.matches("content-type").count(), 1);
+        assert!(prom.contains("connection: close\r\n"));
     }
 }

@@ -23,17 +23,27 @@
 //! * [`cache`] — sharded LRU keyed by canonical instance identity, with
 //!   single-flight deduplication.
 //! * [`metrics`] — lock-free counters + log-scale latency histogram.
-//! * [`server`] — accept loop over a bounded [`dclab_par::WorkerPool`],
-//!   routing, graceful shutdown, per-request solve tracing (every
-//!   response carries `X-Request-Id`; finished traces land in a
+//! * [`server`] — routing, graceful shutdown, per-request solve tracing
+//!   (every response carries `X-Request-Id`; finished traces land in a
 //!   [`dclab_trace::FlightRecorder`] behind `GET /debug/traces`, feed the
 //!   `dclab_phase_seconds` histograms, and slow solves get a structured
 //!   log line behind `GET /debug/slowlog`).
+//! * `reactor` (Linux) — the default serve core: a std-only epoll
+//!   reactor driving per-connection state machines, with CPU-bound
+//!   solves dispatched to a bounded [`dclab_par::WorkerPool`] and
+//!   completions returned over an eventfd. Connection budget is
+//!   decoupled from (and far above) the worker count; overload sheds
+//!   `503 + Retry-After` before a worker is consumed.
+//! * `blocking` — the pre-reactor thread-per-connection path, retained
+//!   behind `--legacy-blocking` as the reactor's differential oracle and
+//!   as the non-Linux fallback.
+//! * `cluster` — consistent-hash routing of canonical instance identities
+//!   across replicas (`--cluster`), with non-owners proxying one hop.
 //! * [`persist`] — glue to the persistent solution archive
 //!   (`dclab-store`): warm-boot the cache on start, read-through on LRU
 //!   miss, write-behind fresh solves, seal the log at the shutdown drain.
 //! * [`loadgen`] — replay harness (mixed + exact corpora, per-pass stats,
-//!   the CI `--self-test`).
+//!   multi-replica soak histograms, the CI `--self-test`).
 
 pub mod cache;
 pub mod http;
@@ -42,7 +52,24 @@ pub mod metrics;
 pub mod persist;
 pub mod server;
 
+pub(crate) mod blocking;
+pub mod cluster;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
+
+/// Defaults shared by [`ServeConfig`] and the reactor, exposed so the CLI
+/// can print them in `--help` without duplicating the numbers.
+pub mod reactor_defaults {
+    /// Default connection budget (`--max-conns`). Far above the worker
+    /// count by design: idle keep-alive connections cost only a file
+    /// descriptor and a small buffer, not a thread.
+    pub const MAX_CONNS: usize = 1024;
+    /// Default idle deadline in milliseconds (`--conn-idle-ms`) before a
+    /// connection that is neither dispatched nor writing is reaped.
+    pub const CONN_IDLE_MS: u64 = 5_000;
+}
+
 pub use cache::{CacheKey, CacheStatus, ReportCache};
-pub use loadgen::{self_test, Client, CorpusItem, PassStats};
+pub use loadgen::{self_test, soak, Client, CorpusItem, PassStats, SoakConfig, SoakStats};
 pub use metrics::{Metrics, StoreGauges};
 pub use server::{start, ServeConfig, ServerHandle, SlowLog};

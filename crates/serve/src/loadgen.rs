@@ -1,10 +1,12 @@
 //! Load-test harness: a minimal blocking HTTP client, a mixed request
 //! corpus (cold solves, warm repeats, isomorphic relabelings, adversarial
-//! guard instances), and per-pass latency/hit statistics.
+//! guard instances), per-pass latency/hit statistics, and a concurrent
+//! multi-replica soak mode ([`soak`]) for cluster runs.
 //!
-//! Used three ways: the `e10_serve` bench (cold-vs-warm latency →
-//! `BENCH_serve.json`), the CI smoke job (`dclab serve --self-test`), and
-//! ad-hoc load tests against a live server.
+//! Used four ways: the `e10_serve` bench (cold-vs-warm latency →
+//! `BENCH_serve.json`), the CI smoke job (`dclab serve --self-test`), the
+//! CI cluster-soak job (`dclab loadgen --addrs a,b`), and ad-hoc load
+//! tests against a live server.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -234,6 +236,45 @@ pub fn mixed_corpus(seed: u64, instances: usize) -> Vec<CorpusItem> {
     items
 }
 
+/// A soak-friendly corpus: cheap strategies only (greedy/heuristic), so
+/// per-request cost is dominated by serving and routing rather than
+/// Held–Karp solves, plus isomorphic relabelings (cross-replica cache
+/// hits) and a sprinkle of guard 422s.
+pub fn soak_corpus(seed: u64, instances: usize) -> Vec<CorpusItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items = Vec::new();
+    for i in 0..instances.max(1) {
+        let n = 10 + (i % 8) * 2;
+        let g = random::gnp_with_diameter_at_most(&mut rng, n, 0.55, 2);
+        let strategy = ["greedy", "heuristic"][i % 2];
+        items.push(CorpusItem {
+            name: format!("soak{n}-{i}-{strategy}"),
+            target: format!("/solve?p=2,1&strategy={strategy}"),
+            body: graph_io::write_edge_list(&g),
+            expect_status: 200,
+        });
+        if i % 3 == 0 {
+            let perm = random::random_permutation(&mut rng, n);
+            let h = g.relabeled(&perm);
+            items.push(CorpusItem {
+                name: format!("soak{n}-{i}-{strategy}-relabel"),
+                target: format!("/solve?p=2,1&strategy={strategy}"),
+                body: graph_io::write_edge_list(&h),
+                expect_status: 200,
+            });
+        }
+    }
+    // Guard rejections are instant 422s: error-path coverage at soak rate.
+    let g = classic::complete(30);
+    items.push(CorpusItem {
+        name: "soak-guard-k30".into(),
+        target: "/solve?p=2,1&strategy=exact".into(),
+        body: graph_io::write_edge_list(&g),
+        expect_status: 422,
+    });
+    items
+}
+
 /// An exact-strategy-only corpus of small instances (the cold-vs-warm
 /// latency benchmark: Held–Karp solves are expensive, cache hits are not).
 pub fn exact_corpus(seed: u64, instances: usize) -> Vec<CorpusItem> {
@@ -336,6 +377,201 @@ pub fn run(
     (0..passes).map(|_| run_pass(addr, corpus)).collect()
 }
 
+/// Knobs for a concurrent multi-replica soak ([`soak`]).
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// Replica addresses; clients are spread round-robin across them.
+    pub addrs: Vec<SocketAddr>,
+    /// Concurrent keep-alive connections (client threads).
+    pub connections: usize,
+    pub duration: Duration,
+    /// Corpus seed (same corpus on every connection, offset per thread so
+    /// replicas see interleaved cold/warm traffic).
+    pub seed: u64,
+    /// Corpus size passed to [`soak_corpus`].
+    pub instances: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            addrs: Vec::new(),
+            connections: 8,
+            duration: Duration::from_secs(5),
+            seed: 42,
+            instances: 12,
+        }
+    }
+}
+
+/// Aggregate statistics from a [`soak`] run.
+#[derive(Clone, Debug, Default)]
+pub struct SoakStats {
+    pub requests: u64,
+    /// Transport-level failures (connect/read errors after one retry).
+    pub transport_errors: u64,
+    /// Responses whose status did not match the corpus expectation and
+    /// were not an overload shed.
+    pub unexpected: u64,
+    /// `503` overload sheds (expected under deliberate saturation; never
+    /// counted as unexpected).
+    pub sheds: u64,
+    /// 5xx responses that are *not* sheds — the cluster-soak gate asserts
+    /// this stays zero.
+    pub hard_5xx: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub coalesced: u64,
+    /// `x-dclab-routed` tallies (cluster mode only; all zero otherwise).
+    pub routed_local: u64,
+    pub routed_forwarded: u64,
+    pub routed_fallback: u64,
+    /// Per-request wall latencies, microseconds, arrival order.
+    pub latencies_us: Vec<u64>,
+}
+
+impl SoakStats {
+    fn absorb(&mut self, other: SoakStats) {
+        self.requests += other.requests;
+        self.transport_errors += other.transport_errors;
+        self.unexpected += other.unexpected;
+        self.sheds += other.sheds;
+        self.hard_5xx += other.hard_5xx;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.routed_local += other.routed_local;
+        self.routed_forwarded += other.routed_forwarded;
+        self.routed_fallback += other.routed_fallback;
+        self.latencies_us.extend(other.latencies_us);
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let denom = self.hits + self.misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.hits as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of routed responses answered by the replica the client
+    /// happened to dial (cluster mode). ~1/replicas under uniform load.
+    pub fn routing_local_rate(&self) -> f64 {
+        let denom = self.routed_local + self.routed_forwarded + self.routed_fallback;
+        if denom == 0 {
+            0.0
+        } else {
+            self.routed_local as f64 / denom as f64
+        }
+    }
+
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        sorted[idx]
+    }
+
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .u64("requests", self.requests)
+            .u64("transport_errors", self.transport_errors)
+            .u64("unexpected", self.unexpected)
+            .u64("sheds", self.sheds)
+            .u64("hard_5xx", self.hard_5xx)
+            .u64("hits", self.hits)
+            .u64("misses", self.misses)
+            .u64("coalesced", self.coalesced)
+            .f64("hit_rate", self.hit_rate())
+            .u64("routed_local", self.routed_local)
+            .u64("routed_forwarded", self.routed_forwarded)
+            .u64("routed_fallback", self.routed_fallback)
+            .f64("routing_local_rate", self.routing_local_rate())
+            .u64("p50_us", self.percentile_us(0.50))
+            .u64("p90_us", self.percentile_us(0.90))
+            .u64("p99_us", self.percentile_us(0.99))
+            .u64("p999_us", self.percentile_us(0.999))
+            .finish()
+    }
+}
+
+/// Concurrent soak: `connections` keep-alive clients spread round-robin
+/// over the replica list, each replaying the [`soak_corpus`] (offset by
+/// its thread index) until the deadline. Latencies, cache statuses,
+/// `x-dclab-routed` tallies, and shed/5xx counts are merged across all
+/// threads.
+pub fn soak(cfg: &SoakConfig) -> Result<SoakStats, String> {
+    if cfg.addrs.is_empty() {
+        return Err("soak needs at least one address".into());
+    }
+    let corpus = std::sync::Arc::new(soak_corpus(cfg.seed, cfg.instances));
+    let deadline = Instant::now() + cfg.duration;
+    let mut joins = Vec::new();
+    for t in 0..cfg.connections.max(1) {
+        let addr = cfg.addrs[t % cfg.addrs.len()];
+        let corpus = std::sync::Arc::clone(&corpus);
+        joins.push(std::thread::spawn(move || {
+            soak_thread(addr, &corpus, t, deadline)
+        }));
+    }
+    let mut total = SoakStats::default();
+    for j in joins {
+        total.absorb(j.join().map_err(|_| "soak thread panicked".to_string())?);
+    }
+    Ok(total)
+}
+
+fn soak_thread(
+    addr: SocketAddr,
+    corpus: &[CorpusItem],
+    offset: usize,
+    deadline: Instant,
+) -> SoakStats {
+    let mut client = Client::new(addr);
+    let mut stats = SoakStats::default();
+    let mut i = offset;
+    while Instant::now() < deadline {
+        let item = &corpus[i % corpus.len()];
+        i += 1;
+        let started = Instant::now();
+        let resp = match client.request("POST", &item.target, &item.body) {
+            Ok(r) => r,
+            Err(_) => {
+                stats.transport_errors += 1;
+                continue;
+            }
+        };
+        let elapsed = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        stats.requests += 1;
+        stats.latencies_us.push(elapsed);
+        if resp.status == 503 {
+            stats.sheds += 1;
+        } else if resp.status >= 500 {
+            stats.hard_5xx += 1;
+            stats.unexpected += 1;
+        } else if resp.status != item.expect_status {
+            stats.unexpected += 1;
+        }
+        match resp.header("x-dclab-cache") {
+            Some("hit") => stats.hits += 1,
+            Some("miss") => stats.misses += 1,
+            Some("coalesced") => stats.coalesced += 1,
+            _ => {}
+        }
+        match resp.header("x-dclab-routed") {
+            Some("local") => stats.routed_local += 1,
+            Some("forwarded") => stats.routed_forwarded += 1,
+            Some("fallback") => stats.routed_fallback += 1,
+            _ => {}
+        }
+    }
+    stats
+}
+
 /// In-process smoke test (the CI job behind `dclab serve --self-test`):
 /// start a server on an ephemeral port, replay a mixed corpus for roughly
 /// `duration`, then shut down cleanly. Returns a JSON summary, or an error
@@ -426,6 +662,48 @@ mod tests {
         assert!(a.iter().any(|i| i.target.contains("format=dimacs")));
         let e = exact_corpus(7, 10);
         assert!(e.iter().all(|i| i.target.contains("strategy=exact")));
+        // The soak corpus must never carry an exact-strategy 200 item:
+        // Held–Karp cold solves would turn the soak histogram into a
+        // solver benchmark.
+        let s = soak_corpus(7, 12);
+        assert!(s
+            .iter()
+            .all(|i| i.expect_status != 200 || !i.target.contains("exact")));
+        assert!(s.iter().any(|i| i.expect_status == 422));
+        assert!(s.iter().any(|i| i.name.ends_with("relabel")));
+    }
+
+    #[test]
+    fn soak_stats_merge_and_rates() {
+        let mut total = SoakStats::default();
+        total.absorb(SoakStats {
+            requests: 10,
+            hits: 6,
+            misses: 2,
+            sheds: 1,
+            routed_local: 5,
+            routed_forwarded: 3,
+            latencies_us: vec![10, 20],
+            ..Default::default()
+        });
+        total.absorb(SoakStats {
+            requests: 5,
+            hits: 2,
+            misses: 0,
+            hard_5xx: 1,
+            unexpected: 1,
+            routed_local: 1,
+            routed_fallback: 1,
+            latencies_us: vec![30],
+            ..Default::default()
+        });
+        assert_eq!(total.requests, 15);
+        assert_eq!(total.latencies_us.len(), 3);
+        assert!((total.hit_rate() - 0.8).abs() < 1e-9);
+        assert!((total.routing_local_rate() - 0.6).abs() < 1e-9);
+        let json = total.to_json();
+        assert!(json.contains("\"hard_5xx\":1"));
+        assert!(json.contains("\"p99_us\":30"));
     }
 
     #[test]

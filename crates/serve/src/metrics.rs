@@ -204,6 +204,35 @@ pub struct Metrics {
     pub store_warm_boot: AtomicU64,
     /// Store fsyncs (shutdown drain, explicit flushes).
     pub store_flushes: AtomicU64,
+    /// Connections accepted (reactor or blocking accept loop).
+    pub conns_accepted: AtomicU64,
+    /// Currently open connections (gauge; reactor-maintained).
+    pub conns_open: AtomicU64,
+    /// Connections reaped by the per-connection idle deadline
+    /// (`--conn-idle-ms`): slow-loris defense.
+    pub conns_reaped: AtomicU64,
+    /// Connections shed with 503 at the connection budget (`--max-conns`),
+    /// before any request bytes were read. Distinct from
+    /// `rejected_overload`, which counts queue-full sheds.
+    pub rejected_conn_budget: AtomicU64,
+    /// Worker-pool pressure gauges, refreshed by the reactor tick (the
+    /// scrape path must never touch the pool itself — it runs on the
+    /// reactor thread and has the fresh values at hand).
+    pub pool_queue_depth: AtomicU64,
+    pub pool_in_flight: AtomicU64,
+    pub pool_workers: AtomicU64,
+    /// 1 when serving as a member of a `--cluster` replica set.
+    pub cluster_enabled: AtomicU64,
+    /// Replica-set size (including this node).
+    pub cluster_replicas: AtomicU64,
+    /// Solve requests answered locally because this node owns the key.
+    pub cluster_local: AtomicU64,
+    /// Solve requests proxied to the owning replica.
+    pub cluster_forwarded: AtomicU64,
+    /// Forwarded solve requests *received* from a peer replica.
+    pub cluster_received: AtomicU64,
+    /// Proxy attempts that failed and fell back to a local solve.
+    pub cluster_fallback: AtomicU64,
 }
 
 impl Metrics {
@@ -300,9 +329,71 @@ impl Metrics {
         }
         out.push_str(&counter(
             "dclab_rejected_overload_total",
-            "Connections shed with 503 because the worker queue was full.",
+            "Requests shed with 503 because the worker queue was full.",
             self.rejected_overload.load(Ordering::Relaxed),
         ));
+        out.push_str(&counter(
+            "dclab_rejected_conn_budget_total",
+            "Connections shed with 503 at the connection budget (--max-conns).",
+            self.rejected_conn_budget.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "dclab_conns_accepted_total",
+            "Connections accepted.",
+            self.conns_accepted.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_conns_open",
+            "Currently open connections.",
+            self.conns_open.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "dclab_conns_reaped_total",
+            "Connections reaped by the idle deadline (--conn-idle-ms).",
+            self.conns_reaped.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_pool_queue_depth",
+            "Jobs waiting in the worker-pool queue.",
+            self.pool_queue_depth.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_pool_in_flight",
+            "Jobs currently executing on pool workers.",
+            self.pool_in_flight.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_pool_workers",
+            "Worker threads in the solve pool.",
+            self.pool_workers.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_cluster_enabled",
+            "1 when serving as a member of a --cluster replica set.",
+            self.cluster_enabled.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_cluster_replicas",
+            "Replica-set size (including this node).",
+            self.cluster_replicas.load(Ordering::Relaxed),
+        ));
+        out.push_str(&family(
+            "dclab_cluster_requests_total",
+            "Cluster-routed solve requests, by route taken.",
+            "counter",
+        ));
+        for (route, v) in [
+            ("local", &self.cluster_local),
+            ("forwarded", &self.cluster_forwarded),
+            ("received", &self.cluster_received),
+            ("fallback", &self.cluster_fallback),
+        ] {
+            out.push_str(&format!(
+                "dclab_cluster_requests_total{{route=\"{}\"}} {}\n",
+                escape_label(route),
+                v.load(Ordering::Relaxed)
+            ));
+        }
         out.push_str(&counter(
             "dclab_cache_hits_total",
             "Report-cache hits.",
@@ -465,6 +556,35 @@ impl Metrics {
             .u64("entries", cache.entries)
             .u64("bytes", cache.bytes)
             .finish();
+        let serve_json = Obj::new()
+            .u64(
+                "conns_accepted",
+                self.conns_accepted.load(Ordering::Relaxed),
+            )
+            .u64("conns_open", self.conns_open.load(Ordering::Relaxed))
+            .u64("conns_reaped", self.conns_reaped.load(Ordering::Relaxed))
+            .u64(
+                "rejected_conn_budget",
+                self.rejected_conn_budget.load(Ordering::Relaxed),
+            )
+            .u64(
+                "pool_queue_depth",
+                self.pool_queue_depth.load(Ordering::Relaxed),
+            )
+            .u64(
+                "pool_in_flight",
+                self.pool_in_flight.load(Ordering::Relaxed),
+            )
+            .u64("pool_workers", self.pool_workers.load(Ordering::Relaxed))
+            .finish();
+        let cluster_json = Obj::new()
+            .bool("enabled", self.cluster_enabled.load(Ordering::Relaxed) == 1)
+            .u64("replicas", self.cluster_replicas.load(Ordering::Relaxed))
+            .u64("local", self.cluster_local.load(Ordering::Relaxed))
+            .u64("forwarded", self.cluster_forwarded.load(Ordering::Relaxed))
+            .u64("received", self.cluster_received.load(Ordering::Relaxed))
+            .u64("fallback", self.cluster_fallback.load(Ordering::Relaxed))
+            .finish();
         let gauges = store.unwrap_or_default();
         let store_json = Obj::new()
             .bool("enabled", store.is_some())
@@ -510,6 +630,8 @@ impl Metrics {
                 self.solve_timeouts.load(Ordering::Relaxed),
             )
             .u64("slow_solves", self.slow_solves.load(Ordering::Relaxed))
+            .raw("serve", &serve_json)
+            .raw("cluster", &cluster_json)
             .raw("cache", &cache_json)
             .raw("store", &store_json)
             .raw("strategies", &strategies)
@@ -709,6 +831,44 @@ mod tests {
         assert!(json.contains("\"solve_timeouts\":2"));
         assert!(json.contains("\"race_wins\":{"));
         assert!(json.contains("\"heuristic\":2"));
+    }
+
+    #[test]
+    fn connection_pool_and_cluster_metrics_render() {
+        let m = Metrics::default();
+        m.conns_accepted.fetch_add(9, Ordering::Relaxed);
+        m.conns_open.store(4, Ordering::Relaxed);
+        m.conns_reaped.fetch_add(2, Ordering::Relaxed);
+        m.rejected_conn_budget.fetch_add(1, Ordering::Relaxed);
+        m.pool_queue_depth.store(3, Ordering::Relaxed);
+        m.pool_in_flight.store(2, Ordering::Relaxed);
+        m.pool_workers.store(8, Ordering::Relaxed);
+        m.cluster_enabled.store(1, Ordering::Relaxed);
+        m.cluster_replicas.store(2, Ordering::Relaxed);
+        m.cluster_local.fetch_add(5, Ordering::Relaxed);
+        m.cluster_forwarded.fetch_add(3, Ordering::Relaxed);
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert!(text.contains("dclab_conns_accepted_total 9\n"));
+        assert!(text.contains("dclab_conns_open 4\n"));
+        assert!(text.contains("dclab_conns_reaped_total 2\n"));
+        assert!(text.contains("dclab_rejected_conn_budget_total 1\n"));
+        assert!(text.contains("dclab_pool_queue_depth 3\n"));
+        assert!(text.contains("dclab_pool_in_flight 2\n"));
+        assert!(text.contains("dclab_pool_workers 8\n"));
+        assert!(text.contains("dclab_cluster_enabled 1\n"));
+        assert!(text.contains("dclab_cluster_requests_total{route=\"local\"} 5\n"));
+        assert!(text.contains("dclab_cluster_requests_total{route=\"forwarded\"} 3\n"));
+        assert!(text.contains("dclab_cluster_requests_total{route=\"fallback\"} 0\n"));
+        assert_eq!(
+            text.matches("# TYPE dclab_cluster_requests_total").count(),
+            1
+        );
+        let json = m.to_json(CacheCounters::default(), None);
+        assert!(
+            json.contains("\"serve\":{\"conns_accepted\":9,\"conns_open\":4,\"conns_reaped\":2")
+        );
+        assert!(json.contains("\"cluster\":{\"enabled\":true,\"replicas\":2,\"local\":5"));
+        assert_prometheus_grammar(&text);
     }
 
     #[test]

@@ -1,9 +1,19 @@
-//! The solve service: accept loop, request routing, and handlers.
+//! The solve service: configuration, request routing, and handlers.
 //!
-//! Architecture: one accept thread hands connections to a fixed
-//! [`WorkerPool`] (bounded queue → back-pressure; overflow is shed with
-//! `503`). Each worker speaks HTTP/1.1 with keep-alive on its connection
-//! and routes requests through the shared [`ReportCache`].
+//! Architecture (default, Linux): one **epoll reactor thread**
+//! ([`crate::reactor`]) owns every connection as a readiness-driven state
+//! machine; only `POST /solve` and `POST /batch` are dispatched to the
+//! fixed [`WorkerPool`] (bounded queue → back-pressure; overflow is shed
+//! `503` + `Retry-After` *before* a worker is consumed). Every other
+//! endpoint is answered inline on the reactor thread, so `/metrics` and
+//! `/debug/*` stay responsive while all workers are saturated. The
+//! pre-reactor thread-per-connection path survives behind
+//! `--legacy-blocking` ([`crate::blocking`]) as the differential oracle
+//! and the non-Linux fallback.
+//!
+//! Cluster mode (`--cluster a:p1,b:p2,...`, [`crate::cluster`]) makes each
+//! replica consistent-hash `/solve` requests by canonical instance
+//! identity and proxy to the owner; responses carry `x-dclab-routed`.
 //!
 //! | Endpoint         | Semantics                                            |
 //! |------------------|------------------------------------------------------|
@@ -22,22 +32,22 @@
 //! [`dclab_trace::Trace`] keyed by that id; finished traces land in the
 //! flight recorder and feed the `dclab_phase_seconds` histograms.
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use dclab_engine::json::{array, escape, Obj};
 use dclab_engine::{solve, Budget, EngineError, SolveReport, SolveRequest, Strategy};
 use dclab_graph::io as graph_io;
 use dclab_graph::Graph;
-use dclab_par::{SubmitError, WorkerPool};
+use dclab_par::WorkerPool;
 use dclab_store::Store;
 use dclab_trace::FlightRecorder;
 
 use crate::cache::{CacheKey, CacheStatus, ReportCache};
-use crate::http::{read_request, write_response, ParseError, Request};
+use crate::cluster::{self, Cluster};
+use crate::http::Request;
 use crate::metrics::{Metrics, StoreGauges};
 use crate::persist;
 
@@ -64,6 +74,26 @@ pub struct ServeConfig {
     /// Solves taking at least this long get a one-line structured record
     /// in the slow-solve log (stderr + `GET /debug/slowlog`).
     pub slow_solve_ms: u64,
+    /// Request body cap (`--max-body-bytes`); bodies over it get `413`
+    /// with a JSON error, rejected from the `Content-Length` declaration
+    /// alone (no body bytes are buffered first).
+    pub max_body_bytes: usize,
+    /// Connection budget (`--max-conns`, reactor path): open connections
+    /// past this are answered `503` + `Retry-After` at accept. Decoupled
+    /// from — and far above — the worker count.
+    pub max_conns: usize,
+    /// Per-connection idle deadline in ms (`--conn-idle-ms`): stalled
+    /// connections (slow-loris) are reaped and counted in
+    /// `dclab_conns_reaped_total`.
+    pub conn_idle_ms: u64,
+    /// Use the pre-reactor thread-per-connection path
+    /// (`--legacy-blocking`): the differential oracle, and the only path
+    /// off Linux.
+    pub legacy_blocking: bool,
+    /// Cluster replica list (`--cluster a:p1,b:p2,...`), empty for
+    /// single-node. Must contain this server's own `addr`; every replica
+    /// must be started with the identical list.
+    pub cluster: Vec<String>,
 }
 
 /// Default server-side deadline cap (one minute).
@@ -91,6 +121,11 @@ impl Default for ServeConfig {
             store_path: None,
             max_deadline_ms: DEFAULT_MAX_DEADLINE_MS,
             slow_solve_ms: DEFAULT_SLOW_SOLVE_MS,
+            max_body_bytes: crate::http::MAX_BODY_BYTES,
+            max_conns: crate::reactor_defaults::MAX_CONNS,
+            conn_idle_ms: crate::reactor_defaults::CONN_IDLE_MS,
+            legacy_blocking: false,
+            cluster: Vec::new(),
         }
     }
 }
@@ -139,10 +174,23 @@ pub struct ServeCtx {
     pub flight: FlightRecorder,
     /// Recent slow-solve records, behind `GET /debug/slowlog`.
     pub slowlog: SlowLog,
+    /// Consistent-hash routing state when serving as a cluster replica.
+    pub cluster: Option<Cluster>,
+    /// Outbound proxies currently blocking a worker (cluster mode).
+    proxy_in_flight: AtomicUsize,
+    /// Cap on concurrent outbound proxies: `workers - 1`, so at least one
+    /// worker is always free to serve *incoming* forwarded requests.
+    /// Without this, two replicas whose entire pools are blocked proxying
+    /// to each other deadlock until the proxy timeout; past the cap a
+    /// request degrades to a local fallback solve instead of waiting.
+    proxy_limit: usize,
+    /// Request body cap (bytes); enforced by both serve paths at parse
+    /// time, before body bytes are buffered.
+    pub max_body_bytes: usize,
     /// Cap applied to client-requested `deadline-ms` values.
-    max_deadline_ms: u64,
+    pub(crate) max_deadline_ms: u64,
     /// Threshold for the slow-solve log, in ms.
-    slow_solve_ms: u64,
+    pub(crate) slow_solve_ms: u64,
     shutdown: AtomicBool,
 }
 
@@ -207,16 +255,43 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         Some(path) => Some(Arc::new(Store::open(path)?.0)),
         None => None,
     };
+    let cluster = if cfg.cluster.is_empty() {
+        None
+    } else {
+        // Identify this node by its --addr string, falling back to the
+        // resolved bind address.
+        let built = Cluster::new(cfg.cluster.clone(), &cfg.addr)
+            .or_else(|| Cluster::new(cfg.cluster.clone(), &addr.to_string()));
+        Some(built.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "--cluster list {:?} does not contain this node's --addr {}",
+                    cfg.cluster, cfg.addr
+                ),
+            )
+        })?)
+    };
     let ctx = Arc::new(ServeCtx {
         cache: ReportCache::new(cfg.cache_mb.max(1) * 1024 * 1024),
         metrics: Metrics::default(),
         store,
         flight: FlightRecorder::new(FLIGHT_LAST_N, FLIGHT_SLOWEST_K),
         slowlog: SlowLog::new(SLOWLOG_CAP),
+        cluster,
+        proxy_in_flight: AtomicUsize::new(0),
+        proxy_limit: cfg.workers.max(1).saturating_sub(1),
+        max_body_bytes: cfg.max_body_bytes.max(1),
         max_deadline_ms: cfg.max_deadline_ms.max(1),
         slow_solve_ms: cfg.slow_solve_ms,
         shutdown: AtomicBool::new(false),
     });
+    if let Some(cluster) = &ctx.cluster {
+        ctx.metrics.cluster_enabled.store(1, Ordering::Relaxed);
+        ctx.metrics
+            .cluster_replicas
+            .store(cluster.replicas().len() as u64, Ordering::Relaxed);
+    }
     if let Some(store) = &ctx.store {
         let loaded = persist::warm_boot(&ctx.cache, store);
         ctx.metrics.store_warm_boot.store(loaded, Ordering::Relaxed);
@@ -228,9 +303,29 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
         cfg.queue_cap
     };
     let accept_ctx = Arc::clone(&ctx);
+    let legacy = cfg.legacy_blocking || !cfg!(target_os = "linux");
+    let max_conns = cfg.max_conns.max(1);
+    let conn_idle_ms = cfg.conn_idle_ms.max(1);
     let accept_thread = std::thread::Builder::new()
         .name("dclab-accept".into())
-        .spawn(move || accept_loop(listener, accept_ctx, workers, queue_cap))?;
+        .spawn(move || {
+            #[cfg(target_os = "linux")]
+            if !legacy {
+                crate::reactor::run(
+                    listener,
+                    accept_ctx,
+                    crate::reactor::ReactorConfig {
+                        workers,
+                        queue_cap,
+                        max_conns,
+                        conn_idle_ms,
+                    },
+                );
+                return;
+            }
+            let _ = (legacy, max_conns);
+            crate::blocking::accept_loop(listener, accept_ctx, workers, queue_cap, conn_idle_ms);
+        })?;
     Ok(ServerHandle {
         addr,
         ctx,
@@ -238,62 +333,11 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize, queue_cap: usize) {
-    let mut pool = WorkerPool::new(workers, queue_cap);
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                // Idle keep-alive connections time out rather than pinning
-                // a worker forever (also bounds graceful-shutdown latency).
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                let _ = stream.set_nodelay(true);
-                let conn_ctx = Arc::clone(&ctx);
-                let shed_stream = stream.try_clone().ok();
-                match pool.try_submit(move || handle_connection(conn_ctx, stream)) {
-                    Ok(()) => {}
-                    Err(SubmitError::QueueFull(job)) => {
-                        // Shed load: drop the queued job (it owns the
-                        // stream) and answer 503 on the clone without
-                        // reading the request.
-                        drop(job);
-                        ctx.metrics
-                            .rejected_overload
-                            .fetch_add(1, Ordering::Relaxed);
-                        ctx.metrics.record_status(503);
-                        if let Some(mut s) = shed_stream {
-                            let body = error_json("server overloaded", "overload");
-                            let rid = generate_request_id();
-                            let _ = write_response(
-                                &mut s,
-                                503,
-                                &[("x-request-id", &rid)],
-                                body.as_bytes(),
-                                false,
-                            );
-                        }
-                    }
-                    Err(SubmitError::ShuttingDown) => break,
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if ctx.shutdown_requested() {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => {
-                if ctx.shutdown_requested() {
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    }
-    // Graceful: drain queued connections, join workers.
+/// Shared shutdown tail for both serve paths: drain + join the pool, then
+/// seal the archive (fsync + clean footer) so a reopened store trusts the
+/// whole log.
+pub(crate) fn finish_shutdown(ctx: &ServeCtx, pool: &mut WorkerPool) {
     pool.shutdown();
-    // Every in-flight solve has now written behind; seal the archive
-    // (fsync + clean footer) so a reopened store trusts the whole log.
     if let Some(store) = &ctx.store {
         if store.close_clean().is_ok() {
             ctx.metrics.store_flushes.fetch_add(1, Ordering::Relaxed);
@@ -304,7 +348,7 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServeCtx>, workers: usize, queue_
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A fresh server-generated request id (process-unique).
-fn generate_request_id() -> String {
+pub(crate) fn generate_request_id() -> String {
     format!(
         "req-{:x}-{:06x}",
         std::process::id(),
@@ -316,7 +360,7 @@ fn generate_request_id() -> String {
 /// sent a sane one (printable ASCII, bounded length), a generated id
 /// otherwise. Client ids flow into logs, trace lookups, and response
 /// headers, so hostile bytes are rejected rather than escaped everywhere.
-fn request_id(req: &Request) -> String {
+pub(crate) fn request_id(req: &Request) -> String {
     match req.header("x-request-id") {
         Some(v) if !v.is_empty() && v.len() <= 64 && v.bytes().all(|b| b.is_ascii_graphic()) => {
             v.to_string()
@@ -325,80 +369,26 @@ fn request_id(req: &Request) -> String {
     }
 }
 
-/// Serve one connection until close/EOF/timeout.
-fn handle_connection(ctx: Arc<ServeCtx>, stream: TcpStream) {
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_request(&mut reader) {
-            Ok(req) => {
-                let rid = request_id(&req);
-                let (status, extra, body) = route(&ctx, &req, &rid);
-                // Re-check shutdown *after* routing so the `/shutdown`
-                // response itself closes the connection and frees this
-                // worker for the pool drain.
-                let keep_alive = req.keep_alive() && !ctx.shutdown_requested();
-                ctx.metrics.record_status(status);
-                let mut header_refs: Vec<(&str, &str)> =
-                    extra.iter().map(|(k, v)| (*k, v.as_str())).collect();
-                header_refs.push(("x-request-id", &rid));
-                if write_response(
-                    &mut write_half,
-                    status,
-                    &header_refs,
-                    body.as_bytes(),
-                    keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-            }
-            Err(ParseError::ConnectionClosed) | Err(ParseError::Io(_)) => return,
-            Err(ParseError::Bad(reason)) => {
-                ctx.metrics.record_status(400);
-                let body = error_json(reason, "bad-request");
-                let rid = generate_request_id();
-                let _ = write_response(
-                    &mut write_half,
-                    400,
-                    &[("x-request-id", &rid)],
-                    body.as_bytes(),
-                    false,
-                );
-                return;
-            }
-            Err(ParseError::TooLarge(reason)) => {
-                let status = if reason.contains("header") { 431 } else { 413 };
-                ctx.metrics.record_status(status);
-                let body = error_json(reason, "too-large");
-                let rid = generate_request_id();
-                let _ = write_response(
-                    &mut write_half,
-                    status,
-                    &[("x-request-id", &rid)],
-                    body.as_bytes(),
-                    false,
-                );
-                return;
-            }
-        }
-    }
-}
-
-fn error_json(message: &str, kind: &str) -> String {
+pub(crate) fn error_json(message: &str, kind: &str) -> String {
     Obj::new().str("error", message).str("kind", kind).finish()
 }
 
-type Response = (u16, Vec<(&'static str, String)>, String);
+pub(crate) type Response = (u16, Vec<(&'static str, String)>, String);
+
+/// Does this request need a solve worker? Only `/solve` and `/batch` do
+/// CPU-bound work; everything else — health, metrics, debug surfaces,
+/// shutdown, 404/405 — is answered inline on the reactor thread so
+/// observability stays live while the pool is saturated.
+pub(crate) fn needs_worker(req: &Request) -> bool {
+    matches!(
+        (req.method.as_str(), req.path.as_str()),
+        ("POST", "/solve") | ("POST", "/batch")
+    )
+}
 
 // `requests_total` is bumped by `record_status` in every answer path
 // (routed, parse failure, overload shed), so totals always reconcile.
-fn route(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
+pub(crate) fn route(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
@@ -599,19 +589,20 @@ fn engine_error_meta(e: &EngineError) -> (u16, &'static str) {
     }
 }
 
-/// Cache-through solve of one instance. Returns the report and cache
-/// status, or an error response triple.
+/// Cache-through solve of one instance under a pre-computed key (the
+/// caller needs the key anyway for cluster routing). Returns the report
+/// and cache status, or an error response triple.
 fn cached_solve(
     ctx: &ServeCtx,
+    key: &CacheKey,
     graph: Graph,
     params: &SolveParams,
 ) -> Result<(SolveReport, CacheStatus), (u16, &'static str, String)> {
-    let key = CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
-    let (result, status) = ctx.cache.get_or_solve(&key, || {
+    let (result, status) = ctx.cache.get_or_solve(key, || {
         // LRU miss: consult the persistent archive before paying for a
         // solve (covers evicted entries and corpora imported offline).
         if let Some(store) = &ctx.store {
-            if let Some(report) = persist::store_lookup(store, &key) {
+            if let Some(report) = persist::store_lookup(store, key) {
                 ctx.metrics.store_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(report);
             }
@@ -638,7 +629,7 @@ fn cached_solve(
                 // warm-boot that load-dependent quality level forever.
                 if let Some(store) = &ctx.store {
                     if !report.stats.timed_out
-                        && matches!(persist::store_append(store, &key, &report), Ok(true))
+                        && matches!(persist::store_append(store, key, &report), Ok(true))
                     {
                         ctx.metrics.store_appends.fetch_add(1, Ordering::Relaxed);
                     }
@@ -683,6 +674,61 @@ fn solve_endpoint(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
         Ok(g) => g,
         Err(e) => return (400, vec![], error_json(&e, "parse")),
     };
+    // Cluster routing: the cache key's hash is the canonical instance
+    // identity (isomorphism-invariant), so all relabelings of one
+    // instance route to the same owner replica.
+    let key = CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
+    let mut routed: Option<&'static str> = None;
+    if let Some(cl) = &ctx.cluster {
+        if req.header(cluster::FORWARDED_HEADER).is_some() {
+            // One hop max: a forwarded request always solves here.
+            ctx.metrics.cluster_received.fetch_add(1, Ordering::Relaxed);
+            routed = Some("local");
+        } else if let Some(owner) = cl.owner_if_remote(key.hash) {
+            // A proxy blocks this worker until the owner answers, and the
+            // owner needs a worker of its own to answer — so concurrent
+            // outbound proxies are capped at workers-1. Past the cap (or
+            // with a single worker) we solve locally instead of risking
+            // two replicas deadlocked proxying to each other.
+            let permit = ctx
+                .proxy_in_flight
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < ctx.proxy_limit).then_some(n + 1)
+                })
+                .is_ok();
+            let proxied = if permit {
+                let r = cluster::proxy(owner, req, rid, cl.self_addr());
+                ctx.proxy_in_flight.fetch_sub(1, Ordering::AcqRel);
+                Some(r)
+            } else {
+                None
+            };
+            match proxied {
+                Some(Ok(up)) => {
+                    ctx.metrics
+                        .cluster_forwarded
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut extra = vec![("x-dclab-routed", "forwarded".to_string())];
+                    if let Some(cs) = up.cache_status {
+                        extra.push(("x-dclab-cache", cs));
+                    }
+                    let body = String::from_utf8(up.body)
+                        .unwrap_or_else(|_| error_json("upstream returned non-UTF-8", "internal"));
+                    return (up.status, extra, body);
+                }
+                Some(Err(_)) | None => {
+                    // Owner unreachable, or no proxy permit free: degrade
+                    // to an independent solve rather than a 5xx — the
+                    // mesh heals when capacity returns.
+                    ctx.metrics.cluster_fallback.fetch_add(1, Ordering::Relaxed);
+                    routed = Some("fallback");
+                }
+            }
+        } else {
+            ctx.metrics.cluster_local.fetch_add(1, Ordering::Relaxed);
+            routed = Some("local");
+        }
+    }
     // Every accepted solve runs under a live trace keyed by the request id:
     // cache hits record just the request span, fresh solves the full phase
     // tree (the engine snapshots per-phase totals into `stats.phases`).
@@ -690,7 +736,7 @@ fn solve_endpoint(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
     let outcome = {
         let _install = trace.install();
         let mut span = trace.span("request");
-        let outcome = cached_solve(ctx, graph, &params);
+        let outcome = cached_solve(ctx, &key, graph, &params);
         if let Ok((report, status)) = &outcome {
             span.set_detail(format!(
                 "strategy={} cache={} span={}",
@@ -730,11 +776,13 @@ fn solve_endpoint(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
         ));
     }
     match outcome {
-        Ok((report, status)) => (
-            200,
-            vec![("x-dclab-cache", status.name().to_string())],
-            report.to_json(),
-        ),
+        Ok((report, status)) => {
+            let mut extra = vec![("x-dclab-cache", status.name().to_string())];
+            if let Some(route) = routed {
+                extra.push(("x-dclab-routed", route.to_string()));
+            }
+            (200, extra, report.to_json())
+        }
         Err((code, kind, message)) => (code, vec![], error_json(&message, kind)),
     }
 }
@@ -760,21 +808,25 @@ fn batch_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
     let mut items = Vec::with_capacity(instances.len());
     for text in &instances {
         let item = match parse_instance(text, params.format) {
-            Ok(graph) => match cached_solve(ctx, graph, &params) {
-                Ok((report, status)) => {
-                    match status {
-                        CacheStatus::Miss => misses += 1,
-                        _ => hits += 1,
+            Ok(graph) => {
+                let key =
+                    CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
+                match cached_solve(ctx, &key, graph, &params) {
+                    Ok((report, status)) => {
+                        match status {
+                            CacheStatus::Miss => misses += 1,
+                            _ => hits += 1,
+                        }
+                        Obj::new()
+                            .str("cache", status.name())
+                            .raw("report", &report.to_json())
+                            .finish()
                     }
-                    Obj::new()
-                        .str("cache", status.name())
-                        .raw("report", &report.to_json())
-                        .finish()
+                    Err((_, kind, message)) => {
+                        Obj::new().str("error", &message).str("kind", kind).finish()
+                    }
                 }
-                Err((_, kind, message)) => {
-                    Obj::new().str("error", &message).str("kind", kind).finish()
-                }
-            },
+            }
             Err(e) => Obj::new().str("error", &e).str("kind", "parse").finish(),
         };
         items.push(item);
@@ -843,6 +895,7 @@ mod tests {
         let req = |headers: Vec<(&str, &str)>| Request {
             method: "POST".into(),
             path: "/solve".into(),
+            target: "/solve".into(),
             query: vec![],
             headers: headers
                 .into_iter()

@@ -400,12 +400,14 @@ fn request_ids_and_debug_traces() {
     let body = graph_io::write_edge_list(&classic::petersen());
 
     // A sane client-supplied X-Request-Id is echoed back and keys the
-    // retained trace; heuristic keeps the solve single-threaded so phase
-    // totals nest inside the engine's "solve" span.
+    // retained trace; restarts=1 keeps the heuristic single-threaded
+    // (multi-restart runs fan lk spans across threads, whose *summed*
+    // time may exceed the solve span's wall time) so phase totals nest
+    // inside the engine's "solve" span.
     let resp = client
         .request_with_headers(
             "POST",
-            "/solve?p=2,1&strategy=heuristic",
+            "/solve?p=2,1&strategy=heuristic&restarts=1",
             &[("x-request-id", "e2e-trace-1")],
             &body,
         )
@@ -487,7 +489,7 @@ fn request_ids_and_debug_traces() {
     let warm = client
         .request_with_headers(
             "POST",
-            "/solve?p=2,1&strategy=heuristic",
+            "/solve?p=2,1&strategy=heuristic&restarts=1",
             &[("x-request-id", "e2e-trace-2")],
             &body,
         )

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use dclab_core::pvec::PVec;
 use dclab_engine::json::Obj;
-use dclab_engine::{solve, Budget, SolveRequest, Strategy};
+use dclab_engine::{solve, Budget, OraclePolicy, SolveRequest, Strategy};
 use dclab_graph::generators::random;
 use dclab_serve::loadgen::{exact_corpus, run_pass};
 use dclab_serve::{start, ServeConfig};
@@ -50,6 +50,7 @@ fn main() {
         pvec: vec![2, 1, i + 1],
         strategy: Strategy::Greedy,
         budget: Budget::default(),
+        oracle: OraclePolicy::Auto,
     };
 
     // --- Append throughput. ---

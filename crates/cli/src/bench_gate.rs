@@ -16,6 +16,8 @@
 //! | `serve_p99_us`                | BENCH_serve.json   | lower  | 70% |
 //! | `serve_conns_sustained`       | BENCH_serve.json   | higher | 30% |
 //! | `trace_disabled_rounds_per_s` | BENCH_trace.json   | higher | 70% |
+//! | `oracle_bytes_per_vertex`     | BENCH_oracle.json  | lower  | 70% |
+//! | `oracle_query_ns`             | BENCH_oracle.json  | lower  | 70% |
 //!
 //! The anytime metrics are computed by `e13_anytime` over the *gated*
 //! deadline's cells only (same instance count in quick and full mode), so
@@ -149,6 +151,27 @@ const METRICS: &[MetricSpec] = &[
         higher_is_better: true,
         tolerance: 0.70,
         extract: |doc| doc.get("disabled_rounds_per_s").and_then(Value::as_f64),
+    },
+    // Hub-label compactness: serialized label bytes per vertex on the
+    // bench family. Label sizes drift with ordering heuristics more than
+    // hardware, but quick mode builds a smaller instance than the
+    // committed full-mode baseline, so the loose 70% gate only catches a
+    // labeling that stopped being sparse.
+    MetricSpec {
+        name: "oracle_bytes_per_vertex",
+        file: "BENCH_oracle.json",
+        higher_is_better: false,
+        tolerance: 0.70,
+        extract: |doc| doc.get("oracle_bytes_per_vertex").and_then(Value::as_f64),
+    },
+    // Mean hub-label distance query latency: raw wall time → 70% gate,
+    // a catastrophic-drop detector for the merge-join inner loop.
+    MetricSpec {
+        name: "oracle_query_ns",
+        file: "BENCH_oracle.json",
+        higher_is_better: false,
+        tolerance: 0.70,
+        extract: |doc| doc.get("oracle_query_ns").and_then(Value::as_f64),
     },
 ];
 

@@ -3,7 +3,7 @@
 
 use dclab_core::pvec::PVec;
 use dclab_engine::json::Obj;
-use dclab_engine::{solve, solve_batch, Budget, SolveReport, SolveRequest, Strategy};
+use dclab_engine::{solve, solve_batch, Budget, OraclePolicy, SolveReport, SolveRequest, Strategy};
 use dclab_graph::io;
 use dclab_graph::Graph;
 use dclab_serve::persist;
@@ -15,6 +15,7 @@ struct Opts {
     pvec: PVec,
     strategy: Strategy,
     budget: Budget,
+    oracle: OraclePolicy,
     format: Option<io::Format>,
     /// Persistent solution archive: look up before solving, append after.
     store: Option<String>,
@@ -36,6 +37,8 @@ USAGE:
                                  with no family for families and flags)
   dclab store <sub> <archive>    stats | compact | export | import on a
                                  persistent solution archive
+  dclab oracle <sub> <file>      build | stats: hub-label distance oracles
+                                 (pruned landmark labeling) offline
   dclab bench-gate [FLAGS]       CI perf gate: compare fresh BENCH_*.json
                                  against committed baselines (see its --help)
   dclab e1..e8 | all [--quick]   the paper's experiment tables
@@ -43,10 +46,14 @@ USAGE:
 SOLVE/BATCH FLAGS:
   --p <p1,p2,...>       constraint vector (default 2,1)
   --strategy <name>     exact | branch-bound | approx15 | heuristic | greedy |
-                        diam2-pip | l1-coloring | auto | race (default auto).
-                        race runs 2-4 portfolio members concurrently with a
-                        shared incumbent bound; the first optimality proof
-                        cancels the rest
+                        diam2-pip | l1-coloring | oracle-path | auto | race
+                        (default auto). race runs 2-4 portfolio members
+                        concurrently with a shared incumbent bound; the first
+                        optimality proof cancels the rest. oracle-path is the
+                        matrix-free large-n route over a distance oracle
+  --oracle <policy>     auto | dense | hub: distance backend for oracle-routed
+                        solves (default auto: hub labels exactly when the
+                        dense pipeline would cross the 1 GiB memory wall)
   --format <fmt>        edgelist | dimacs (default: guess from extension)
   --node-budget <N>     branch-and-bound node budget
   --restarts <N>        chained-LK restarts
@@ -118,6 +125,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
         pvec: PVec::l21(),
         strategy: Strategy::Auto,
         budget: Budget::default(),
+        oracle: OraclePolicy::Auto,
         format: None,
         store: None,
         trace_out: None,
@@ -163,6 +171,7 @@ fn parse_opts(args: &[String]) -> Result<(Vec<String>, Opts), String> {
                     other => return Err(format!("unknown format '{other}'")),
                 })
             }
+            "--oracle" => opts.oracle = flag_value("--oracle")?.parse()?,
             "--store" => opts.store = Some(flag_value("--store")?),
             "--trace" => opts.trace_out = Some(flag_value("--trace")?),
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
@@ -196,7 +205,9 @@ fn solve_with_store(
     graph: Graph,
     opts: &Opts,
 ) -> Result<(SolveReport, Option<&'static str>), String> {
-    let key = store.map(|_| CacheKey::for_request(&graph, &opts.pvec, opts.strategy, opts.budget));
+    let key = store.map(|_| {
+        CacheKey::for_request(&graph, &opts.pvec, opts.strategy, opts.budget, opts.oracle)
+    });
     if let (Some(store), Some(key)) = (store, &key) {
         if let Some(report) = persist::store_lookup(store, key) {
             return Ok((report, Some("hit")));
@@ -207,6 +218,7 @@ fn solve_with_store(
         pvec: opts.pvec.clone(),
         strategy: opts.strategy,
         budget: opts.budget,
+        oracle: opts.oracle,
     };
     let report = solve(&req).map_err(|e| e.to_string())?;
     if let (Some(store), Some(key)) = (store, &key) {
@@ -337,9 +349,15 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
     for (i, f) in files.iter().enumerate() {
         match load_graph(f, opts.format) {
             Ok(graph) => {
-                let key = store
-                    .as_ref()
-                    .map(|_| CacheKey::for_request(&graph, &opts.pvec, opts.strategy, opts.budget));
+                let key = store.as_ref().map(|_| {
+                    CacheKey::for_request(
+                        &graph,
+                        &opts.pvec,
+                        opts.strategy,
+                        opts.budget,
+                        opts.oracle,
+                    )
+                });
                 if let (Some(store), Some(key)) = (&store, &key) {
                     if let Some(report) = persist::store_lookup(store, key) {
                         lines.push((i, report_line(&files[i], &report, Some("hit"))));
@@ -351,6 +369,7 @@ pub fn batch_cmd(args: &[String]) -> Result<(), String> {
                     pvec: opts.pvec.clone(),
                     strategy: opts.strategy,
                     budget: opts.budget,
+                    oracle: opts.oracle,
                 });
                 request_file.push(i);
                 request_key.push(key);

@@ -26,6 +26,8 @@ FAMILIES (seeded random; vary with --seed):
   ws         --n N --k K --beta B                Watts–Strogatz
   cograph    --n N --join-prob P                 connected random cograph
   rsplit     --clique K --indep I --cross P      random split graph
+  smalldiam  --n N --core C [--extra P]          core–periphery, diameter 2;
+             (--target-n N overrides --n)        sized for oracle-scale runs
 
 FLAGS:
   --seed S              RNG seed (default 42; instance i uses seed S+i)
@@ -51,6 +53,9 @@ struct GenOpts {
     a: usize,
     b: usize,
     parts: Vec<usize>,
+    target_n: Option<usize>,
+    core: usize,
+    extra: f64,
     max_diameter: Option<u32>,
     seed: u64,
     count: usize,
@@ -76,6 +81,9 @@ impl Default for GenOpts {
             a: 4,
             b: 4,
             parts: vec![3, 3, 3],
+            target_n: None,
+            core: 64,
+            extra: 0.0,
             max_diameter: None,
             seed: 42,
             count: 1,
@@ -122,6 +130,9 @@ fn parse_gen_opts(args: &[String]) -> Result<(Option<String>, GenOpts), String> 
                     raw.split(',').map(|t| t.trim().parse::<usize>()).collect();
                 opts.parts = parts.map_err(|e| format!("bad --parts '{raw}': {e}"))?;
             }
+            "--target-n" => opts.target_n = Some(parse_usize("--target-n", value("--target-n")?)?),
+            "--core" => opts.core = parse_usize("--core", value("--core")?)?,
+            "--extra" => opts.extra = parse_f64("--extra", value("--extra")?)?,
             "--max-diameter" => {
                 opts.max_diameter = Some(
                     value("--max-diameter")?
@@ -195,6 +206,13 @@ fn build(family: &str, opts: &GenOpts, seed: u64) -> Result<Graph, String> {
             random::watts_strogatz(&mut rng, opts.n, opts.k, opts.beta)
         }
         "cograph" => random::random_connected_cograph(&mut rng, opts.n, opts.join_prob),
+        "smalldiam" => {
+            let n = opts.target_n.unwrap_or(opts.n);
+            if opts.core == 0 {
+                return Err("smalldiam needs --core ≥ 1".into());
+            }
+            random::core_periphery(&mut rng, n, opts.core, opts.extra)
+        }
         "rsplit" => random::random_split(&mut rng, opts.clique.max(1), opts.indep, opts.cross),
         other => {
             return Err(format!(
@@ -279,6 +297,7 @@ mod tests {
             "ws",
             "cograph",
             "rsplit",
+            "smalldiam",
         ] {
             let opts = GenOpts::default();
             let a = build(family, &opts, 7).unwrap_or_else(|e| panic!("{family}: {e}"));
@@ -298,6 +317,28 @@ mod tests {
         };
         let g = build("gnp", &opts, 3).unwrap();
         assert!(dclab_graph::diameter::diameter(&g).unwrap() <= 2);
+    }
+
+    #[test]
+    fn smalldiam_target_n_overrides_n_and_stays_diameter_two() {
+        let opts = GenOpts {
+            target_n: Some(300),
+            core: 16,
+            extra: 0.02,
+            ..GenOpts::default()
+        };
+        let g = build("smalldiam", &opts, 9).unwrap();
+        assert_eq!(g.n(), 300);
+        assert_eq!(dclab_graph::diameter::diameter(&g).unwrap(), 2);
+        assert!(build(
+            "smalldiam",
+            &GenOpts {
+                core: 0,
+                ..GenOpts::default()
+            },
+            1
+        )
+        .is_err());
     }
 
     #[test]

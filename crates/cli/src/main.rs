@@ -24,6 +24,8 @@
 //!      # split graphs, classic families, ...)
 //! dclab store stats|compact|export|import <archive> [args]
 //!      # manage a persistent solution archive offline
+//! dclab oracle build|stats <file> [--out labels.dcor]
+//!      # build a hub-label distance oracle offline / inspect a label file
 //! dclab trace export --chrome <trace.json> [--out PATH]
 //!      # convert a solve trace (from `solve --trace` or
 //!      # GET /debug/traces/<id>) to Chrome trace_event JSON
@@ -45,6 +47,7 @@ mod bench_gate;
 mod commands;
 mod experiments;
 mod gen;
+mod oracle_cmd;
 mod store_cmd;
 mod trace_cmd;
 
@@ -63,7 +66,8 @@ fn main() {
         .unwrap_or("all");
 
     match which {
-        "solve" | "batch" | "serve" | "loadgen" | "gen" | "store" | "trace" | "bench-gate" => {
+        "solve" | "batch" | "serve" | "loadgen" | "gen" | "store" | "oracle" | "trace"
+        | "bench-gate" => {
             let rest: Vec<String> = args
                 .iter()
                 .skip_while(|a| a.as_str() != which)
@@ -75,6 +79,7 @@ fn main() {
                 "batch" => commands::batch_cmd(&rest),
                 "gen" => gen::gen_cmd(&rest),
                 "store" => store_cmd::store_cmd(&rest),
+                "oracle" => oracle_cmd::oracle_cmd(&rest),
                 "trace" => trace_cmd::trace_cmd(&rest),
                 "bench-gate" => bench_gate::bench_gate_cmd(&rest),
                 "loadgen" => commands::loadgen_cmd(&rest),
@@ -128,7 +133,7 @@ fn run_experiments(which: &str, args: &[String]) {
     if !ran {
         eprintln!(
             "unknown command '{which}'; use solve <file>, batch <dir>, serve, gen, store, \
-             trace, bench-gate, e1..e8 or all (experiments take --quick; see --help)"
+             oracle, trace, bench-gate, e1..e8 or all (experiments take --quick; see --help)"
         );
         std::process::exit(2);
     }

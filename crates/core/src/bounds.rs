@@ -51,6 +51,21 @@ pub fn span_lower_bound_with_reduction(
     best
 }
 
+/// Reduction-free bound for the oracle (hub-label) route: the degree
+/// bound, strengthened by the chain bound when the caller already knows
+/// `diam(G)` — no distance matrix, no TSP instance, `O(n)` memory. The
+/// value depends only on `(g, p, diam)`, never on the distance backend,
+/// so dense and hub pipelines certify identical numbers.
+pub fn span_lower_bound_cheap(g: &Graph, p: &PVec, diam: Option<u32>) -> u64 {
+    let mut best = degree_bound(g, p);
+    if let Some(d) = diam {
+        if d as usize <= p.k() && g.n() >= 1 {
+            best = best.max((g.n() as u64 - 1) * p.pmin());
+        }
+    }
+    best
+}
+
 /// Held–Karp 1-tree ascent bound on the reduced Path-TSP instance — the
 /// strongest certificate available at sizes beyond exact search. Requires
 /// `diam(G) ≤ k`; valid (as a lower bound) even without smoothness.
@@ -212,6 +227,20 @@ mod tests {
             assert_eq!(with, fresh);
             let (_, opt) = exact_labeling_bruteforce(&g, &p);
             assert!(with <= opt);
+        }
+    }
+
+    #[test]
+    fn cheap_bound_matches_degree_and_chain_composition() {
+        let mut rng = StdRng::seed_from_u64(74);
+        for _ in 0..12 {
+            let g = random::gnp(&mut rng, 10, 0.4);
+            let p = PVec::l21();
+            let diam = diameter(&g);
+            let want = degree_bound(&g, &p).max(chain_bound(&g, &p).unwrap_or(0));
+            assert_eq!(span_lower_bound_cheap(&g, &p, diam), want);
+            // Without the diameter hint it degrades to the degree bound.
+            assert_eq!(span_lower_bound_cheap(&g, &p, None), degree_bound(&g, &p));
         }
     }
 

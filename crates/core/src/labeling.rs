@@ -90,6 +90,62 @@ impl Labeling {
         Ok(())
     }
 
+    /// Validation against any [`DistanceSource`](crate::distance::DistanceSource)
+    /// without materialising the `n × n` pair sweep.
+    ///
+    /// Only pairs whose label gap is below `p_max` can violate any
+    /// constraint, and in label-sorted order those pairs form a
+    /// contiguous window, so the check queries the oracle
+    /// `O(n · p_max / p_min)` times for smooth `p` instead of `O(n²)` —
+    /// the difference between feasible and hopeless at `n ≥ 50k`. The
+    /// verdict (and the reported first violation, pair-normalised to
+    /// `u < v`) matches [`Self::validate_with_distances`] exactly.
+    pub fn validate_with_source(
+        &self,
+        src: &crate::distance::DistanceSource,
+        p: &PVec,
+    ) -> Result<(), Violation> {
+        let n = self.labels.len();
+        assert_eq!(src.n(), n, "labeling size mismatch");
+        let order = self.sorted_order();
+        let pmax = p.pmax();
+        let mut first: Option<Violation> = None;
+        for i in 0..n {
+            let a = order[i] as usize;
+            for &bv in &order[i + 1..] {
+                let b = bv as usize;
+                // Sorted ascending, so the gap is monotone in the window.
+                let actual = self.labels[b] - self.labels[a];
+                if actual >= pmax {
+                    break;
+                }
+                let d = src.query(a, b);
+                if d == INF || d as usize > p.k() {
+                    continue;
+                }
+                let required = p.at_distance(d);
+                if actual < required {
+                    let v = Violation {
+                        u: a.min(b),
+                        v: a.max(b),
+                        distance: d,
+                        required_gap: required,
+                        actual_gap: actual,
+                    };
+                    // The dense sweep reports the lexicographically first
+                    // violating (u, v); keep that contract.
+                    if first.as_ref().is_none_or(|f| (v.u, v.v) < (f.u, f.v)) {
+                        first = Some(v);
+                    }
+                }
+            }
+        }
+        match first {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
+    }
+
     /// Vertices sorted by label (stable: ties by vertex id) — the
     /// permutation `π` of the paper's Claim 1.
     pub fn sorted_order(&self) -> Vec<u32> {
@@ -163,5 +219,37 @@ mod tests {
         let g = Graph::from_edges(3, &[(0, 1)]);
         let l = Labeling::new(vec![0, 2, 0]);
         assert!(l.validate(&g, &PVec::l21()).is_ok());
+    }
+
+    #[test]
+    fn windowed_source_validation_matches_dense_sweep() {
+        // Differential: the windowed oracle check must agree with the full
+        // n² sweep — same verdict, same first violation — on random
+        // labelings over random graphs, for both backends.
+        use crate::distance::DistanceSource;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+
+        let mut rng = StdRng::seed_from_u64(77);
+        let ps = [PVec::l21(), PVec::ones(3), PVec::new(vec![3, 2]).unwrap()];
+        let mut violations_seen = 0;
+        for round in 0..40 {
+            let n = 2 + (round % 12);
+            let g = dclab_graph::generators::random::gnp(&mut rng, n, 0.4);
+            let dist = DistanceMatrix::compute(&g);
+            let dense = DistanceSource::dense(DistanceMatrix::compute(&g));
+            let hub = DistanceSource::build_hub(&g).unwrap();
+            for p in &ps {
+                let labels: Vec<u64> = (0..n).map(|_| rng.random_range(0..8u64)).collect();
+                let l = Labeling::new(labels);
+                let want = l.validate_with_distances(&dist, p);
+                assert_eq!(l.validate_with_source(&dense, p), want);
+                assert_eq!(l.validate_with_source(&hub, p), want);
+                if want.is_err() {
+                    violations_seen += 1;
+                }
+            }
+        }
+        assert!(violations_seen > 20, "suite too tame: {violations_seen}");
     }
 }

@@ -29,10 +29,12 @@ pub mod baseline;
 pub mod bounds;
 pub mod coloring;
 pub mod diam2;
+pub mod distance;
 pub mod guard;
 pub mod hardness;
 pub mod l1;
 pub mod labeling;
+pub mod oracle_route;
 pub mod partition_paths;
 pub mod pvec;
 pub mod reduction;

@@ -25,8 +25,14 @@
 //! **Version 3** appends the per-phase timing tail after `timed_out`:
 //! `varint #phases, (varint len, utf8 name, varint calls, varint
 //! total_us)…`. Version ≤ 2 records decode with empty `phases` — archives
-//! written before tracing existed simply have no attribution. Encoding
-//! always emits the current version.
+//! written before tracing existed simply have no attribution.
+//!
+//! **Version 4** appends the oracle tail after the phases: one presence
+//! byte, then (when present) `u8 backend (1 = dense, 2 = hub) | varint
+//! builds | varint label_entries | varint footprint_bytes | varint
+//! queries | u8 dense_fallback`. Version ≤ 3 records decode with
+//! `oracle = None` — they predate the distance-oracle subsystem.
+//! Encoding always emits the current version.
 //!
 //! Decoding is strict: unknown versions, unknown strategy codes, truncated
 //! buffers, and trailing bytes are all errors — a corrupt archive record
@@ -42,7 +48,7 @@ use crate::report::{EngineStats, SolveReport};
 use crate::request::Strategy;
 
 /// Current codec version (first byte of every encoded report).
-pub const REPORT_CODEC_VERSION: u8 = 3;
+pub const REPORT_CODEC_VERSION: u8 = 4;
 
 /// Oldest codec version [`report_from_bytes`] still accepts (pre-anytime
 /// records without the `timed_out` byte).
@@ -206,6 +212,24 @@ pub fn report_to_bytes(r: &SolveReport) -> Vec<u8> {
         put_uvarint(&mut buf, p.calls);
         put_uvarint(&mut buf, p.total_us);
     }
+    // Version 4 extension: the oracle tail (one presence byte for the
+    // matrix-path reports that carry no oracle stats).
+    match &stats.oracle {
+        None => buf.push(0),
+        Some(o) => {
+            buf.push(1);
+            buf.push(match o.backend.as_str() {
+                "dense" => 1,
+                "hub" => 2,
+                other => unreachable!("unknown oracle backend '{other}'"),
+            });
+            put_uvarint(&mut buf, o.builds as u64);
+            put_uvarint(&mut buf, o.label_entries);
+            put_uvarint(&mut buf, o.footprint_bytes);
+            put_uvarint(&mut buf, o.queries);
+            buf.push(o.dense_fallback as u8);
+        }
+    }
     buf
 }
 
@@ -308,6 +332,39 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
             });
         }
     }
+    // Version 4 adds the oracle tail; older records decode with no
+    // oracle stats.
+    let mut oracle = None;
+    if version >= 4 {
+        match get_u8(bytes, pos)? {
+            0 => {}
+            1 => {
+                let backend = match get_u8(bytes, pos)? {
+                    1 => "dense".to_string(),
+                    2 => "hub".to_string(),
+                    b => return Err(err(*pos - 1, format!("unknown oracle backend code {b}"))),
+                };
+                let builds = get_uvarint(bytes, pos)? as usize;
+                let label_entries = get_uvarint(bytes, pos)?;
+                let footprint_bytes = get_uvarint(bytes, pos)?;
+                let queries = get_uvarint(bytes, pos)?;
+                let dense_fallback = match get_u8(bytes, pos)? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(err(*pos - 1, format!("bad dense_fallback flag {b}"))),
+                };
+                oracle = Some(crate::report::OracleStats {
+                    backend,
+                    builds,
+                    label_entries,
+                    footprint_bytes,
+                    queries,
+                    dense_fallback,
+                });
+            }
+            tag => return Err(err(*pos - 1, format!("bad oracle tag {tag}"))),
+        }
+    }
     if *pos != bytes.len() {
         return Err(err(*pos, "trailing bytes after report"));
     }
@@ -339,6 +396,7 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
                 cograph: flags & 8 != 0,
             },
             phases,
+            oracle,
         },
     })
 }
@@ -421,39 +479,81 @@ mod tests {
     }
 
     /// Versioned decode: version-1 records (pre-anytime, no `timed_out`
-    /// byte) and version-2 records (pre-trace, no phase tail) must still
-    /// decode — reading `timed_out = false` and `phases = []` respectively
-    /// — and re-encode as equivalent current-version records.
+    /// byte), version-2 records (pre-trace, no phase tail), and version-3
+    /// records (pre-oracle, no oracle tail) must still decode — reading
+    /// `timed_out = false`, `phases = []`, `oracle = None` respectively —
+    /// and re-encode as equivalent current-version records.
     #[test]
     fn older_version_records_still_decode() {
         let report = sample_report(Strategy::Auto);
         assert!(!report.stats.timed_out, "deadline-free sample");
         assert!(report.stats.phases.is_empty(), "untraced sample");
-        let v3 = report.to_bytes();
-        assert_eq!(v3[0], REPORT_CODEC_VERSION);
-        // An untraced v3 record's phase tail is exactly one zero-count
-        // byte; stripping it (and restamping) is exactly what PR 4–6
-        // archives hold as v2.
+        assert!(report.stats.oracle.is_none(), "matrix-path sample");
+        let v4 = report.to_bytes();
+        assert_eq!(v4[0], REPORT_CODEC_VERSION);
+        // A matrix-path v4 record's oracle tail is exactly one zero
+        // presence byte; stripping it (and restamping) is exactly what
+        // PR 7–8 archives hold as v3.
+        assert_eq!(*v4.last().unwrap(), 0, "empty oracle tail");
+        let mut v3 = v4[..v4.len() - 1].to_vec();
+        v3[0] = 3;
+        let decoded = SolveReport::from_bytes(&v3).expect("v3 decodes");
+        assert_eq!(decoded, report);
+        assert!(decoded.stats.oracle.is_none());
+        assert_eq!(decoded.to_bytes(), v4, "re-encode upgrades to v4");
+        // An untraced v3 record's phase tail is one zero-count byte; v2
+        // drops it.
         assert_eq!(*v3.last().unwrap(), 0, "empty phase tail");
         let mut v2 = v3[..v3.len() - 1].to_vec();
         v2[0] = 2;
         let decoded = SolveReport::from_bytes(&v2).expect("v2 decodes");
         assert_eq!(decoded, report);
         assert!(decoded.stats.phases.is_empty());
-        assert_eq!(decoded.to_bytes(), v3, "re-encode upgrades to v3");
+        assert_eq!(decoded.to_bytes(), v4, "re-encode upgrades to v4");
         // A v1 record further drops the timed_out byte.
         let mut v1 = v2[..v2.len() - 1].to_vec();
         v1[0] = 1;
         let decoded = SolveReport::from_bytes(&v1).expect("v1 decodes");
         assert_eq!(decoded, report);
         assert!(!decoded.stats.timed_out);
-        assert_eq!(decoded.to_bytes(), v3, "re-encode upgrades to v3");
+        assert_eq!(decoded.to_bytes(), v4, "re-encode upgrades to v4");
         // Strictness survives the versioning: stray trailing bytes on the
         // old layouts are still rejected.
-        for old in [&v1, &v2] {
+        for old in [&v1, &v2, &v3] {
             let mut trailing = old.clone();
             trailing.push(7);
             assert!(SolveReport::from_bytes(&trailing).is_err());
+        }
+    }
+
+    /// The v4 oracle tail round-trips for both backends, and its strict
+    /// decode rejects unknown backend codes.
+    #[test]
+    fn oracle_tail_round_trips() {
+        use crate::request::OraclePolicy;
+        for policy in [OraclePolicy::Dense, OraclePolicy::Hub] {
+            let report = solve(
+                &SolveRequest::new(classic::petersen(), PVec::l21())
+                    .with_strategy(Strategy::OraclePath)
+                    .with_oracle(policy),
+            )
+            .expect("oracle path solves");
+            let o = report.stats.oracle.as_ref().expect("oracle stats present");
+            assert_eq!(o.backend, policy.name());
+            let bytes = report.to_bytes();
+            let back = SolveReport::from_bytes(&bytes).expect("decodes");
+            assert_eq!(back, report);
+            assert_eq!(back.to_bytes(), bytes);
+            // Corrupting the backend code inside the tail fails loudly.
+            // Locate the tail by encoding the same report without oracle
+            // stats: that record ends at the presence byte.
+            let mut stripped = report.clone();
+            stripped.stats.oracle = None;
+            let presence = stripped.to_bytes().len() - 1;
+            assert_eq!(bytes[presence], 1, "presence byte");
+            let mut bad = bytes.clone();
+            bad[presence + 1] = 9;
+            assert!(SolveReport::from_bytes(&bad).is_err());
         }
     }
 

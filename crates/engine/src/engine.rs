@@ -17,11 +17,13 @@
 //! the result bit-identical to the best single member regardless of thread
 //! count.
 
-use dclab_core::bounds::{degree_bound, span_lower_bound_with_reduction};
+use dclab_core::bounds::{degree_bound, span_lower_bound_cheap, span_lower_bound_with_reduction};
 use dclab_core::diam2::{solve_diam2_lpq_with_witness, Diam2Error, PipSolver};
+use dclab_core::distance::DistanceSource;
 use dclab_core::guard::{check_exact_size, GuardError, EXACT_MAX_N};
 use dclab_core::l1::{solve_pmax_approx, L1Engine};
 use dclab_core::labeling::Labeling;
+use dclab_core::oracle_route::oracle_path_route;
 use dclab_core::pvec::PVec;
 use dclab_core::reduction::{
     reduce_to_path_tsp, reduce_unchecked, tight_labeling_for_order, ReducedInstance, ReductionError,
@@ -29,6 +31,7 @@ use dclab_core::reduction::{
 use dclab_core::routes;
 use dclab_core::solver::{solve_greedy, solve_greedy_anytime, Solution};
 use dclab_graph::Graph;
+use dclab_oracle::dense_pipeline_bytes;
 use dclab_par::{CancelToken, Deadline};
 use dclab_tsp::driver::HeuristicConfig;
 use dclab_tsp::exact::BbStatus;
@@ -36,8 +39,8 @@ use dclab_tsp::matching::MatchingBackend;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::features::InstanceFeatures;
-use crate::report::{EngineStats, SolveReport};
-use crate::request::{SolveRequest, Strategy};
+use crate::report::{EngineStats, OracleStats, SolveReport};
+use crate::request::{OraclePolicy, SolveRequest, Strategy};
 
 /// Exact-coloring size guard for the `L1Coloring` route's `Exact` engine.
 const L1_EXACT_MAX_N: usize = 28;
@@ -50,6 +53,13 @@ const AUTO_APPROX_MAX_N: usize = 400;
 /// Seed stride between racing LK members: far enough apart that their kick
 /// streams never overlap the per-restart `seed + i` offsets of the driver.
 const RACE_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// `Auto` dispatch (and `OraclePolicy::Auto` backend resolution) switch to
+/// the hub-label oracle path when the dense pipeline — `u32` distance
+/// matrix plus `u64` TSP weights, `12·n²` bytes — would exceed this.
+/// 1 GiB ⇒ the crossover sits near n ≈ 9.5k; past it the matrix walk to
+/// tens of gigabytes is what the oracle subsystem exists to avoid.
+const AUTO_HUB_THRESHOLD_BYTES: u64 = 1 << 30;
 
 /// Why the engine could not produce a solution.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,6 +110,11 @@ struct Ctx<'a> {
     p: &'a PVec,
     reduced: Option<ReducedInstance>,
     reductions_computed: usize,
+    /// The request's at-most-one distance source (oracle-routed solves).
+    source: Option<DistanceSource>,
+    oracle_builds: usize,
+    /// An `OraclePolicy::Auto` request resolved to the dense matrix.
+    oracle_dense_fallback: bool,
     routes_tried: Vec<Strategy>,
     notes: Vec<String>,
     /// The wall-clock deadline fired before the chosen route finished
@@ -115,6 +130,9 @@ impl<'a> Ctx<'a> {
             p,
             reduced: None,
             reductions_computed: 0,
+            source: None,
+            oracle_builds: 0,
+            oracle_dense_fallback: false,
             routes_tried: Vec::new(),
             notes: Vec::new(),
             timed_out: false,
@@ -142,6 +160,44 @@ impl<'a> Ctx<'a> {
             self.reductions_computed += 1;
         }
         Ok(self.reduced.as_ref().expect("just computed"))
+    }
+
+    /// The request's single distance source, built on first use under the
+    /// `oracle_build` span. `policy` resolves here: explicit backends are
+    /// honored; `Auto` picks hub labels exactly when the dense pipeline
+    /// would cross [`AUTO_HUB_THRESHOLD_BYTES`].
+    fn source(&mut self, policy: OraclePolicy) -> Result<&DistanceSource, EngineError> {
+        if self.source.is_none() {
+            let trace = dclab_trace::current();
+            let mut span = trace.span("oracle_build");
+            let n = self.g.n();
+            let use_hub = match policy {
+                OraclePolicy::Dense => false,
+                OraclePolicy::Hub => true,
+                OraclePolicy::Auto => dense_pipeline_bytes(n) > AUTO_HUB_THRESHOLD_BYTES,
+            };
+            if policy == OraclePolicy::Auto && !use_hub {
+                self.oracle_dense_fallback = true;
+            }
+            let src = if use_hub {
+                DistanceSource::build_hub(self.g).map_err(|e| EngineError::Unsupported {
+                    strategy: Strategy::OraclePath,
+                    reason: format!("hub-label build failed: {e}"),
+                })?
+            } else {
+                DistanceSource::build_dense(self.g)
+            };
+            if span.is_enabled() {
+                span.set_detail(format!(
+                    "backend={} n={n} entries={}",
+                    src.backend_name(),
+                    src.label_entries()
+                ));
+            }
+            self.source = Some(src);
+            self.oracle_builds += 1;
+        }
+        Ok(self.source.as_ref().expect("just built"))
     }
 
     fn note(&mut self, msg: impl Into<String>) {
@@ -295,6 +351,7 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
             let proved = features.all_ones && exact_coloring;
             (sol, Strategy::L1Coloring, lb, proved)
         }
+        Strategy::OraclePath => oracle_path_strategy(&mut ctx, req, &features, &deadline)?,
         Strategy::Diam2Pip => diam2_route(&mut ctx, &features, true)?,
         Strategy::Auto => auto_route(&mut ctx, req, &features, &deadline)?,
         Strategy::Race => race_route(&mut ctx, req, &features, &deadline)?,
@@ -311,6 +368,40 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
     )
 }
 
+/// The `OraclePath` strategy body: one distance source per request
+/// (dense or hub per the request's [`OraclePolicy`]), the matrix-free
+/// clamped Claim 1 route over it, and the reduction-free cheap
+/// certificate. Every piece is backend-agnostic, so dense- and
+/// hub-backed solves of one instance report identical solutions, bounds,
+/// and optimality flags.
+fn oracle_path_strategy(
+    ctx: &mut Ctx<'_>,
+    req: &SolveRequest,
+    features: &InstanceFeatures,
+    deadline: &Deadline,
+) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+    let g = ctx.g;
+    let p = ctx.p;
+    if !features.smooth {
+        return Err(EngineError::Unsupported {
+            strategy: Strategy::OraclePath,
+            reason: format!("clamped Claim 1 labeling needs smooth p (p_max ≤ 2·p_min), got {p}"),
+        });
+    }
+    let src = ctx.source(req.oracle)?;
+    let sol = oracle_path_route(g, p, src);
+    ctx.routes_tried.push(Strategy::OraclePath);
+    if deadline.expired() {
+        ctx.timed_out = true;
+        ctx.note("deadline fired during oracle path construction (not interruptible)");
+    }
+    // Cheap, O(n)-memory certificate: never touches the reduction, and
+    // never depends on the distance backend.
+    let lb = span_lower_bound_cheap(g, p, features.diameter);
+    let proved = sol.span == lb;
+    Ok((sol, Strategy::OraclePath, lb, proved))
+}
+
 /// The portfolio dispatcher behind `Strategy::Auto`.
 fn auto_route(
     ctx: &mut Ctx<'_>,
@@ -320,6 +411,18 @@ fn auto_route(
 ) -> Result<(Solution, Strategy, u64, bool), EngineError> {
     let g = ctx.g;
     let n = g.n();
+
+    if features.smooth && dense_pipeline_bytes(n) > AUTO_HUB_THRESHOLD_BYTES {
+        // Past the memory wall the matrix-bound routes are off the table;
+        // the oracle path is the only pipeline that scales, and it does
+        // not need the Theorem 2 preconditions beyond smoothness.
+        ctx.note(format!(
+            "n={n}: dense pipeline ≈ {} MiB > {} MiB threshold → oracle path",
+            dense_pipeline_bytes(n) >> 20,
+            AUTO_HUB_THRESHOLD_BYTES >> 20
+        ));
+        return oracle_path_strategy(ctx, req, features, deadline);
+    }
 
     if !features.reducible() {
         // Disconnected or diameter > k: outside Theorem 2 entirely.
@@ -850,13 +953,22 @@ fn finish(
             ctx.reductions_computed
         )));
     }
+    if ctx.oracle_builds > 1 {
+        return Err(EngineError::Internal(format!(
+            "distance oracle built {} times for one request",
+            ctx.oracle_builds
+        )));
+    }
     let valid = {
         let _span = dclab_trace::current().span("validate");
-        match &ctx.reduced {
-            Some(r) => solution
+        match (&ctx.reduced, &ctx.source) {
+            (Some(r), _) => solution
                 .labeling
                 .validate_with_distances(&r.dist, &req.pvec),
-            None => solution.labeling.validate(&req.graph, &req.pvec),
+            // Oracle-routed solves validate through the same source the
+            // route used — the windowed check, so n ≥ 50k stays feasible.
+            (None, Some(src)) => solution.labeling.validate_with_source(src, &req.pvec),
+            (None, None) => solution.labeling.validate(&req.graph, &req.pvec),
         }
     };
     if let Err(v) = valid {
@@ -870,6 +982,16 @@ fn finish(
             solution.span
         )));
     }
+    // Snapshot oracle usage after validation so the query count covers
+    // the whole request (route + windowed validation).
+    let oracle = ctx.source.as_ref().map(|src| OracleStats {
+        backend: src.backend_name().to_string(),
+        builds: ctx.oracle_builds,
+        label_entries: src.label_entries(),
+        footprint_bytes: src.footprint_bytes(),
+        queries: src.queries(),
+        dense_fallback: ctx.oracle_dense_fallback,
+    });
     let optimal = proved_optimal || solution.span == lower_bound;
     Ok(SolveReport {
         solution,
@@ -888,6 +1010,7 @@ fn finish(
             // Filled by the traced `solve` wrapper; empty (and absent from
             // JSON) for untraced solves.
             phases: Vec::new(),
+            oracle,
         },
     })
 }
@@ -1122,5 +1245,95 @@ mod tests {
             report.solution.span,
             floor.span
         );
+    }
+
+    /// The one-build contract: an oracle-routed solve builds exactly one
+    /// distance source, and the whole request (route + windowed
+    /// validation) is served through it.
+    #[test]
+    fn oracle_path_builds_exactly_one_source() {
+        for policy in [OraclePolicy::Auto, OraclePolicy::Dense, OraclePolicy::Hub] {
+            let req = SolveRequest::new(diam2_instance(48, 21), PVec::l21())
+                .with_strategy(Strategy::OraclePath)
+                .with_oracle(policy);
+            let report = solve(&req).expect("oracle path solves");
+            let o = report.stats.oracle.as_ref().expect("oracle stats");
+            assert_eq!(o.builds, 1, "{policy}");
+            assert!(o.queries > 0, "{policy}: route + validation never queried");
+            assert_eq!(report.stats.reductions_computed, 0, "{policy}");
+            assert_eq!(report.strategy_used, Strategy::OraclePath);
+        }
+        // Matrix-path strategies never touch the oracle.
+        let req = SolveRequest::new(diam2_instance(48, 21), PVec::l21());
+        assert!(solve(&req).expect("auto solves").stats.oracle.is_none());
+    }
+
+    /// Dense- and hub-backed oracle solves of one instance are
+    /// interchangeable: identical solution, bound, optimality flag, and
+    /// even query count — only the backend-shape fields differ.
+    #[test]
+    fn oracle_path_dense_and_hub_reports_match() {
+        for (g, tag) in [
+            (diam2_instance(64, 33), "diam2"),
+            (classic::petersen(), "petersen"),
+            (classic::path(40), "path"),
+        ] {
+            let base = SolveRequest::new(g, PVec::l21()).with_strategy(Strategy::OraclePath);
+            let dense = solve(&base.clone().with_oracle(OraclePolicy::Dense)).expect(tag);
+            let hub = solve(&base.with_oracle(OraclePolicy::Hub)).expect(tag);
+            assert_eq!(dense.solution, hub.solution, "{tag}");
+            assert_eq!(dense.lower_bound, hub.lower_bound, "{tag}");
+            assert_eq!(dense.optimal, hub.optimal, "{tag}");
+            let (od, oh) = (
+                dense.stats.oracle.as_ref().unwrap(),
+                hub.stats.oracle.as_ref().unwrap(),
+            );
+            assert_eq!(od.backend, "dense", "{tag}");
+            assert_eq!(oh.backend, "hub", "{tag}");
+            assert_eq!(od.queries, oh.queries, "{tag}: query counts diverged");
+            assert_eq!(od.label_entries, 0, "{tag}");
+            assert!(oh.label_entries > 0, "{tag}");
+            assert!(!od.dense_fallback && !oh.dense_fallback, "{tag}");
+        }
+    }
+
+    /// `OraclePolicy::Auto` below the footprint threshold resolves to the
+    /// dense matrix and says so in the stats.
+    #[test]
+    fn auto_policy_small_instance_reports_dense_fallback() {
+        let req =
+            SolveRequest::new(classic::petersen(), PVec::l21()).with_strategy(Strategy::OraclePath);
+        assert_eq!(req.oracle, OraclePolicy::Auto);
+        let report = solve(&req).expect("solves");
+        let o = report.stats.oracle.as_ref().expect("oracle stats");
+        assert_eq!(o.backend, "dense");
+        assert!(o.dense_fallback);
+        // The JSON carries the oracle object exactly when the stats do.
+        assert!(report
+            .to_json()
+            .contains("\"oracle\":{\"backend\":\"dense\""));
+    }
+
+    /// The Auto-dispatch memory wall sits where the dense pipeline
+    /// (u32 matrix + u64 TSP weights) crosses 1 GiB: n = 9460.
+    #[test]
+    fn auto_hub_threshold_crossover() {
+        assert!(dense_pipeline_bytes(9459) <= AUTO_HUB_THRESHOLD_BYTES);
+        assert!(dense_pipeline_bytes(9460) > AUTO_HUB_THRESHOLD_BYTES);
+    }
+
+    /// The clamped route needs smooth `p`; the engine refuses rather than
+    /// emitting an invalid labeling.
+    #[test]
+    fn oracle_path_rejects_non_smooth_p() {
+        let p = PVec::new(vec![5, 2]).unwrap();
+        assert!(!p.is_smooth());
+        let req = SolveRequest::new(classic::petersen(), p).with_strategy(Strategy::OraclePath);
+        match solve(&req) {
+            Err(EngineError::Unsupported { strategy, .. }) => {
+                assert_eq!(strategy, Strategy::OraclePath);
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 }

@@ -8,6 +8,12 @@ use dclab_graph::Graph;
 
 use crate::json::Obj;
 
+/// Largest `n` at which feature extraction runs cograph recognition.
+/// Oracle-scale instances (50k–100k vertices) skip it: every route that
+/// consumes the flag is dense-pipeline-only, so `false` is both safe and
+/// what dispatch would conclude anyway.
+const COGRAPH_CHECK_MAX_N: usize = 4096;
+
 /// Cheap structural summary of a `(G, p)` instance.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InstanceFeatures {
@@ -49,7 +55,10 @@ impl InstanceFeatures {
             smooth: p.is_smooth(),
             all_ones: p.entries().iter().all(|&e| e == 1),
             two_valued,
-            cograph: is_cograph(g),
+            // Modular-decomposition recognition is quadratic-ish; above
+            // the dense-pipeline scale the cotree route is never taken
+            // anyway, so report `false` instead of paying for it.
+            cograph: g.n() <= COGRAPH_CHECK_MAX_N && is_cograph(g),
         }
     }
 

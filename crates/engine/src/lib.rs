@@ -47,5 +47,5 @@ pub mod request;
 pub use batch::solve_batch;
 pub use engine::{solve, EngineError};
 pub use features::InstanceFeatures;
-pub use report::{EngineStats, SolveReport};
-pub use request::{Budget, SolveRequest, Strategy};
+pub use report::{EngineStats, OracleStats, SolveReport};
+pub use request::{Budget, OraclePolicy, SolveRequest, Strategy};

@@ -31,6 +31,40 @@ impl PhaseStat {
     }
 }
 
+/// How an oracle-routed solve used its distance backend. Integer-only
+/// and deterministic: the backend choice, label sizes, and query counts
+/// depend only on the instance and the request, never on timings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Distance backend that served the solve: "dense" or "hub".
+    pub backend: String,
+    /// Oracle builds for this request (the engine's contract is ≤ 1,
+    /// mirroring `reductions_computed`).
+    pub builds: usize,
+    /// Total (hub, dist) label entries (0 for the dense backend).
+    pub label_entries: u64,
+    /// Resident bytes of the backing store.
+    pub footprint_bytes: u64,
+    /// Point distance queries the solve issued (route + validation).
+    pub queries: u64,
+    /// An `OraclePolicy::Auto` request resolved to the dense matrix (the
+    /// instance fit under the footprint threshold).
+    pub dense_fallback: bool,
+}
+
+impl OracleStats {
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("backend", &self.backend)
+            .usize("builds", self.builds)
+            .u64("label_entries", self.label_entries)
+            .u64("footprint_bytes", self.footprint_bytes)
+            .u64("queries", self.queries)
+            .bool("dense_fallback", self.dense_fallback)
+            .finish()
+    }
+}
+
 /// How a request was executed. Without a wall-clock deadline every field
 /// except `phases` is deterministic (no timings), so batch reports compare
 /// bit-for-bit across thread counts; `timed_out` can only become `true`
@@ -57,6 +91,11 @@ pub struct EngineStats {
     /// for the solve). Omitted from the JSON when empty so untraced
     /// reports stay byte-identical to pre-trace builds.
     pub phases: Vec<PhaseStat>,
+    /// Distance-oracle usage (`None` unless the solve went through a
+    /// [`crate::request::OraclePolicy`]-routed path). Omitted from the
+    /// JSON when `None` so matrix-path reports stay byte-identical to
+    /// pre-oracle builds.
+    pub oracle: Option<OracleStats>,
 }
 
 impl EngineStats {
@@ -70,6 +109,9 @@ impl EngineStats {
         if !self.phases.is_empty() {
             let items: Vec<String> = self.phases.iter().map(PhaseStat::to_json).collect();
             obj = obj.raw("phases", &format!("[{}]", items.join(",")));
+        }
+        if let Some(oracle) = &self.oracle {
+            obj = obj.raw("oracle", &oracle.to_json());
         }
         obj.finish()
     }
@@ -146,6 +188,7 @@ mod tests {
                 timed_out: false,
                 features: crate::features::InstanceFeatures::extract(&g, &PVec::l21()),
                 phases: Vec::new(),
+                oracle: None,
             },
         };
         let j = report.to_json();
@@ -166,5 +209,21 @@ mod tests {
         }];
         let tj = traced.to_json();
         assert!(tj.contains("\"phases\":[{\"name\":\"apsp\",\"calls\":1,\"total_us\":42}]"));
+        // Oracle stats appear only on oracle-routed reports.
+        assert!(!j.contains("\"oracle\""));
+        let mut with_oracle = report.clone();
+        with_oracle.stats.oracle = Some(OracleStats {
+            backend: "hub".into(),
+            builds: 1,
+            label_entries: 12,
+            footprint_bytes: 96,
+            queries: 7,
+            dense_fallback: false,
+        });
+        let oj = with_oracle.to_json();
+        assert!(oj.contains(
+            "\"oracle\":{\"backend\":\"hub\",\"builds\":1,\"label_entries\":12,\
+             \"footprint_bytes\":96,\"queries\":7,\"dense_fallback\":false}"
+        ));
     }
 }

@@ -34,6 +34,11 @@ pub enum Strategy {
     /// incumbent. Without a deadline the race is bit-identical to the best
     /// single member.
     Race,
+    /// Matrix-free labeling route for large small-diameter instances:
+    /// complement-greedy order + clamped Claim 1 prefix labels over a
+    /// point distance oracle ([`OraclePolicy`] picks dense vs hub-label
+    /// backing). Requires smooth `p`; valid on any graph.
+    OraclePath,
 }
 
 impl Strategy {
@@ -49,6 +54,7 @@ impl Strategy {
             Strategy::L1Coloring => "l1-coloring",
             Strategy::Auto => "auto",
             Strategy::Race => "race",
+            Strategy::OraclePath => "oracle-path",
         }
     }
 
@@ -65,6 +71,7 @@ impl Strategy {
             Strategy::L1Coloring => 6,
             Strategy::Auto => 7,
             Strategy::Race => 8,
+            Strategy::OraclePath => 9,
         }
     }
 
@@ -80,12 +87,13 @@ impl Strategy {
             6 => Some(Strategy::L1Coloring),
             7 => Some(Strategy::Auto),
             8 => Some(Strategy::Race),
+            9 => Some(Strategy::OraclePath),
             _ => None,
         }
     }
 
     /// All concrete (non-`Auto`) strategies.
-    pub const CONCRETE: [Strategy; 7] = [
+    pub const CONCRETE: [Strategy; 8] = [
         Strategy::Exact,
         Strategy::BranchBound,
         Strategy::Approx15,
@@ -93,6 +101,7 @@ impl Strategy {
         Strategy::Greedy,
         Strategy::Diam2Pip,
         Strategy::L1Coloring,
+        Strategy::OraclePath,
     ];
 }
 
@@ -114,11 +123,80 @@ impl std::str::FromStr for Strategy {
             "greedy" => Ok(Strategy::Greedy),
             "diam2-pip" | "diam2" | "pip" => Ok(Strategy::Diam2Pip),
             "l1-coloring" | "l1" | "coloring" => Ok(Strategy::L1Coloring),
+            "oracle-path" | "oracle" | "pll" => Ok(Strategy::OraclePath),
             "auto" => Ok(Strategy::Auto),
             "race" => Ok(Strategy::Race),
             other => Err(format!(
                 "unknown strategy '{other}' (expected one of: exact, branch-bound, \
-                 approx15, heuristic, greedy, diam2-pip, l1-coloring, auto, race)"
+                 approx15, heuristic, greedy, diam2-pip, l1-coloring, oracle-path, \
+                 auto, race)"
+            )),
+        }
+    }
+}
+
+/// Which distance backend an oracle-routed solve should use. `Auto` picks
+/// by estimated footprint: the dense matrix below the memory threshold,
+/// hub labels above it. Explicit `Dense`/`Hub` pin the backend — both are
+/// exact, so the choice affects cost, never answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OraclePolicy {
+    /// Footprint-driven: dense when the full pipeline fits comfortably in
+    /// memory, hub labels beyond that.
+    #[default]
+    Auto,
+    /// Always the dense `n × n` matrix.
+    Dense,
+    /// Always hub (2-hop / PLL) labels.
+    Hub,
+}
+
+impl OraclePolicy {
+    /// Stable lowercase name (JSON reports, CLI flags, query params).
+    pub fn name(self) -> &'static str {
+        match self {
+            OraclePolicy::Auto => "auto",
+            OraclePolicy::Dense => "dense",
+            OraclePolicy::Hub => "hub",
+        }
+    }
+
+    /// Stable one-byte code for key encodings. Append-only.
+    pub fn code(self) -> u8 {
+        match self {
+            OraclePolicy::Auto => 0,
+            OraclePolicy::Dense => 1,
+            OraclePolicy::Hub => 2,
+        }
+    }
+
+    /// Inverse of [`OraclePolicy::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<OraclePolicy> {
+        match code {
+            0 => Some(OraclePolicy::Auto),
+            1 => Some(OraclePolicy::Dense),
+            2 => Some(OraclePolicy::Hub),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for OraclePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for OraclePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(OraclePolicy::Auto),
+            "dense" | "matrix" => Ok(OraclePolicy::Dense),
+            "hub" | "pll" | "labels" => Ok(OraclePolicy::Hub),
+            other => Err(format!(
+                "unknown oracle policy '{other}' (expected one of: auto, dense, hub)"
             )),
         }
     }
@@ -172,6 +250,9 @@ pub struct SolveRequest {
     pub pvec: PVec,
     pub strategy: Strategy,
     pub budget: Budget,
+    /// Distance backend policy for oracle-routed solves (ignored by the
+    /// matrix-bound legacy routes). `Auto` is the footprint-driven pick.
+    pub oracle: OraclePolicy,
 }
 
 impl SolveRequest {
@@ -182,6 +263,7 @@ impl SolveRequest {
             pvec,
             strategy: Strategy::Auto,
             budget: Budget::default(),
+            oracle: OraclePolicy::Auto,
         }
     }
 
@@ -194,6 +276,11 @@ impl SolveRequest {
         self.budget = budget;
         self
     }
+
+    pub fn with_oracle(mut self, oracle: OraclePolicy) -> SolveRequest {
+        self.oracle = oracle;
+        self
+    }
 }
 
 // The serve layer moves requests and reports across worker threads and
@@ -204,6 +291,7 @@ const _: () = {
     assert_send_sync::<SolveRequest>();
     assert_send_sync::<Strategy>();
     assert_send_sync::<Budget>();
+    assert_send_sync::<OraclePolicy>();
 };
 
 #[cfg(test)]
@@ -229,7 +317,21 @@ mod tests {
         {
             assert_eq!(Strategy::from_code(s.code()), Some(*s));
         }
-        assert_eq!(Strategy::from_code(9), None);
+        assert_eq!(Strategy::from_code(10), None);
+    }
+
+    #[test]
+    fn oracle_policy_round_trips_and_defaults_to_auto() {
+        assert_eq!(OraclePolicy::default(), OraclePolicy::Auto);
+        for p in [OraclePolicy::Auto, OraclePolicy::Dense, OraclePolicy::Hub] {
+            assert_eq!(p.name().parse::<OraclePolicy>().unwrap(), p);
+            assert_eq!(OraclePolicy::from_code(p.code()), Some(p));
+        }
+        assert_eq!(OraclePolicy::from_code(3), None);
+        assert!("frobnicate".parse::<OraclePolicy>().is_err());
+        let req = SolveRequest::new(Graph::from_edges(2, &[(0, 1)]), PVec::l21());
+        assert_eq!(req.oracle, OraclePolicy::Auto);
+        assert_eq!(req.with_oracle(OraclePolicy::Hub).oracle, OraclePolicy::Hub);
     }
 
     #[test]

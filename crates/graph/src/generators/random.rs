@@ -227,6 +227,39 @@ pub fn gnp_with_diameter_at_most<R: Rng>(rng: &mut R, n: usize, p: f64, k: u32) 
     panic!("gnp_with_diameter_at_most: no diameter-{k} sample at n={n}, p={p}");
 }
 
+/// Core–periphery small-diameter family: a `core`-vertex clique with every
+/// periphery vertex adjacent to all core vertices, plus independent extra
+/// periphery–periphery edges with probability `p_extra`. Any two vertices
+/// meet through the core, so the diameter is exactly 2 whenever there is at
+/// least one periphery vertex (and 1 for a pure clique) — the regime where
+/// hub-label oracles stay tiny at 50k–100k vertices.
+pub fn core_periphery<R: Rng>(rng: &mut R, n: usize, core: usize, p_extra: f64) -> Graph {
+    assert!(core >= 1, "core_periphery needs a non-empty core");
+    let core = core.min(n);
+    let mut g = Graph::new(n);
+    for u in 0..core {
+        for v in (u + 1)..core {
+            g.add_edge(u, v);
+        }
+    }
+    for v in core..n {
+        for u in 0..core {
+            g.add_edge(u, v);
+        }
+    }
+    let p_extra = p_extra.clamp(0.0, 1.0);
+    if p_extra > 0.0 {
+        for u in core..n {
+            for v in (u + 1)..n {
+                if rng.random_bool(p_extra) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+    }
+    g
+}
+
 /// Random permutation of `0..n` (used for permutation-invariance tests).
 pub fn random_permutation<R: Rng>(rng: &mut R, n: usize) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..n).collect();
@@ -291,6 +324,19 @@ mod tests {
         let g = random_split(&mut rng, 6, 10, 0.4);
         assert!(is_connected(&g));
         assert!(diameter(&g).unwrap() <= 3);
+    }
+
+    #[test]
+    fn core_periphery_has_diameter_exactly_two() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (n, core, p) in [(200usize, 8usize, 0.0), (500, 64, 0.01), (64, 64, 0.0)] {
+            let g = core_periphery(&mut rng, n, core, p);
+            g.validate().unwrap();
+            assert!(is_connected(&g), "n={n} core={core} disconnected");
+            let d = diameter(&g).unwrap();
+            let expected = if core >= n { 1 } else { 2 };
+            assert_eq!(d, expected, "n={n} core={core}");
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use dclab_core::pvec::PVec;
 use dclab_core::solver::Solution;
-use dclab_engine::{Budget, SolveReport, Strategy};
+use dclab_engine::{Budget, OraclePolicy, SolveReport, Strategy};
 use dclab_graph::canon::{CanonicalForm, Fnv64};
 use dclab_graph::Graph;
 
@@ -32,17 +32,24 @@ use dclab_graph::Graph;
 #[derive(Clone, Debug)]
 pub struct CacheKey {
     /// Isomorphism-invariant combined hash (graph canon ⊕ p ⊕ strategy ⊕
-    /// budget); the shard/bucket index.
+    /// budget ⊕ oracle policy); the shard/bucket index.
     pub hash: u64,
     pub canon: CanonicalForm,
     pub pvec: PVec,
     pub strategy: Strategy,
     pub budget: Budget,
+    pub oracle: OraclePolicy,
 }
 
 impl CacheKey {
     /// Build the key for a request (computes the canonical form).
-    pub fn for_request(g: &Graph, pvec: &PVec, strategy: Strategy, budget: Budget) -> CacheKey {
+    pub fn for_request(
+        g: &Graph,
+        pvec: &PVec,
+        strategy: Strategy,
+        budget: Budget,
+        oracle: OraclePolicy,
+    ) -> CacheKey {
         let canon = CanonicalForm::of(g);
         let mut h = Fnv64::new();
         h.write_u64(canon.hash);
@@ -55,12 +62,14 @@ impl CacheKey {
         h.write_u64(budget.restarts.map_or(u64::MAX, |r| r as u64));
         h.write_u64(budget.lb_iters.map_or(u64::MAX, |i| i as u64));
         h.write_u64(budget.deadline_ms.map_or(u64::MAX, |d| d));
+        h.write_u64(oracle.code() as u64);
         CacheKey {
             hash: h.finish(),
             canon,
             pvec: pvec.clone(),
             strategy,
             budget,
+            oracle,
         }
     }
 
@@ -82,6 +91,7 @@ impl CacheKey {
             && self.pvec == other.pvec
             && self.strategy == other.strategy
             && self.budget == other.budget
+            && self.oracle == other.oracle
             && self.canon.same_canonical_graph(&other.canon)
     }
 }
@@ -420,7 +430,7 @@ mod tests {
 
     fn key_and_report(g: &Graph, strategy: Strategy) -> (CacheKey, SolveReport) {
         let p = PVec::l21();
-        let key = CacheKey::for_request(g, &p, strategy, Budget::default());
+        let key = CacheKey::for_request(g, &p, strategy, Budget::default(), OraclePolicy::Auto);
         let report = solve(&SolveRequest::new(g.clone(), p).with_strategy(strategy)).unwrap();
         (key, report)
     }
@@ -450,7 +460,13 @@ mod tests {
 
         let perm = vec![4, 7, 1, 8, 0, 3, 6, 2, 5, 9];
         let h = g.relabeled(&perm);
-        let key_h = CacheKey::for_request(&h, &p, Strategy::Exact, Budget::default());
+        let key_h = CacheKey::for_request(
+            &h,
+            &p,
+            Strategy::Exact,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
         assert_eq!(key.hash, key_h.hash, "isomorphic instances share the hash");
         let cached = cache.get(&key_h).expect("isomorphic relabeling hits");
         assert_eq!(cached.solution.span, report.solution.span);
@@ -467,8 +483,20 @@ mod tests {
         let g = classic::petersen();
         let (key, report) = key_and_report(&g, Strategy::Auto);
         cache.put(&key, &report);
-        let other_p = CacheKey::for_request(&g, &PVec::ones(2), Strategy::Auto, Budget::default());
-        let other_s = CacheKey::for_request(&g, &PVec::l21(), Strategy::Greedy, Budget::default());
+        let other_p = CacheKey::for_request(
+            &g,
+            &PVec::ones(2),
+            Strategy::Auto,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
+        let other_s = CacheKey::for_request(
+            &g,
+            &PVec::l21(),
+            Strategy::Greedy,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
         assert!(cache.get(&other_p).is_none());
         assert!(cache.get(&other_s).is_none());
     }
@@ -481,7 +509,13 @@ mod tests {
         let p = PVec::l21();
         for n in 3..30 {
             let g = classic::path(n);
-            let key = CacheKey::for_request(&g, &p, Strategy::Greedy, Budget::default());
+            let key = CacheKey::for_request(
+                &g,
+                &p,
+                Strategy::Greedy,
+                Budget::default(),
+                OraclePolicy::Auto,
+            );
             let report =
                 solve(&SolveRequest::new(g.clone(), p.clone()).with_strategy(Strategy::Greedy))
                     .unwrap();
@@ -497,7 +531,13 @@ mod tests {
         let cache = ReportCache::new(1 << 20);
         let g = classic::complete(6);
         let p = PVec::l21();
-        let key = CacheKey::for_request(&g, &p, Strategy::Auto, Budget::default());
+        let key = CacheKey::for_request(
+            &g,
+            &p,
+            Strategy::Auto,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
         let solve_fn =
             || solve(&SolveRequest::new(g.clone(), p.clone())).map_err(|e| e.to_string());
         let (r1, s1) = cache.get_or_solve(&key, solve_fn);
@@ -514,7 +554,13 @@ mod tests {
         let solves = Arc::new(AtomicUsize::new(0));
         let g = classic::complete_bipartite(4, 4);
         let p = PVec::l21();
-        let key = CacheKey::for_request(&g, &p, Strategy::Auto, Budget::default());
+        let key = CacheKey::for_request(
+            &g,
+            &p,
+            Strategy::Auto,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
         let mut handles = Vec::new();
         for _ in 0..8 {
             let (cache, solves, key, g, p) = (

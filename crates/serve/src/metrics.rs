@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use dclab_engine::json::Obj;
-use dclab_engine::Strategy;
+use dclab_engine::{OracleStats, Strategy};
 
 use crate::cache::CacheCounters;
 
@@ -24,6 +24,10 @@ pub const LATENCY_BUCKETS: usize = 32;
 /// `dclab_phase_seconds` metric set stays bounded no matter what span names
 /// show up in traces.
 pub const PHASE_COUNT: usize = dclab_trace::PHASES.len();
+
+/// One counter slot per concrete strategy, sized from the engine's own
+/// registry so a new route extends the metric families automatically.
+pub const STRATEGY_COUNT: usize = Strategy::CONCRETE.len();
 
 /// Escape a Prometheus label *value* per the text exposition format:
 /// backslash, double-quote, and line-feed must be written as `\\`, `\"`,
@@ -180,13 +184,28 @@ pub struct Metrics {
     pub rejected_overload: AtomicU64,
     /// Solves completed, by concrete strategy (index into
     /// [`Strategy::CONCRETE`]).
-    pub per_strategy: [AtomicU64; 7],
+    pub per_strategy: [AtomicU64; STRATEGY_COUNT],
     /// Fresh solves whose deadline fired before optimality was proved
     /// (the response is still 200 with the best incumbent).
     pub solve_timeouts: AtomicU64,
     /// Race-strategy solves won, by the winning concrete member (index
     /// into [`Strategy::CONCRETE`]).
-    pub race_wins: [AtomicU64; 7],
+    pub race_wins: [AtomicU64; STRATEGY_COUNT],
+    /// Hub-label distance oracles built (dense-backed oracle solves do
+    /// not build labels and are not counted here).
+    pub oracle_labels_built: AtomicU64,
+    /// Total `(hub, dist)` label entries across hub builds (numerator of
+    /// the exported average label size).
+    pub oracle_label_entries: AtomicU64,
+    /// Total vertices across hub builds (denominator of the average).
+    pub oracle_label_vertices: AtomicU64,
+    /// Resident bytes of the most recent hub-label build (gauge).
+    pub oracle_footprint_bytes: AtomicU64,
+    /// Point distance queries served by oracle-routed solves.
+    pub oracle_queries: AtomicU64,
+    /// `oracle=auto` solves that resolved to the dense matrix (the
+    /// instance fit under the engine's footprint threshold).
+    pub oracle_dense_fallback: AtomicU64,
     /// End-to-end `/solve` handling latency (includes cache hits).
     pub solve_latency: LatencyHistogram,
     /// Per-phase time attribution from request traces, one histogram per
@@ -247,6 +266,36 @@ impl Metrics {
         if let Some(i) = Strategy::CONCRETE.iter().position(|&s| s == winner) {
             self.race_wins[i].fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record a fresh oracle-routed solve's [`OracleStats`]. `n` is the
+    /// instance's vertex count (the denominator of the exported average
+    /// label size). Dense-backed solves contribute queries and the
+    /// fallback counter but no label shape.
+    pub fn record_oracle(&self, o: &OracleStats, n: usize) {
+        self.oracle_queries.fetch_add(o.queries, Ordering::Relaxed);
+        if o.dense_fallback {
+            self.oracle_dense_fallback.fetch_add(1, Ordering::Relaxed);
+        }
+        if o.backend == "hub" {
+            self.oracle_labels_built
+                .fetch_add(o.builds as u64, Ordering::Relaxed);
+            self.oracle_label_entries
+                .fetch_add(o.label_entries, Ordering::Relaxed);
+            self.oracle_label_vertices
+                .fetch_add(n as u64, Ordering::Relaxed);
+            self.oracle_footprint_bytes
+                .store(o.footprint_bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Mean `(hub, dist)` entries per vertex across every hub build so
+    /// far (0 before the first build). Integer floor keeps the JSON
+    /// rendering deterministic.
+    fn oracle_avg_label_size(&self) -> u64 {
+        let entries = self.oracle_label_entries.load(Ordering::Relaxed);
+        let vertices = self.oracle_label_vertices.load(Ordering::Relaxed);
+        entries.checked_div(vertices).unwrap_or(0)
     }
 
     /// Record one phase's total µs from a finished request trace. Phase
@@ -504,6 +553,31 @@ impl Metrics {
                 count.load(Ordering::Relaxed)
             ));
         }
+        out.push_str(&counter(
+            "dclab_oracle_labels_built_total",
+            "Hub-label distance oracles built for fresh solves.",
+            self.oracle_labels_built.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_oracle_avg_label_size",
+            "Mean (hub, dist) label entries per vertex across hub builds.",
+            self.oracle_avg_label_size(),
+        ));
+        out.push_str(&counter(
+            "dclab_oracle_query_total",
+            "Point distance queries served by oracle-routed solves.",
+            self.oracle_queries.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "dclab_oracle_footprint_bytes",
+            "Resident bytes of the most recent hub-label build.",
+            self.oracle_footprint_bytes.load(Ordering::Relaxed),
+        ));
+        out.push_str(&counter(
+            "dclab_oracle_dense_fallback_total",
+            "oracle=auto solves that resolved to the dense matrix.",
+            self.oracle_dense_fallback.load(Ordering::Relaxed),
+        ));
         out.push_str(&self.solve_latency.to_prometheus(
             "dclab_solve_latency_seconds",
             "End-to-end /solve handling latency (cache hits included).",
@@ -585,6 +659,22 @@ impl Metrics {
             .u64("received", self.cluster_received.load(Ordering::Relaxed))
             .u64("fallback", self.cluster_fallback.load(Ordering::Relaxed))
             .finish();
+        let oracle_json = Obj::new()
+            .u64(
+                "labels_built",
+                self.oracle_labels_built.load(Ordering::Relaxed),
+            )
+            .u64("avg_label_size", self.oracle_avg_label_size())
+            .u64("query_total", self.oracle_queries.load(Ordering::Relaxed))
+            .u64(
+                "footprint_bytes",
+                self.oracle_footprint_bytes.load(Ordering::Relaxed),
+            )
+            .u64(
+                "dense_fallback",
+                self.oracle_dense_fallback.load(Ordering::Relaxed),
+            )
+            .finish();
         let gauges = store.unwrap_or_default();
         let store_json = Obj::new()
             .bool("enabled", store.is_some())
@@ -636,6 +726,7 @@ impl Metrics {
             .raw("store", &store_json)
             .raw("strategies", &strategies)
             .raw("race_wins", &race_wins)
+            .raw("oracle", &oracle_json)
             .raw("solve_latency", &self.solve_latency.to_json())
             .raw("phases", &phases)
             .finish()
@@ -831,6 +922,63 @@ mod tests {
         assert!(json.contains("\"solve_timeouts\":2"));
         assert!(json.contains("\"race_wins\":{"));
         assert!(json.contains("\"heuristic\":2"));
+    }
+
+    #[test]
+    fn oracle_metrics_render_and_average_is_cumulative() {
+        let m = Metrics::default();
+        // A fresh server renders the full (all-zero) oracle family set.
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert!(text.contains("dclab_oracle_labels_built_total 0\n"));
+        assert!(text.contains("dclab_oracle_avg_label_size 0\n"));
+        // One hub solve: 50 vertices, 400 entries, then a dense fallback.
+        m.record_oracle(
+            &OracleStats {
+                backend: "hub".into(),
+                builds: 1,
+                label_entries: 400,
+                footprint_bytes: 4800,
+                queries: 120,
+                dense_fallback: false,
+            },
+            50,
+        );
+        m.record_oracle(
+            &OracleStats {
+                backend: "dense".into(),
+                builds: 1,
+                label_entries: 0,
+                footprint_bytes: 400,
+                queries: 30,
+                dense_fallback: true,
+            },
+            10,
+        );
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert!(text.contains("dclab_oracle_labels_built_total 1\n"));
+        assert!(text.contains("dclab_oracle_avg_label_size 8\n"));
+        assert!(text.contains("dclab_oracle_query_total 150\n"));
+        // The dense solve's matrix bytes never pollute the hub gauge.
+        assert!(text.contains("dclab_oracle_footprint_bytes 4800\n"));
+        assert!(text.contains("dclab_oracle_dense_fallback_total 1\n"));
+        assert_prometheus_grammar(&text);
+        // A second hub build folds into the cumulative average.
+        m.record_oracle(
+            &OracleStats {
+                backend: "hub".into(),
+                builds: 1,
+                label_entries: 200,
+                footprint_bytes: 2400,
+                queries: 60,
+                dense_fallback: false,
+            },
+            50,
+        );
+        let json = m.to_json(CacheCounters::default(), None);
+        assert!(json.contains(
+            "\"oracle\":{\"labels_built\":2,\"avg_label_size\":6,\"query_total\":210,\
+             \"footprint_bytes\":2400,\"dense_fallback\":1}"
+        ));
     }
 
     #[test]

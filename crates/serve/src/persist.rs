@@ -31,6 +31,7 @@ pub fn store_key(key: &CacheKey) -> StoreKey {
         pvec: key.pvec.entries().to_vec(),
         strategy: key.strategy,
         budget: key.budget,
+        oracle: key.oracle,
     }
 }
 
@@ -83,7 +84,8 @@ pub fn warm_boot(cache: &ReportCache, store: &Store) -> u64 {
         // vertex space of the graph we just rebuilt from canonical edges —
         // so a plain put() (which re-canonizes) files it correctly, and a
         // future isomorphic requester translates it into their own space.
-        let cache_key = CacheKey::for_request(&graph, &pvec, skey.strategy, skey.budget);
+        let cache_key =
+            CacheKey::for_request(&graph, &pvec, skey.strategy, skey.budget, skey.oracle);
         cache.put(&cache_key, &report);
         loaded += 1;
     }
@@ -93,7 +95,7 @@ pub fn warm_boot(cache: &ReportCache, store: &Store) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dclab_engine::{solve, Budget, SolveRequest, Strategy};
+    use dclab_engine::{solve, Budget, OraclePolicy, SolveRequest, Strategy};
     use dclab_graph::generators::classic;
 
     fn temp_store(name: &str) -> Store {
@@ -109,7 +111,13 @@ mod tests {
         let store = temp_store("lookup.dcst");
         let g = classic::petersen();
         let p = PVec::l21();
-        let key = CacheKey::for_request(&g, &p, Strategy::Exact, Budget::default());
+        let key = CacheKey::for_request(
+            &g,
+            &p,
+            Strategy::Exact,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
         let report =
             solve(&SolveRequest::new(g.clone(), p.clone()).with_strategy(Strategy::Exact)).unwrap();
         assert!(store_lookup(&store, &key).is_none());
@@ -121,7 +129,13 @@ mod tests {
         // valid for *its* graph.
         let perm = vec![3, 8, 0, 5, 9, 1, 7, 2, 6, 4];
         let h = g.relabeled(&perm);
-        let key_h = CacheKey::for_request(&h, &p, Strategy::Exact, Budget::default());
+        let key_h = CacheKey::for_request(
+            &h,
+            &p,
+            Strategy::Exact,
+            Budget::default(),
+            OraclePolicy::Auto,
+        );
         let found_h = store_lookup(&store, &key_h).expect("isomorphic archive hit");
         assert_eq!(found_h.solution.span, report.solution.span);
         found_h
@@ -138,7 +152,13 @@ mod tests {
         let mut keys = Vec::new();
         for n in [5usize, 6, 7] {
             let g = classic::complete(n);
-            let key = CacheKey::for_request(&g, &p, Strategy::Auto, Budget::default());
+            let key = CacheKey::for_request(
+                &g,
+                &p,
+                Strategy::Auto,
+                Budget::default(),
+                OraclePolicy::Auto,
+            );
             let report = solve(&SolveRequest::new(g, p.clone())).unwrap();
             store_append(&store, &key, &report).unwrap();
             keys.push((key, report));

@@ -17,7 +17,7 @@
 //!
 //! | Endpoint         | Semantics                                            |
 //! |------------------|------------------------------------------------------|
-//! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts`, `deadline-ms` → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced`. A deadline returns 200 with the best incumbent (`"timed_out":true`), never a 5xx; requested deadlines are clamped to the server cap |
+//! | `POST /solve`    | body = instance (edge list or DIMACS), query `p`, `strategy`, `format`, `node-budget`, `restarts`, `deadline-ms`, `oracle` (`auto\|dense\|hub` distance backend) → `SolveReport` JSON; `X-Dclab-Cache: hit\|miss\|coalesced`. A deadline returns 200 with the best incumbent (`"timed_out":true`), never a 5xx; requested deadlines are clamped to the server cap |
 //! | `POST /batch`    | body = instances separated by `%%` lines, same query params → JSON array |
 //! | `GET /healthz`   | liveness                                             |
 //! | `GET /metrics`   | Prometheus text (default; `text/plain; version=0.0.4`) or `?format=json`: counters, cache stats, per-strategy counts, latency + per-phase histograms |
@@ -38,7 +38,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dclab_engine::json::{array, escape, Obj};
-use dclab_engine::{solve, Budget, EngineError, SolveReport, SolveRequest, Strategy};
+use dclab_engine::{solve, Budget, EngineError, OraclePolicy, SolveReport, SolveRequest, Strategy};
 use dclab_graph::io as graph_io;
 use dclab_graph::Graph;
 use dclab_par::WorkerPool;
@@ -510,6 +510,7 @@ struct SolveParams {
     pvec: dclab_core::pvec::PVec,
     strategy: Strategy,
     budget: Budget,
+    oracle: OraclePolicy,
     format: Option<graph_io::Format>,
 }
 
@@ -542,6 +543,10 @@ fn parse_params(req: &Request, max_deadline_ms: u64) -> Result<SolveParams, Stri
         // best incumbent found inside the (possibly shorter) window.
         budget.deadline_ms = Some(requested.min(max_deadline_ms));
     }
+    let oracle = match req.query_param("oracle") {
+        Some(raw) => raw.parse::<OraclePolicy>()?,
+        None => OraclePolicy::Auto,
+    };
     let format = match req.query_param("format") {
         None | Some("auto") => None,
         Some("edgelist") | Some("edge-list") => Some(graph_io::Format::EdgeList),
@@ -552,6 +557,7 @@ fn parse_params(req: &Request, max_deadline_ms: u64) -> Result<SolveParams, Stri
         pvec,
         strategy,
         budget,
+        oracle,
         format,
     })
 }
@@ -613,10 +619,14 @@ fn cached_solve(
             pvec: params.pvec.clone(),
             strategy: params.strategy,
             budget: params.budget,
+            oracle: params.oracle,
         };
         match solve(&req) {
             Ok(report) => {
                 ctx.metrics.record_strategy(report.strategy_used);
+                if let Some(o) = &report.stats.oracle {
+                    ctx.metrics.record_oracle(o, report.stats.features.n);
+                }
                 if report.stats.timed_out {
                     ctx.metrics.solve_timeouts.fetch_add(1, Ordering::Relaxed);
                 }
@@ -677,7 +687,13 @@ fn solve_endpoint(ctx: &ServeCtx, req: &Request, rid: &str) -> Response {
     // Cluster routing: the cache key's hash is the canonical instance
     // identity (isomorphism-invariant), so all relabelings of one
     // instance route to the same owner replica.
-    let key = CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
+    let key = CacheKey::for_request(
+        &graph,
+        &params.pvec,
+        params.strategy,
+        params.budget,
+        params.oracle,
+    );
     let mut routed: Option<&'static str> = None;
     if let Some(cl) = &ctx.cluster {
         if req.header(cluster::FORWARDED_HEADER).is_some() {
@@ -809,8 +825,13 @@ fn batch_endpoint(ctx: &ServeCtx, req: &Request) -> Response {
     for text in &instances {
         let item = match parse_instance(text, params.format) {
             Ok(graph) => {
-                let key =
-                    CacheKey::for_request(&graph, &params.pvec, params.strategy, params.budget);
+                let key = CacheKey::for_request(
+                    &graph,
+                    &params.pvec,
+                    params.strategy,
+                    params.budget,
+                    params.oracle,
+                );
                 match cached_solve(ctx, &key, graph, &params) {
                     Ok((report, status)) => {
                         match status {

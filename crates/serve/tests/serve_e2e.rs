@@ -230,6 +230,78 @@ fn metrics_reflect_traffic_and_strategies() {
     stop(handle, client);
 }
 
+/// The `oracle` query param pins the distance backend; hub- and
+/// dense-backed solves return the same labeling but cache separately,
+/// and hub traffic shows up in the `dclab_oracle_*` metric families.
+#[test]
+fn oracle_param_routes_and_is_metered() {
+    let (handle, mut client) = test_server();
+    let body = graph_io::write_edge_list(&classic::petersen());
+    let hub = client
+        .request(
+            "POST",
+            "/solve?p=2,1&strategy=oracle-path&oracle=hub",
+            &body,
+        )
+        .unwrap();
+    assert_eq!(hub.status, 200, "{}", hub.body);
+    assert_eq!(hub.header("x-dclab-cache"), Some("miss"));
+    assert!(
+        hub.body.contains("\"oracle\":{\"backend\":\"hub\""),
+        "{}",
+        hub.body
+    );
+    let dense = client
+        .request(
+            "POST",
+            "/solve?p=2,1&strategy=oracle-path&oracle=dense",
+            &body,
+        )
+        .unwrap();
+    // A pinned-dense request is a distinct cache identity: miss, not hit.
+    assert_eq!(dense.header("x-dclab-cache"), Some("miss"));
+    assert!(
+        dense.body.contains("\"backend\":\"dense\""),
+        "{}",
+        dense.body
+    );
+    // Identical solution either way; only the stats tail differs.
+    let span_of = |b: &str| {
+        b.split("\"span\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(span_of(&hub.body), span_of(&dense.body));
+    // Repeating the hub request hits its cache entry.
+    let again = client
+        .request(
+            "POST",
+            "/solve?p=2,1&strategy=oracle-path&oracle=hub",
+            &body,
+        )
+        .unwrap();
+    assert_eq!(again.header("x-dclab-cache"), Some("hit"));
+    let prom = client.request("GET", "/metrics", "").unwrap();
+    assert!(
+        prom.body.contains("dclab_oracle_labels_built_total 1"),
+        "{}",
+        prom.body
+    );
+    assert!(prom
+        .body
+        .contains("# TYPE dclab_oracle_query_total counter"));
+    assert!(!prom.body.contains("dclab_oracle_query_total 0\n"));
+    let bad = client
+        .request("POST", "/solve?p=2,1&oracle=quantum", &body)
+        .unwrap();
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    stop(handle, client);
+}
+
 /// A raw HTTP/1.0 exchange: write `head` + `body`, read everything until
 /// the server closes or the timeout hits. Returns the raw response text
 /// and whether the server closed the connection after one response.

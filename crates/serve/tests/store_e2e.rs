@@ -133,6 +133,7 @@ fn store_hits_count_reads_that_skip_the_engine() {
             &p,
             dclab_engine::Strategy::Exact,
             dclab_engine::Budget::default(),
+            dclab_engine::OraclePolicy::Auto,
         );
         let report = dclab_engine::solve(
             &dclab_engine::SolveRequest::new(g, p).with_strategy(dclab_engine::Strategy::Exact),

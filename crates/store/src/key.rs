@@ -14,7 +14,7 @@
 use dclab_engine::binary::{
     get_opt_uvarint, get_u8, get_uvarint, put_opt_uvarint, put_uvarint, CodecError,
 };
-use dclab_engine::{Budget, Strategy};
+use dclab_engine::{Budget, OraclePolicy, Strategy};
 use dclab_graph::canon::Fnv64;
 
 /// Durable identity of one archived solve (see module docs).
@@ -28,16 +28,22 @@ pub struct StoreKey {
     pub pvec: Vec<u64>,
     pub strategy: Strategy,
     pub budget: Budget,
+    /// Distance-backend policy of the request (`Auto` for every key
+    /// written before the field existed).
+    pub oracle: OraclePolicy,
 }
 
 impl StoreKey {
     /// Stable byte encoding (the archive's key payload).
     ///
-    /// The budget's `deadline_ms` is encoded as an *optional tail*: it is
-    /// appended (as an option-tagged varint) only when `Some`. A
-    /// deadline-free key therefore byte-matches every key written before
-    /// the field existed — old archives keep hitting — and decode treats a
-    /// buffer ending at `lb_iters` as `deadline_ms: None`.
+    /// The budget's `deadline_ms` and the oracle policy are encoded as
+    /// layered *optional tails*. The deadline (an option-tagged varint)
+    /// is appended when `Some` — or when an oracle tail follows, so the
+    /// layers stay unambiguous. The oracle policy byte is appended only
+    /// when the policy is not `Auto`. A deadline-free `Auto` key
+    /// therefore byte-matches every key written before either field
+    /// existed — old archives keep hitting — and decode treats a buffer
+    /// ending at `lb_iters` as `deadline_ms: None, oracle: Auto`.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(16 + 4 * self.edges.len() + 2 * self.pvec.len());
         put_uvarint(&mut buf, self.n as u64);
@@ -54,8 +60,11 @@ impl StoreKey {
         put_opt_uvarint(&mut buf, self.budget.node_budget);
         put_opt_uvarint(&mut buf, self.budget.restarts.map(|r| r as u64));
         put_opt_uvarint(&mut buf, self.budget.lb_iters.map(|i| i as u64));
-        if self.budget.deadline_ms.is_some() {
+        if self.budget.deadline_ms.is_some() || self.oracle != OraclePolicy::Auto {
             put_opt_uvarint(&mut buf, self.budget.deadline_ms);
+        }
+        if self.oracle != OraclePolicy::Auto {
+            buf.push(self.oracle.code());
         }
         buf
     }
@@ -98,14 +107,25 @@ impl StoreKey {
             lb_iters: get_opt_uvarint(bytes, pos)?.map(|i| i as usize),
             ..Budget::default()
         };
-        // Versioned tail: keys written before anytime solving end here
-        // (deadline_ms: None); newer keys append the deadline option.
+        // Layered versioned tails: keys written before anytime solving end
+        // here (deadline_ms: None, oracle: Auto); newer keys append the
+        // deadline option, and oracle-pinned keys a policy byte after it.
+        let mut oracle = OraclePolicy::Auto;
         if *pos < bytes.len() {
             budget.deadline_ms = get_opt_uvarint(bytes, pos)?;
-            if budget.deadline_ms.is_none() {
-                // The canonical encoding omits a None tail entirely; an
-                // explicit None tag would make two byte strings decode to
-                // one key, breaking encode∘decode = identity.
+            if *pos < bytes.len() {
+                let code = get_u8(bytes, pos)?;
+                oracle = OraclePolicy::from_code(code)
+                    .ok_or_else(|| bad(*pos - 1, "unknown oracle policy code"))?;
+                if oracle == OraclePolicy::Auto {
+                    // Auto is canonically omitted; an explicit byte would
+                    // make two byte strings decode to one key.
+                    return Err(bad(*pos - 1, "non-canonical oracle tail"));
+                }
+            } else if budget.deadline_ms.is_none() {
+                // The canonical encoding omits a None deadline unless an
+                // oracle byte follows; a bare explicit None would break
+                // encode∘decode = identity.
                 return Err(bad(*pos - 1, "non-canonical deadline tail"));
             }
         }
@@ -118,6 +138,7 @@ impl StoreKey {
             pvec,
             strategy,
             budget,
+            oracle,
         })
     }
 
@@ -150,6 +171,7 @@ mod tests {
                 lb_iters: Some(0),
                 ..Budget::default()
             },
+            oracle: OraclePolicy::Auto,
         }
     }
 
@@ -221,5 +243,43 @@ mod tests {
         assert_eq!(back.encode(), bytes);
         assert_ne!(bytes, base.encode());
         assert_ne!(with_deadline.hash(), base.hash());
+    }
+
+    /// The layered-tail contract for the oracle policy: `Auto` keys are
+    /// byte-identical to the pre-oracle encoding (old archives keep
+    /// hitting); pinned-backend keys append the policy byte — behind an
+    /// explicit deadline option when the deadline is `None`, so the two
+    /// tails never collide — and every combination round-trips.
+    #[test]
+    fn oracle_policy_tail_layers_over_the_deadline_tail() {
+        let base = sample();
+        assert_eq!(base.oracle, OraclePolicy::Auto);
+        for deadline in [None, Some(50)] {
+            for oracle in [OraclePolicy::Auto, OraclePolicy::Dense, OraclePolicy::Hub] {
+                let mut key = base.clone();
+                key.budget.deadline_ms = deadline;
+                key.oracle = oracle;
+                let bytes = key.encode();
+                let back = StoreKey::decode(&bytes).expect("decodes");
+                assert_eq!(back, key);
+                assert_eq!(back.encode(), bytes, "byte round trip");
+                if oracle != OraclePolicy::Auto {
+                    assert_eq!(*bytes.last().unwrap(), oracle.code());
+                }
+            }
+        }
+        // Deadline-free pinned key: tail is exactly [None tag, policy].
+        let mut hub = base.clone();
+        hub.oracle = OraclePolicy::Hub;
+        let bytes = hub.encode();
+        assert_eq!(bytes.len(), base.encode().len() + 2);
+        assert_ne!(hub.hash(), base.hash());
+        // A dangling explicit-None deadline (no policy byte after it)
+        // stays non-canonical.
+        assert!(StoreKey::decode(&bytes[..bytes.len() - 1]).is_err());
+        // And an explicit Auto policy byte is rejected too.
+        let mut padded = base.encode();
+        padded.extend_from_slice(&[0, 0]);
+        assert!(StoreKey::decode(&padded).is_err());
     }
 }

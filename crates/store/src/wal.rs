@@ -670,7 +670,7 @@ impl Store {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dclab_engine::{Budget, Strategy};
+    use dclab_engine::{Budget, OraclePolicy, Strategy};
 
     fn temp_path(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("dclab-store-{}", std::process::id()));
@@ -685,6 +685,7 @@ mod tests {
             pvec: vec![i + 1, 1],
             strategy: Strategy::Greedy,
             budget: Budget::default(),
+            oracle: OraclePolicy::Auto,
         }
     }
 

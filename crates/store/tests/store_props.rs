@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use dclab_engine::{Budget, Strategy};
+use dclab_engine::{Budget, OraclePolicy, Strategy};
 use dclab_store::{Store, StoreKey};
 
 fn temp_path(tag: &str, case: u64) -> std::path::PathBuf {
@@ -53,6 +53,9 @@ fn random_key(rng: &mut StdRng, idx: u64) -> StoreKey {
                 None
             },
         },
+        // Exercise all three oracle-tail layouts (Auto omits the byte).
+        oracle: [OraclePolicy::Auto, OraclePolicy::Dense, OraclePolicy::Hub]
+            [rng.random_range(0usize..3)],
     }
 }
 

@@ -64,6 +64,8 @@ pub const PHASES: &[&str] = &[
     "race",
     "member",
     "validate",
+    "oracle_build",
+    "oracle_query",
 ];
 
 /// Index of `name` in the [`PHASES`] registry, if registered.

@@ -108,6 +108,65 @@ impl CandidateLists {
         }
     }
 
+    /// Build the `k`-nearest candidate lists from a weight *function*
+    /// instead of a materialised matrix — same row contents, order
+    /// (ascending `(weight, id)`) and padding as [`Self::build`] whenever
+    /// `f(u, v) == inst.weight(u, v)`. This is the entry point for the
+    /// oracle route, which works at sizes where no `n × n` matrix exists.
+    pub fn build_from_fn(
+        n: usize,
+        k: usize,
+        mut f: impl FnMut(usize, usize) -> u64,
+    ) -> CandidateLists {
+        let trace = dclab_trace::current();
+        let mut span = trace.span("candidates");
+        if span.is_enabled() {
+            span.set_detail(format!("n={n} k={k} from_fn"));
+        }
+        let k = k.min(n.saturating_sub(1));
+        let stride = if k == 0 { 0 } else { k.div_ceil(CHUNK) * CHUNK };
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut ids = Vec::with_capacity(n * stride);
+        let mut wts = Vec::with_capacity(n * stride);
+        let mut scratch: Vec<(i64, u32)> = Vec::with_capacity(n.saturating_sub(1));
+        for u in 0..n {
+            offsets.push((u * stride) as u32);
+            scratch.clear();
+            for v in 0..n {
+                if v != u {
+                    let w = f(u, v);
+                    debug_assert!(
+                        (w as i64) < PAD_WEIGHT,
+                        "weight too large for gain arithmetic"
+                    );
+                    scratch.push((w as i64, v as u32));
+                }
+            }
+            if k < scratch.len() {
+                scratch.select_nth_unstable(k);
+                scratch.truncate(k);
+            }
+            scratch.sort_unstable();
+            for &(w, v) in &scratch {
+                ids.push(v);
+                wts.push(w);
+            }
+            for _ in scratch.len()..stride {
+                ids.push(u as u32);
+                wts.push(PAD_WEIGHT);
+            }
+        }
+        offsets.push((n * stride) as u32);
+        CandidateLists {
+            n,
+            k,
+            stride,
+            offsets,
+            ids,
+            wts,
+        }
+    }
+
     /// A candidate-free list (used when a deadline pre-expired and paying
     /// for the build would be wasted: every scan sees zero candidates).
     pub fn empty(n: usize) -> CandidateLists {
@@ -199,6 +258,20 @@ mod tests {
             // Sorted ascending over the real prefix.
             for w in cl.weights(u).windows(2) {
                 assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn build_from_fn_is_byte_identical_to_build() {
+        for (n, k, salt) in [(1, 4, 0), (2, 1, 1), (7, 3, 2), (30, 10, 3), (30, 64, 4)] {
+            let t = random_instance(n, salt);
+            let by_matrix = CandidateLists::build(&t, k);
+            let by_fn = CandidateLists::build_from_fn(n, k, |u, v| t.weight(u, v));
+            for u in 0..n {
+                assert_eq!(by_fn.ids(u), by_matrix.ids(u), "n={n} k={k} u={u}");
+                assert_eq!(by_fn.weights(u), by_matrix.weights(u));
+                assert_eq!(by_fn.padded(u), by_matrix.padded(u));
             }
         }
     }

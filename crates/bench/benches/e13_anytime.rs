@@ -10,7 +10,13 @@
 //! * **deadline discipline**: every race solve must return a valid
 //!   labeling within 2× its deadline (the ISSUE 5 acceptance gate,
 //!   asserted for deadlines ≥ 50 ms where the fixed reduction/feature
-//!   overhead is small relative to the budget).
+//!   overhead is small relative to the budget);
+//! * **gap-vs-deadline curve**: per-deadline optimality-gap spread of the
+//!   race solves — with the root Held–Karp ascent armed, every timed-out
+//!   harvest at the gated deadline must certify `gap < 0.10` on at least
+//!   an `hk-ascent`-kind bound, and the race must prove ≥ 2 instances
+//!   optimal (the pre-ladder baseline proved exactly one, so ≥ 2 means at
+//!   least one instance that used to time out now closes).
 //!
 //! Writes machine-readable results to `BENCH_anytime.json` at the
 //! workspace root (gated by `dclab bench-gate` in CI from day one) and
@@ -20,6 +26,7 @@
 use std::time::Instant;
 
 use dclab_bench::{hardness_diam2, l21};
+use dclab_core::bounds::BoundKind;
 use dclab_engine::json::Obj;
 use dclab_engine::{solve, Budget, SolveReport, SolveRequest, Strategy};
 
@@ -62,6 +69,11 @@ fn median(values: &mut [u64]) -> u64 {
     values[values.len() / 2]
 }
 
+fn median_f64(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+    values[values.len() / 2]
+}
+
 fn main() {
     let quick = std::env::var("DCLAB_BENCH_QUICK").is_ok();
     let deadlines: &[u64] = if quick { &[50] } else { &[5, 20, 50, 200] };
@@ -81,6 +93,8 @@ fn main() {
     let mut per_deadline = Vec::new();
     let mut headline_race_median = 0u64;
     let mut headline_auto_median = 0u64;
+    let mut headline_gap_max = 0.0f64;
+    let mut headline_proved = 0u64;
 
     for &dl in deadlines {
         let mut race_spans = Vec::with_capacity(corpus.len());
@@ -88,6 +102,9 @@ fn main() {
         let mut race_wall_max: f64 = 0.0;
         let mut timeouts = 0usize;
         let mut winners: Vec<&'static str> = Vec::new();
+        let mut gaps: Vec<f64> = Vec::with_capacity(corpus.len());
+        let mut kinds: Vec<&'static str> = Vec::new();
+        let mut proved = 0usize;
         for (i, g) in corpus.iter().enumerate() {
             let (race, race_ms) = race_solve(g, dl);
             let (auto, _auto_ms) = timed_solve(g, Strategy::Auto, dl);
@@ -95,7 +112,31 @@ fn main() {
             if race.stats.timed_out {
                 timeouts += 1;
             }
+            if race.optimal {
+                proved += 1;
+            }
             winners.push(race.strategy_used.name());
+            kinds.push(race.stats.bound.kind.name());
+            let gap = race
+                .gap()
+                .expect("hardness corpus bounds are positive, gap defined");
+            gaps.push(gap);
+            if dl == GATED_DEADLINE_MS && race.stats.timed_out {
+                // The gap-certification acceptance gate: a timed-out
+                // harvest must still carry a Held–Karp-or-better
+                // certificate pinning it within 10% of optimal.
+                if gap >= 0.10 {
+                    failures.push(format!(
+                        "instance {i}: timed out at {dl} ms with gap {gap:.4} (>= 0.10)"
+                    ));
+                }
+                if race.stats.bound.kind < BoundKind::HkAscent {
+                    failures.push(format!(
+                        "instance {i}: timed out at {dl} ms with a weak '{}' bound",
+                        race.stats.bound.kind
+                    ));
+                }
+            }
             cells += 1;
             let won = race.solution.span <= auto.solution.span;
             if won {
@@ -117,21 +158,38 @@ fn main() {
         }
         let race_median = median(&mut race_spans);
         let auto_median = median(&mut auto_spans);
+        let gap_max = gaps.iter().cloned().fold(0.0f64, f64::max);
+        let gap_median = median_f64(&mut gaps);
         if dl >= GATED_DEADLINE_MS && race_median > auto_median {
             failures.push(format!(
                 "race median span {race_median} above auto median {auto_median} at {dl} ms"
             ));
+        }
+        if dl == GATED_DEADLINE_MS {
+            // The optimality-closure acceptance gate: the pre-ladder
+            // baseline proved exactly one corpus instance at the gated
+            // deadline, so ≥ 2 proofs means the root-armed branch and
+            // bound closed at least one instance that used to time out.
+            if proved < 2 {
+                failures.push(format!(
+                    "race proved only {proved}/{} instances at {dl} ms (need >= 2)",
+                    corpus.len()
+                ));
+            }
         }
         if dl == GATED_DEADLINE_MS
             || (headline_race_median == 0 && dl == *deadlines.last().unwrap())
         {
             headline_race_median = race_median;
             headline_auto_median = auto_median;
+            headline_gap_max = gap_max;
+            headline_proved = proved as u64;
         }
         println!(
             "bench e13_anytime/deadline {dl:>4} ms: race median span {race_median:>6} \
-             vs auto {auto_median:>6} | race wall max {race_wall_max:>7.1} ms | \
-             {timeouts}/{} timed out | winners {winners:?}",
+             vs auto {auto_median:>6} | gap median {gap_median:.4} max {gap_max:.4} | \
+             {proved} proved | race wall max {race_wall_max:>7.1} ms | \
+             {timeouts}/{} timed out | winners {winners:?} | bounds {kinds:?}",
             corpus.len()
         );
         per_deadline.push(
@@ -140,9 +198,13 @@ fn main() {
                 .usize("instances", corpus.len())
                 .u64("race_median_span", race_median)
                 .u64("auto_median_span", auto_median)
+                .f64("race_gap_median", gap_median)
+                .f64("race_gap_max", gap_max)
+                .usize("race_proved", proved)
                 .f64("race_wall_ms_max", race_wall_max)
                 .usize("race_timeouts", timeouts)
                 .str_array("race_winners", winners.iter().copied())
+                .str_array("race_bound_kinds", kinds.iter().copied())
                 .finish(),
         );
     }
@@ -169,6 +231,8 @@ fn main() {
             .f64("race_win_rate_sweep", race_win_rate_sweep)
             .u64("race_median_span", headline_race_median)
             .u64("auto_median_span", headline_auto_median)
+            .f64("anytime_gap_at_50ms", headline_gap_max)
+            .u64("race_proved_n512", headline_proved)
             .u64("gated_deadline_ms", GATED_DEADLINE_MS)
             .raw("deadlines", &dclab_engine::json::array(per_deadline))
             .finish()

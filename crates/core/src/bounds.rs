@@ -4,7 +4,119 @@
 use crate::pvec::PVec;
 use dclab_graph::diameter::diameter;
 use dclab_graph::{DistanceMatrix, Graph, INF};
+use dclab_par::Deadline;
 use dclab_tsp::mst::prim_mst;
+use std::fmt;
+
+/// How a span lower bound was certified, as a strength ladder:
+/// `Degree < OneTree < HkAscent < ProvedOptimal`.
+///
+/// The ordering is *evidentiary*, not numeric — a degree bound can exceed
+/// a tree bound on a star — so a [`SpanBound`] pairs the best **value**
+/// with the strongest **kind** that attains it (ties go to the stronger
+/// kind: a Held–Karp certificate that matches the degree bound is still a
+/// Held–Karp certificate).
+///
+/// Codes are append-only and shared with the binary report codec: new
+/// kinds get new codes, old codes never change meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundKind {
+    /// Closed-neighborhood / chain counting ([`degree_bound`],
+    /// [`chain_bound`]) — `O(n)`-cheap, available even without a reduction.
+    Degree = 0,
+    /// Un-ascended tree relaxation of the reduced Path-TSP instance
+    /// (MST / plain 1-tree, [`mst_bound`]).
+    OneTree = 1,
+    /// Held–Karp subgradient ascent on the reduced instance
+    /// ([`held_karp_bound`]) — the strongest certificate short of a proof.
+    HkAscent = 2,
+    /// The solve proved optimality: the bound *is* the optimum.
+    ProvedOptimal = 3,
+}
+
+impl BoundKind {
+    /// Every kind, weakest to strongest — the registry metric exporters
+    /// iterate so a new rung extends their label sets automatically.
+    pub const ALL: [BoundKind; 4] = [
+        BoundKind::Degree,
+        BoundKind::OneTree,
+        BoundKind::HkAscent,
+        BoundKind::ProvedOptimal,
+    ];
+
+    /// Stable wire code (append-only; used by the v5 report codec).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`BoundKind::code`]; `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Self::Degree),
+            1 => Some(Self::OneTree),
+            2 => Some(Self::HkAscent),
+            3 => Some(Self::ProvedOptimal),
+            _ => None,
+        }
+    }
+
+    /// Kebab-case name used in JSON reports and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Degree => "degree",
+            Self::OneTree => "one-tree",
+            Self::HkAscent => "hk-ascent",
+            Self::ProvedOptimal => "proved-optimal",
+        }
+    }
+}
+
+impl fmt::Display for BoundKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A span lower bound together with the certificate that produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanBound {
+    /// The certified bound value.
+    pub value: u64,
+    /// Strongest certificate kind attaining `value` (see [`BoundKind`]).
+    pub kind: BoundKind,
+    /// Held–Karp subgradient iterations run while computing this bound
+    /// (0 when the ascent was skipped).
+    pub ascent_iters: u64,
+}
+
+impl SpanBound {
+    /// A degree-kind bound (the floor every report can afford).
+    pub fn degree(value: u64) -> Self {
+        Self {
+            value,
+            kind: BoundKind::Degree,
+            ascent_iters: 0,
+        }
+    }
+
+    /// A proved-optimal bound: the solve certified `value` as the optimum.
+    pub fn proved(value: u64) -> Self {
+        Self {
+            value,
+            kind: BoundKind::ProvedOptimal,
+            ascent_iters: 0,
+        }
+    }
+
+    /// Fold in another certificate: a larger value always wins; an equal
+    /// value upgrades the kind if stronger.
+    pub fn raise(&mut self, value: u64, kind: BoundKind) {
+        if value > self.value || (value == self.value && kind > self.kind) {
+            self.value = value;
+            self.kind = kind;
+        }
+    }
+}
 
 /// Best available lower bound: the maximum of all bounds below that apply
 /// (the Held–Karp 1-tree bound is the expensive, tight one — see
@@ -35,20 +147,38 @@ pub fn span_lower_bound_with_reduction(
     reduced: &crate::reduction::ReducedInstance,
     hk_iters: usize,
 ) -> u64 {
-    let mut best = 0u64;
+    span_bound_with_reduction(g, p, reduced, hk_iters, &Deadline::none()).value
+}
+
+/// The kinded, deadline-aware form of [`span_lower_bound_with_reduction`]:
+/// climbs the [`BoundKind`] ladder (chain/degree → MST → Held–Karp ascent)
+/// and reports which rung certified the result plus how many ascent
+/// iterations ran. The ascent polls `deadline` per iteration but always
+/// runs its first iteration once entered, so an armed caller is guaranteed
+/// at least an MST-strength Held–Karp certificate. With [`Deadline::none`]
+/// the computation performs zero clock reads.
+pub fn span_bound_with_reduction(
+    g: &Graph,
+    p: &PVec,
+    reduced: &crate::reduction::ReducedInstance,
+    hk_iters: usize,
+    deadline: &Deadline,
+) -> SpanBound {
+    let mut bound = SpanBound::degree(0);
     if g.n() >= 1 {
         // Chain bound; the reduction's existence certifies diam(G) ≤ k.
-        best = best.max((g.n() as u64 - 1) * p.pmin());
+        bound.raise((g.n() as u64 - 1) * p.pmin(), BoundKind::Degree);
     }
-    best = best.max(degree_bound(g, p));
-    best = best.max(prim_mst(&reduced.tsp).1);
+    bound.raise(degree_bound(g, p), BoundKind::Degree);
+    bound.raise(prim_mst(&reduced.tsp).1, BoundKind::OneTree);
     if hk_iters > 0 {
-        best = best.max(dclab_tsp::lowerbound::path_lower_bound(
-            &reduced.tsp,
-            hk_iters,
-        ));
+        let out = dclab_tsp::lowerbound::path_lower_bound_anytime(&reduced.tsp, hk_iters, deadline);
+        if out.iters > 0 {
+            bound.raise(out.bound, BoundKind::HkAscent);
+        }
+        bound.ascent_iters = out.iters;
     }
-    best
+    bound
 }
 
 /// Reduction-free bound for the oracle (hub-label) route: the degree
@@ -194,12 +324,11 @@ mod tests {
 
     #[test]
     fn held_karp_bound_is_sound() {
-        // The 1-tree ascent bound (computed through the dummy-city
-        // extension) and the direct MST bound are formally incomparable;
-        // on two-valued diameter-2 instances the MST bound often wins
-        // because the dummy's zero edges weaken the 1-tree relaxation.
-        // What must always hold is soundness, and the combined
-        // span_lower_bound must dominate each individual bound.
+        // The path-form Held–Karp ascent starts at the MST bound (its
+        // π = 0 evaluation) and only climbs, so it dominates mst_bound;
+        // the degree bound is formally incomparable (it can win on
+        // star-like neighborhoods). What must always hold is soundness,
+        // and the combined span_lower_bound must dominate each rung.
         let mut rng = StdRng::seed_from_u64(72);
         for _ in 0..10 {
             let g = random::gnp_with_diameter_at_most(&mut rng, 9, 0.5, 2);
@@ -207,12 +336,62 @@ mod tests {
             let (_, opt) = exact_labeling_bruteforce(&g, &p);
             let hk = held_karp_bound(&g, &p, 100).unwrap();
             assert!(hk <= opt, "HK bound {hk} exceeds optimum {opt}");
+            assert!(hk >= mst_bound(&g, &p).unwrap());
             let combined = span_lower_bound(&g, &p);
             assert!(combined <= opt);
             assert!(combined >= hk);
-            assert!(combined >= mst_bound(&g, &p).unwrap());
             assert!(combined >= chain_bound(&g, &p).unwrap());
         }
+    }
+
+    #[test]
+    fn kinded_bound_attributes_the_strongest_certificate() {
+        let mut rng = StdRng::seed_from_u64(75);
+        let g = random::gnp_with_diameter_at_most(&mut rng, 9, 0.5, 2);
+        let p = PVec::l21();
+        let reduced = crate::reduction::reduce_to_path_tsp(&g, &p).unwrap();
+        let b = span_bound_with_reduction(&g, &p, &reduced, 50, &Deadline::none());
+        // The ascent dominates the MST rung by construction, and ties on
+        // the top value go to the stronger kind, so whenever the ascent
+        // runs the kind is at least HkAscent (Degree can only win the
+        // value, not erase that the ascent certified what it certified —
+        // here the ascent matches the combined bound on these instances).
+        assert_eq!(
+            b.value,
+            span_lower_bound_with_reduction(&g, &p, &reduced, 50)
+        );
+        assert!(b.ascent_iters >= 1);
+        assert!(b.kind >= BoundKind::OneTree);
+        // Skipping the ascent (hk_iters = 0) degrades kind and iters.
+        let cheap = span_bound_with_reduction(&g, &p, &reduced, 0, &Deadline::none());
+        assert_eq!(cheap.ascent_iters, 0);
+        assert!(cheap.kind <= BoundKind::OneTree);
+        assert!(cheap.value <= b.value);
+    }
+
+    #[test]
+    fn bound_kind_codes_round_trip_and_order() {
+        for kind in [
+            BoundKind::Degree,
+            BoundKind::OneTree,
+            BoundKind::HkAscent,
+            BoundKind::ProvedOptimal,
+        ] {
+            assert_eq!(BoundKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(BoundKind::from_code(4), None);
+        assert!(BoundKind::Degree < BoundKind::OneTree);
+        assert!(BoundKind::OneTree < BoundKind::HkAscent);
+        assert!(BoundKind::HkAscent < BoundKind::ProvedOptimal);
+        assert_eq!(BoundKind::HkAscent.name(), "hk-ascent");
+        // Ties upgrade the kind; larger values win regardless of kind.
+        let mut b = SpanBound::degree(7);
+        b.raise(7, BoundKind::HkAscent);
+        assert_eq!(b.kind, BoundKind::HkAscent);
+        b.raise(9, BoundKind::Degree);
+        assert_eq!((b.value, b.kind), (9, BoundKind::Degree));
+        b.raise(8, BoundKind::ProvedOptimal);
+        assert_eq!((b.value, b.kind), (9, BoundKind::Degree));
     }
 
     #[test]

@@ -19,10 +19,18 @@ pub const DEFAULT_NODE_BUDGET: u64 = 20_000_000;
 pub enum GuardError {
     /// Held–Karp requested beyond [`EXACT_MAX_N`] (or a caller-tightened
     /// maximum).
-    TooLargeForExact { n: usize, max: usize },
+    TooLargeForExact {
+        /// Requested instance size.
+        n: usize,
+        /// The guard's maximum.
+        max: usize,
+    },
     /// Branch and bound exhausted its node budget without proving
     /// optimality.
-    BudgetExhausted { node_budget: u64 },
+    BudgetExhausted {
+        /// The node budget that ran out.
+        node_budget: u64,
+    },
 }
 
 impl std::fmt::Display for GuardError {

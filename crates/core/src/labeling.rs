@@ -12,10 +12,15 @@ pub struct Labeling {
 /// A single violated constraint, reported by [`Labeling::validate`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Violation {
+    /// One endpoint of the violated pair.
     pub u: usize,
+    /// The other endpoint.
     pub v: usize,
+    /// Graph distance `d(u, v)` that triggered the constraint.
     pub distance: u32,
+    /// Required label gap `p_{d(u,v)}`.
     pub required_gap: u64,
+    /// The actual gap `|f(u) − f(v)|` that fell short.
     pub actual_gap: u64,
 }
 

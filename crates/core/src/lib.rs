@@ -21,6 +21,9 @@
 //! * [`hardness`] — executable Theorem 1 / Theorem 3 gadget constructions
 //!   with Hamiltonicity oracles.
 
+// Every public item in this crate is API surface for the workspace's
+// other eight crates: undocumented exports fail the build.
+#![warn(missing_docs)]
 // Index-based loops are the clearer idiom for the dense matrix/bitmask
 // kernels in this crate.
 #![allow(clippy::needless_range_loop)]

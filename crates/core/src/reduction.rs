@@ -28,10 +28,20 @@ pub enum ReductionError {
     /// `G` must be connected for distances to be finite.
     Disconnected,
     /// `diam(G) > k`: some pair has no constraint entry.
-    DiameterTooLarge { diameter: u32, k: usize },
+    DiameterTooLarge {
+        /// The graph's diameter.
+        diameter: u32,
+        /// Length of the constraint vector `p`.
+        k: usize,
+    },
     /// `p_max > 2·p_min`: the reduced weights would violate the triangle
     /// inequality and Claim 1's exchange argument breaks.
-    NotSmooth { pmin: u64, pmax: u64 },
+    NotSmooth {
+        /// Smallest entry of `p`.
+        pmin: u64,
+        /// Largest entry of `p`.
+        pmax: u64,
+    },
 }
 
 impl std::fmt::Display for ReductionError {

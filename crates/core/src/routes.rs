@@ -41,7 +41,8 @@ pub fn branch_bound_route(
     reduced: &ReducedInstance,
     node_budget: u64,
 ) -> Result<Solution, GuardError> {
-    let (sol, status) = branch_bound_route_anytime(reduced, node_budget, &Deadline::none(), None);
+    let (sol, status) =
+        branch_bound_route_anytime(reduced, node_budget, &Deadline::none(), None, None);
     match status {
         BbStatus::Proved => Ok(sol),
         BbStatus::BudgetExhausted | BbStatus::Cancelled => {
@@ -52,16 +53,25 @@ pub fn branch_bound_route(
 
 /// Anytime branch and bound: always returns the best incumbent as a full,
 /// valid labeling, plus how the search ended. `shared_bound` is the racing
-/// portfolio's cross-member incumbent span (see
+/// portfolio's cross-member incumbent span; `root_bound` is a proven span
+/// lower bound that lets the search stop with a proof as soon as the
+/// incumbent pool meets it (see
 /// `dclab_tsp::exact::branch_bound_path_anytime` for the proof semantics
-/// of pruning against it).
+/// of both).
 pub fn branch_bound_route_anytime(
     reduced: &ReducedInstance,
     node_budget: u64,
     deadline: &Deadline,
     shared_bound: Option<&AtomicU64>,
+    root_bound: Option<u64>,
 ) -> (Solution, BbStatus) {
-    let r = branch_bound_path_anytime(&reduced.tsp, node_budget, deadline, shared_bound);
+    let r = branch_bound_path_anytime(
+        &reduced.tsp,
+        node_budget,
+        deadline,
+        shared_bound,
+        root_bound,
+    );
     (solution_from_order(reduced, r.order, r.weight), r.status)
 }
 
@@ -129,7 +139,7 @@ mod tests {
         let reduced = reduce_to_path_tsp(&g, &p).unwrap();
         // Same tiny budget that makes the legacy route fail: the anytime
         // route instead hands back a complete, valid labeling.
-        let (sol, status) = branch_bound_route_anytime(&reduced, 3, &Deadline::none(), None);
+        let (sol, status) = branch_bound_route_anytime(&reduced, 3, &Deadline::none(), None, None);
         assert_eq!(status, BbStatus::BudgetExhausted);
         assert!(sol.labeling.validate(&g, &p).is_ok());
         assert!(sol.span >= 9);
@@ -137,7 +147,7 @@ mod tests {
         let token = dclab_par::CancelToken::new();
         token.cancel();
         let dl = Deadline::none().with_token(token);
-        let (sol, status) = branch_bound_route_anytime(&reduced, u64::MAX, &dl, None);
+        let (sol, status) = branch_bound_route_anytime(&reduced, u64::MAX, &dl, None, None);
         assert_eq!(status, BbStatus::Cancelled);
         assert!(sol.labeling.validate(&g, &p).is_ok());
     }

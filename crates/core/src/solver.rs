@@ -35,7 +35,12 @@ pub enum SolveError {
     /// The instance fails a Theorem 2 precondition.
     Reduction(ReductionError),
     /// Exact solve requested beyond the Held–Karp size guard.
-    TooLargeForExact { n: usize, max: usize },
+    TooLargeForExact {
+        /// Requested instance size.
+        n: usize,
+        /// The guard's maximum.
+        max: usize,
+    },
 }
 
 impl From<ReductionError> for SolveError {

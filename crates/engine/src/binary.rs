@@ -32,6 +32,14 @@
 //! builds | varint label_entries | varint footprint_bytes | varint
 //! queries | u8 dense_fallback`. Version ≤ 3 records decode with
 //! `oracle = None` — they predate the distance-oracle subsystem.
+//!
+//! **Version 5** appends the lower-bound provenance tail after the oracle
+//! tail: `u8 bound kind code | varint value | varint ascent_iters | varint
+//! time_us` (see [`dclab_core::bounds::BoundKind`] for the codes). Version
+//! ≤ 4 records predate the certificate ladder, so their bound degrades to
+//! the weakest attribution that is always true: `kind = degree` with
+//! `value = lower_bound` and zero iterations/time. Re-encoding such a
+//! record upgrades it to the current version with that degraded tail.
 //! Encoding always emits the current version.
 //!
 //! Decoding is strict: unknown versions, unknown strategy codes, truncated
@@ -40,15 +48,16 @@
 //! followed by [`report_to_bytes`] is byte-identical (round-trip tested,
 //! including property tests over solved random instances).
 
+use dclab_core::bounds::BoundKind;
 use dclab_core::labeling::Labeling;
 use dclab_core::solver::Solution;
 
 use crate::features::InstanceFeatures;
-use crate::report::{EngineStats, SolveReport};
+use crate::report::{BoundStats, EngineStats, SolveReport};
 use crate::request::Strategy;
 
 /// Current codec version (first byte of every encoded report).
-pub const REPORT_CODEC_VERSION: u8 = 4;
+pub const REPORT_CODEC_VERSION: u8 = 5;
 
 /// Oldest codec version [`report_from_bytes`] still accepts (pre-anytime
 /// records without the `timed_out` byte).
@@ -230,6 +239,11 @@ pub fn report_to_bytes(r: &SolveReport) -> Vec<u8> {
             buf.push(o.dense_fallback as u8);
         }
     }
+    // Version 5 extension: lower-bound provenance.
+    buf.push(stats.bound.kind.code());
+    put_uvarint(&mut buf, stats.bound.value);
+    put_uvarint(&mut buf, stats.bound.ascent_iters);
+    put_uvarint(&mut buf, stats.bound.time_us);
     buf
 }
 
@@ -365,6 +379,27 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
             tag => return Err(err(*pos - 1, format!("bad oracle tag {tag}"))),
         }
     }
+    // Version 5 adds the lower-bound provenance tail; older records
+    // degrade to the always-true degree attribution of their recorded
+    // lower bound.
+    let bound = if version >= 5 {
+        let code = get_u8(bytes, pos)?;
+        let kind = BoundKind::from_code(code)
+            .ok_or_else(|| err(*pos - 1, format!("unknown bound kind code {code}")))?;
+        BoundStats {
+            kind,
+            value: get_uvarint(bytes, pos)?,
+            ascent_iters: get_uvarint(bytes, pos)?,
+            time_us: get_uvarint(bytes, pos)?,
+        }
+    } else {
+        BoundStats {
+            kind: BoundKind::Degree,
+            value: lower_bound,
+            ascent_iters: 0,
+            time_us: 0,
+        }
+    };
     if *pos != bytes.len() {
         return Err(err(*pos, "trailing bytes after report"));
     }
@@ -384,6 +419,7 @@ pub fn report_from_bytes(bytes: &[u8]) -> Result<SolveReport, CodecError> {
             routes_tried,
             notes,
             timed_out,
+            bound,
             features: InstanceFeatures {
                 n,
                 m,
@@ -423,6 +459,16 @@ mod tests {
     fn sample_report(strategy: Strategy) -> SolveReport {
         solve(&SolveRequest::new(classic::petersen(), PVec::l21()).with_strategy(strategy))
             .expect("solvable")
+    }
+
+    /// Encoded size of a report's v5 bound tail (the codec's last bytes).
+    fn bound_tail_len(r: &SolveReport) -> usize {
+        let mut tail = Vec::new();
+        tail.push(r.stats.bound.kind.code());
+        put_uvarint(&mut tail, r.stats.bound.value);
+        put_uvarint(&mut tail, r.stats.bound.ascent_iters);
+        put_uvarint(&mut tail, r.stats.bound.time_us);
+        tail.len()
     }
 
     #[test]
@@ -479,18 +525,40 @@ mod tests {
     }
 
     /// Versioned decode: version-1 records (pre-anytime, no `timed_out`
-    /// byte), version-2 records (pre-trace, no phase tail), and version-3
-    /// records (pre-oracle, no oracle tail) must still decode — reading
-    /// `timed_out = false`, `phases = []`, `oracle = None` respectively —
-    /// and re-encode as equivalent current-version records.
+    /// byte), version-2 records (pre-trace, no phase tail), version-3
+    /// records (pre-oracle, no oracle tail), and version-4 records
+    /// (pre-ladder, no bound tail) must still decode — reading
+    /// `timed_out = false`, `phases = []`, `oracle = None`, and a
+    /// degree-kind bound respectively — and re-encode as equivalent
+    /// current-version records.
     #[test]
     fn older_version_records_still_decode() {
         let report = sample_report(Strategy::Auto);
         assert!(!report.stats.timed_out, "deadline-free sample");
         assert!(report.stats.phases.is_empty(), "untraced sample");
         assert!(report.stats.oracle.is_none(), "matrix-path sample");
-        let v4 = report.to_bytes();
-        assert_eq!(v4[0], REPORT_CODEC_VERSION);
+        let v5 = report.to_bytes();
+        assert_eq!(v5[0], REPORT_CODEC_VERSION);
+        // Pre-v5 records have no certificate attribution, so they decode
+        // to this degraded twin: the recorded lower bound on the ladder's
+        // weakest (always-true) rung.
+        let mut degraded = report.clone();
+        degraded.stats.bound = BoundStats {
+            kind: BoundKind::Degree,
+            value: report.lower_bound,
+            ascent_iters: 0,
+            time_us: 0,
+        };
+        let upgraded = degraded.to_bytes();
+        assert_eq!(upgraded[0], REPORT_CODEC_VERSION);
+        // A v4 record is the v5 record minus the bound tail.
+        let mut v4 = v5[..v5.len() - bound_tail_len(&report)].to_vec();
+        v4[0] = 4;
+        let decoded = SolveReport::from_bytes(&v4).expect("v4 decodes");
+        assert_eq!(decoded, degraded);
+        assert_eq!(decoded.stats.bound.kind, BoundKind::Degree);
+        assert_eq!(decoded.stats.bound.value, report.lower_bound);
+        assert_eq!(decoded.to_bytes(), upgraded, "re-encode upgrades to v5");
         // A matrix-path v4 record's oracle tail is exactly one zero
         // presence byte; stripping it (and restamping) is exactly what
         // PR 7–8 archives hold as v3.
@@ -498,32 +566,58 @@ mod tests {
         let mut v3 = v4[..v4.len() - 1].to_vec();
         v3[0] = 3;
         let decoded = SolveReport::from_bytes(&v3).expect("v3 decodes");
-        assert_eq!(decoded, report);
+        assert_eq!(decoded, degraded);
         assert!(decoded.stats.oracle.is_none());
-        assert_eq!(decoded.to_bytes(), v4, "re-encode upgrades to v4");
+        assert_eq!(decoded.to_bytes(), upgraded, "re-encode upgrades to v5");
         // An untraced v3 record's phase tail is one zero-count byte; v2
         // drops it.
         assert_eq!(*v3.last().unwrap(), 0, "empty phase tail");
         let mut v2 = v3[..v3.len() - 1].to_vec();
         v2[0] = 2;
         let decoded = SolveReport::from_bytes(&v2).expect("v2 decodes");
-        assert_eq!(decoded, report);
+        assert_eq!(decoded, degraded);
         assert!(decoded.stats.phases.is_empty());
-        assert_eq!(decoded.to_bytes(), v4, "re-encode upgrades to v4");
+        assert_eq!(decoded.to_bytes(), upgraded, "re-encode upgrades to v5");
         // A v1 record further drops the timed_out byte.
         let mut v1 = v2[..v2.len() - 1].to_vec();
         v1[0] = 1;
         let decoded = SolveReport::from_bytes(&v1).expect("v1 decodes");
-        assert_eq!(decoded, report);
+        assert_eq!(decoded, degraded);
         assert!(!decoded.stats.timed_out);
-        assert_eq!(decoded.to_bytes(), v4, "re-encode upgrades to v4");
+        assert_eq!(decoded.to_bytes(), upgraded, "re-encode upgrades to v5");
         // Strictness survives the versioning: stray trailing bytes on the
         // old layouts are still rejected.
-        for old in [&v1, &v2, &v3] {
+        for old in [&v1, &v2, &v3, &v4] {
             let mut trailing = old.clone();
             trailing.push(7);
             assert!(SolveReport::from_bytes(&trailing).is_err());
         }
+    }
+
+    /// The v5 bound tail round-trips nontrivial values and rejects
+    /// unknown kind codes.
+    #[test]
+    fn bound_tail_round_trips() {
+        let mut report = sample_report(Strategy::Auto);
+        report.optimal = false;
+        report.lower_bound = 7;
+        report.stats.bound = BoundStats {
+            kind: BoundKind::HkAscent,
+            value: 7,
+            ascent_iters: 23,
+            time_us: 1_234,
+        };
+        let bytes = report.to_bytes();
+        let back = SolveReport::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, report);
+        assert_eq!(back.to_bytes(), bytes);
+        // The kind byte is the first of the tail; an unassigned code
+        // fails loudly rather than mis-attributing the certificate.
+        let kind_at = bytes.len() - bound_tail_len(&report);
+        assert_eq!(bytes[kind_at], BoundKind::HkAscent.code());
+        let mut bad = bytes.clone();
+        bad[kind_at] = 99;
+        assert!(SolveReport::from_bytes(&bad).is_err());
     }
 
     /// The v4 oracle tail round-trips for both backends, and its strict
@@ -546,10 +640,11 @@ mod tests {
             assert_eq!(back.to_bytes(), bytes);
             // Corrupting the backend code inside the tail fails loudly.
             // Locate the tail by encoding the same report without oracle
-            // stats: that record ends at the presence byte.
+            // stats: that record ends at the presence byte followed by
+            // the bound tail.
             let mut stripped = report.clone();
             stripped.stats.oracle = None;
-            let presence = stripped.to_bytes().len() - 1;
+            let presence = stripped.to_bytes().len() - 1 - bound_tail_len(&stripped);
             assert_eq!(bytes[presence], 1, "presence byte");
             let mut bad = bytes.clone();
             bad[presence + 1] = 9;
@@ -598,10 +693,13 @@ mod tests {
         let back = SolveReport::from_bytes(&bytes).expect("decodes");
         assert!(back.stats.timed_out);
         assert_eq!(back, report);
-        // The flag byte is strict: 2 is not a bool.
+        // The flag byte is strict: 2 is not a bool. The flag sits just
+        // before the (empty) phase tail, oracle presence byte, and bound
+        // tail that close an untraced matrix-path record.
+        let flag_at = bytes.len() - 3 - bound_tail_len(&report);
+        assert_eq!(bytes[flag_at], 1, "timed_out flag byte");
         let mut bad = bytes.clone();
-        let last = bad.len() - 1;
-        bad[last] = 2;
+        bad[flag_at] = 2;
         assert!(SolveReport::from_bytes(&bad).is_err());
     }
 

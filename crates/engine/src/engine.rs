@@ -17,7 +17,9 @@
 //! the result bit-identical to the best single member regardless of thread
 //! count.
 
-use dclab_core::bounds::{degree_bound, span_lower_bound_cheap, span_lower_bound_with_reduction};
+use dclab_core::bounds::{
+    degree_bound, span_bound_with_reduction, span_lower_bound_cheap, BoundKind, SpanBound,
+};
 use dclab_core::diam2::{solve_diam2_lpq_with_witness, Diam2Error, PipSolver};
 use dclab_core::distance::DistanceSource;
 use dclab_core::guard::{check_exact_size, GuardError, EXACT_MAX_N};
@@ -37,9 +39,10 @@ use dclab_tsp::driver::HeuristicConfig;
 use dclab_tsp::exact::BbStatus;
 use dclab_tsp::matching::MatchingBackend;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use crate::features::InstanceFeatures;
-use crate::report::{EngineStats, OracleStats, SolveReport};
+use crate::report::{BoundStats, EngineStats, OracleStats, SolveReport};
 use crate::request::{OraclePolicy, SolveRequest, Strategy};
 
 /// Exact-coloring size guard for the `L1Coloring` route's `Exact` engine.
@@ -121,6 +124,10 @@ struct Ctx<'a> {
     /// proving anything (the report's `stats.timed_out`, cleared by
     /// `finish` when optimality was established regardless).
     timed_out: bool,
+    /// Wall-clock µs spent computing lower-bound certificates. Measured
+    /// only on deadline-armed solves (`stats.bound.time_us`); deadline-free
+    /// solves keep it 0 so their reports stay clock-free and bit-identical.
+    bound_time_us: u64,
 }
 
 impl<'a> Ctx<'a> {
@@ -136,6 +143,7 @@ impl<'a> Ctx<'a> {
             routes_tried: Vec::new(),
             notes: Vec::new(),
             timed_out: false,
+            bound_time_us: 0,
         }
     }
 
@@ -263,30 +271,45 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
         };
         ctx.note("trivial instance (n ≤ 1)");
         ctx.routes_tried.push(Strategy::Greedy);
-        return finish(req, ctx, features, solution, Strategy::Greedy, 0, true);
+        return finish(
+            req,
+            ctx,
+            features,
+            solution,
+            Strategy::Greedy,
+            SpanBound::degree(0),
+            true,
+        );
     }
 
-    let (solution, used, lower_bound, proved_optimal) = match req.strategy {
+    let (solution, used, bound, proved_optimal) = match req.strategy {
         Strategy::Exact => {
             check_exact_size(g.n())?;
             let reduced = ctx.reduced()?;
             let sol = routes::exact_route(reduced)?;
             ctx.routes_tried.push(Strategy::Exact);
-            let lb = sol.span;
+            let lb = SpanBound::proved(sol.span);
             (sol, Strategy::Exact, lb, true)
         }
         Strategy::BranchBound => {
-            let reduced = ctx.reduced()?;
+            ctx.reduced()?;
+            // Armed solves buy a Held–Karp root bound first (a small slice
+            // of the budget): the search stops with a proof the moment its
+            // incumbent meets it, and a harvested timeout still certifies
+            // the strongest bound instead of the degree floor.
+            let root = root_bound(&mut ctx, req, &deadline);
+            let reduced = ctx.reduced.as_ref().expect("just computed");
             let (sol, status) = routes::branch_bound_route_anytime(
                 reduced,
                 req.budget.node_budget(),
                 &deadline,
                 None,
+                root.map(|b| b.value),
             );
             ctx.routes_tried.push(Strategy::BranchBound);
             match status {
                 BbStatus::Proved => {
-                    let lb = sol.span;
+                    let lb = SpanBound::proved(sol.span);
                     (sol, Strategy::BranchBound, lb, true)
                 }
                 // The logical budget running out stays an error (the
@@ -300,7 +323,8 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
                 BbStatus::Cancelled => {
                     ctx.timed_out = true;
                     ctx.note("deadline fired mid-search → best incumbent");
-                    (sol, Strategy::BranchBound, degree_bound(g, p), false)
+                    let lb = root.unwrap_or_else(|| SpanBound::degree(degree_bound(g, p)));
+                    (sol, Strategy::BranchBound, lb, false)
                 }
             }
         }
@@ -335,7 +359,12 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
                 ctx.timed_out = true;
                 ctx.note("deadline fired between greedy orders → best order so far");
             }
-            (sol, Strategy::Greedy, degree_bound(g, p), false)
+            (
+                sol,
+                Strategy::Greedy,
+                SpanBound::degree(degree_bound(g, p)),
+                false,
+            )
         }
         Strategy::L1Coloring => {
             let (sol, exact_coloring) = l1_route(&mut ctx, req);
@@ -343,12 +372,12 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
                 ctx.timed_out = true;
                 ctx.note("deadline fired during coloring (not interruptible)");
             }
-            let lb = if features.all_ones && exact_coloring {
-                sol.span
-            } else {
-                degree_bound(g, p)
-            };
             let proved = features.all_ones && exact_coloring;
+            let lb = if proved {
+                SpanBound::proved(sol.span)
+            } else {
+                SpanBound::degree(degree_bound(g, p))
+            };
             (sol, Strategy::L1Coloring, lb, proved)
         }
         Strategy::OraclePath => oracle_path_strategy(&mut ctx, req, &features, &deadline)?,
@@ -357,15 +386,7 @@ fn solve_impl(req: &SolveRequest) -> Result<SolveReport, EngineError> {
         Strategy::Race => race_route(&mut ctx, req, &features, &deadline)?,
     };
 
-    finish(
-        req,
-        ctx,
-        features,
-        solution,
-        used,
-        lower_bound,
-        proved_optimal,
-    )
+    finish(req, ctx, features, solution, used, bound, proved_optimal)
 }
 
 /// The `OraclePath` strategy body: one distance source per request
@@ -379,7 +400,7 @@ fn oracle_path_strategy(
     req: &SolveRequest,
     features: &InstanceFeatures,
     deadline: &Deadline,
-) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+) -> Result<(Solution, Strategy, SpanBound, bool), EngineError> {
     let g = ctx.g;
     let p = ctx.p;
     if !features.smooth {
@@ -399,7 +420,7 @@ fn oracle_path_strategy(
     // never depends on the distance backend.
     let lb = span_lower_bound_cheap(g, p, features.diameter);
     let proved = sol.span == lb;
-    Ok((sol, Strategy::OraclePath, lb, proved))
+    Ok((sol, Strategy::OraclePath, SpanBound::degree(lb), proved))
 }
 
 /// The portfolio dispatcher behind `Strategy::Auto`.
@@ -408,7 +429,7 @@ fn auto_route(
     req: &SolveRequest,
     features: &InstanceFeatures,
     deadline: &Deadline,
-) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+) -> Result<(Solution, Strategy, SpanBound, bool), EngineError> {
     let g = ctx.g;
     let n = g.n();
 
@@ -456,7 +477,7 @@ fn auto_route(
             ctx.note("deadline fired during reduction-free fallback");
         }
         let lb = certificate(ctx, req, false, deadline);
-        let proved = sol.span == lb;
+        let proved = sol.span == lb.value;
         return Ok((sol, used, lb, proved));
     }
 
@@ -464,7 +485,7 @@ fn auto_route(
         ctx.note(format!("n={n} ≤ exact guard {EXACT_MAX_N} → Held–Karp"));
         let sol = routes::exact_route(ctx.reduced()?)?;
         ctx.routes_tried.push(Strategy::Exact);
-        let lb = sol.span;
+        let lb = SpanBound::proved(sol.span);
         return Ok((sol, Strategy::Exact, lb, true));
     }
 
@@ -479,24 +500,33 @@ fn auto_route(
             "two-valued weights → branch and bound (budget {})",
             req.budget.node_budget()
         ));
+        ctx.reduced()?;
+        // Same armed root-bound seeding as Strategy::BranchBound: the
+        // search can end in a proof the moment an incumbent meets the
+        // Held–Karp certificate, and a timeout keeps the strong bound.
+        let root = root_bound(ctx, req, deadline);
+        let reduced = ctx.reduced.as_ref().expect("just computed");
         let (sol, status) = routes::branch_bound_route_anytime(
-            ctx.reduced()?,
+            reduced,
             req.budget.node_budget(),
             deadline,
             None,
+            root.map(|b| b.value),
         );
         ctx.routes_tried.push(Strategy::BranchBound);
         match status {
             BbStatus::Proved => {
-                let lb = sol.span;
+                let lb = SpanBound::proved(sol.span);
                 return Ok((sol, Strategy::BranchBound, lb, true));
             }
             BbStatus::Cancelled => {
                 // No wall-clock left for the heuristic leg: harvest the
-                // incumbent now, certified only by the cheap degree bound.
+                // incumbent now, certified by the root bound when one was
+                // bought, else by the cheap degree floor.
                 ctx.timed_out = true;
                 ctx.note("deadline fired mid-search → best incumbent");
-                return Ok((sol, Strategy::BranchBound, degree_bound(g, ctx.p), false));
+                let lb = root.unwrap_or_else(|| SpanBound::degree(degree_bound(g, ctx.p)));
+                return Ok((sol, Strategy::BranchBound, lb, false));
             }
             BbStatus::BudgetExhausted => {
                 ctx.note(format!(
@@ -530,7 +560,7 @@ fn auto_route(
         }
     }
     let lb = certificate(ctx, req, true, deadline);
-    let proved = sol.span == lb;
+    let proved = sol.span == lb.value;
     Ok((sol, used, lb, proved))
 }
 
@@ -565,17 +595,45 @@ impl RaceMember {
 /// The deterministic portfolio for an instance: on the Theorem 2 smooth
 /// path, greedy + two differently-seeded LK members + anytime branch and
 /// bound; outside it, the two reduction-free upper bounds.
-fn race_members(features: &InstanceFeatures) -> Vec<RaceMember> {
+///
+/// Member order is the fan-out order, which matters two ways: deadline-free
+/// ties go to the earliest member (so the deadline-free order is frozen for
+/// bit-compatibility), and on small worker pools an armed race degenerates
+/// to sequential execution — there branch and bound runs *first*, because
+/// with a Held–Karp root bound its construction sweep can *prove*
+/// bound-tight instances in milliseconds, while greedy alone at racing
+/// sizes can consume the whole remaining budget and leave the proof
+/// attempt an already-expired clock. Its budget slice (see
+/// [`run_race_member`]) keeps the later members' wall-clock share.
+fn race_members(features: &InstanceFeatures, armed: bool) -> Vec<RaceMember> {
     if features.reducible() && features.smooth {
-        vec![
-            RaceMember::Greedy,
-            RaceMember::Lk { seed_salt: 0 },
-            RaceMember::Lk { seed_salt: 1 },
-            RaceMember::Bb,
-        ]
+        if armed {
+            vec![
+                RaceMember::Bb,
+                RaceMember::Greedy,
+                RaceMember::Lk { seed_salt: 0 },
+                RaceMember::Lk { seed_salt: 1 },
+            ]
+        } else {
+            vec![
+                RaceMember::Greedy,
+                RaceMember::Lk { seed_salt: 0 },
+                RaceMember::Lk { seed_salt: 1 },
+                RaceMember::Bb,
+            ]
+        }
     } else {
         vec![RaceMember::Greedy, RaceMember::L1]
     }
+}
+
+/// Cross-member pruning state only the branch-and-bound member consumes:
+/// the racing incumbent pool and the root Held–Karp bound it proves
+/// against. Default (both `None`) is the deadline-free configuration.
+#[derive(Clone, Copy, Default)]
+struct BbArms<'a> {
+    shared_bound: Option<&'a AtomicU64>,
+    root_bound: Option<u64>,
 }
 
 /// A finished member: its best solution and whether it proved optimality.
@@ -586,6 +644,14 @@ struct MemberRun {
 }
 
 /// Run one portfolio member to completion (or to the shared deadline).
+///
+/// `root_bound` is the race's proven span lower bound (armed solves only);
+/// only the branch-and-bound member consumes it, both for early-proof and
+/// to justify its bounded budget slice: under an armed deadline BB is
+/// capped at a third of the remaining wall-clock, so on a sequential
+/// worker pool it cannot starve the LK members that follow it. Proofs
+/// come from the root-bound check (cheap, early) or not at all at racing
+/// sizes — the slice costs nothing real.
 fn run_race_member(
     member: RaceMember,
     g: &Graph,
@@ -593,7 +659,7 @@ fn run_race_member(
     reduced: Option<&ReducedInstance>,
     req: &SolveRequest,
     deadline: &Deadline,
-    shared_bound: Option<&AtomicU64>,
+    arms: BbArms<'_>,
 ) -> MemberRun {
     let strategy = member.strategy();
     // Each member gets its own span on its worker thread; the parent link
@@ -640,11 +706,20 @@ fn run_race_member(
         }
         RaceMember::Bb => {
             let reduced = reduced.expect("BB members race only with a reduction");
+            // Armed: a bounded slice of the remaining budget (see the
+            // function docs). Deadline-free: the full, untouched deadline,
+            // keeping the member byte-identical to Strategy::BranchBound.
+            let bb_deadline = if deadline.is_unlimited() {
+                deadline.clone()
+            } else {
+                deadline_slice(deadline, 3)
+            };
             let (solution, status) = routes::branch_bound_route_anytime(
                 reduced,
                 req.budget.node_budget(),
-                deadline,
-                shared_bound,
+                &bb_deadline,
+                arms.shared_bound,
+                arms.root_bound,
             );
             MemberRun {
                 solution,
@@ -675,8 +750,13 @@ fn race_route(
     req: &SolveRequest,
     features: &InstanceFeatures,
     deadline: &Deadline,
-) -> Result<(Solution, Strategy, u64, bool), EngineError> {
-    let members = race_members(features);
+) -> Result<(Solution, Strategy, SpanBound, bool), EngineError> {
+    // Sharing (incumbent bound + first-proof cancellation) is armed only
+    // under a wall-clock deadline: cross-member effects depend on timing,
+    // and the deadline-free contract is bit-identical reports across
+    // thread counts.
+    let armed = !deadline.is_unlimited();
+    let members = race_members(features, armed);
     let needs_reduction = members
         .iter()
         .any(|m| matches!(m, RaceMember::Lk { .. } | RaceMember::Bb));
@@ -692,11 +772,22 @@ fn race_route(
         ctx.note("race: reduction-free members (outside Theorem 2 scope)");
     }
 
-    // Sharing (incumbent bound + first-proof cancellation) is armed only
-    // under a wall-clock deadline: cross-member effects depend on timing,
-    // and the deadline-free contract is bit-identical reports across
-    // thread counts.
-    let armed = !deadline.is_unlimited();
+    // Armed races buy a Held–Karp root bound before the fan-out (an eighth
+    // of the remaining budget): branch and bound stops with a proof as
+    // soon as any member's published span meets it, and a harvested
+    // timeout reports this certificate instead of the degree floor.
+    let root = if needs_reduction {
+        root_bound(ctx, req, deadline)
+    } else {
+        None
+    };
+    if let Some(b) = root {
+        ctx.note(format!(
+            "root bound {} ({}, {} ascent iters)",
+            b.value, b.kind, b.ascent_iters
+        ));
+    }
+
     let shared_token = CancelToken::new();
     let member_deadline = if armed {
         deadline.clone().with_token(shared_token.clone())
@@ -709,9 +800,21 @@ fn race_route(
     let g = ctx.g;
     let p = ctx.p;
     let reduced = ctx.reduced.as_ref();
+    let root_value = root.map(|b| b.value);
     let race_span = dclab_trace::current().span("race");
     let runs: Vec<MemberRun> = dclab_par::par_map(&members, |&member| {
-        let run = run_race_member(member, g, p, reduced, req, &member_deadline, shared);
+        let run = run_race_member(
+            member,
+            g,
+            p,
+            reduced,
+            req,
+            &member_deadline,
+            BbArms {
+                shared_bound: shared,
+                root_bound: root_value,
+            },
+        );
         if armed {
             shared_bound.fetch_min(run.solution.span, Ordering::Relaxed);
             if run.proved {
@@ -747,13 +850,16 @@ fn race_route(
         ctx.note("deadline harvested the best incumbent");
     }
     let lb = if any_proved {
-        // An exhausted branch-and-bound search certifies that nothing is
-        // cheaper than min(its incumbent, the shared bound); every shared
-        // value is a span some member achieved, so the harvest minimum is
-        // exactly that certified floor.
-        winner.solution.span
+        // An exhausted (or root-bound-stopped) branch-and-bound search
+        // certifies that nothing is cheaper than min(its incumbent, the
+        // shared bound); every shared value is a span some member
+        // achieved, so the harvest minimum is exactly that certified
+        // floor.
+        SpanBound::proved(winner.solution.span)
     } else if timed_out {
-        degree_bound(g, p)
+        // The armed race already paid for the root certificate — it
+        // dominates the degree floor (the ladder folds degree in).
+        root.unwrap_or_else(|| SpanBound::degree(span_lower_bound_cheap(g, p, features.diameter)))
     } else {
         certificate(ctx, req, needs_reduction, deadline)
     };
@@ -783,7 +889,7 @@ fn diam2_route(
     ctx: &mut Ctx<'_>,
     features: &InstanceFeatures,
     explicit: bool,
-) -> Result<(Solution, Strategy, u64, bool), EngineError> {
+) -> Result<(Solution, Strategy, SpanBound, bool), EngineError> {
     let g = ctx.g;
     let p = ctx.p;
     if features.k != 2 {
@@ -850,9 +956,12 @@ fn diam2_route(
     };
     let optimal = span == d2.span;
     // The degree bound can beat a degenerate PIP value (e.g. q = 0); both
-    // are sound, so report the max.
+    // are sound, so report the max. The PIP value has no rung of its own
+    // on the BoundKind ladder: a non-optimal witness reports the degree
+    // kind (the notes carry the PIP provenance), an optimal one is
+    // upgraded to proved-optimal by `finish`.
     let lb = d2.span.max(degree_bound(g, p));
-    Ok((solution, Strategy::Diam2Pip, lb, optimal))
+    Ok((solution, Strategy::Diam2Pip, SpanBound::degree(lb), optimal))
 }
 
 /// Reduction-free upper bounds: greedy first-fit vs. the `p_max`-scaled
@@ -861,7 +970,7 @@ fn diam2_route(
 fn fallback_portfolio(
     ctx: &mut Ctx<'_>,
     _features: &InstanceFeatures,
-) -> (Solution, Strategy, u64, bool) {
+) -> (Solution, Strategy, SpanBound, bool) {
     let g = ctx.g;
     let p = ctx.p;
     let greedy = solve_greedy(g, p);
@@ -880,10 +989,10 @@ fn fallback_portfolio(
             pmax.span, greedy.span
         ));
         let proved = pmax.span == lb;
-        (pmax, Strategy::L1Coloring, lb, proved)
+        (pmax, Strategy::L1Coloring, SpanBound::degree(lb), proved)
     } else {
         let proved = greedy.span == lb;
-        (greedy, Strategy::Greedy, lb, proved)
+        (greedy, Strategy::Greedy, SpanBound::degree(lb), proved)
     }
 }
 
@@ -908,9 +1017,14 @@ fn l1_route(ctx: &mut Ctx<'_>, req: &SolveRequest) -> (Solution, bool) {
 /// sound bounds; the unchecked one works without smoothness). An expired
 /// deadline downgrades to the O(n)-cheap degree bound: the Held–Karp
 /// ascent would spend wall-clock the caller no longer has.
-fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool, deadline: &Deadline) -> u64 {
+fn certificate(
+    ctx: &mut Ctx<'_>,
+    req: &SolveRequest,
+    checked: bool,
+    deadline: &Deadline,
+) -> SpanBound {
     if deadline.expired() {
-        return degree_bound(ctx.g, ctx.p);
+        return SpanBound::degree(degree_bound(ctx.g, ctx.p));
     }
     let _span = dclab_trace::current().span("lower_bound");
     let ensured = if checked {
@@ -919,10 +1033,55 @@ fn certificate(ctx: &mut Ctx<'_>, req: &SolveRequest, checked: bool, deadline: &
         ctx.reduced_unchecked().is_ok()
     };
     if !ensured {
-        return degree_bound(ctx.g, ctx.p);
+        return SpanBound::degree(degree_bound(ctx.g, ctx.p));
     }
     let reduced = ctx.reduced.as_ref().expect("just ensured");
-    span_lower_bound_with_reduction(ctx.g, ctx.p, reduced, req.budget.lb_iters())
+    // Armed solves meter the certificate's wall-clock (stats.bound.time_us)
+    // and cap the ascent with the live deadline; deadline-free solves pass
+    // Deadline::none() through, keeping the computation clock-free.
+    let started = (!deadline.is_unlimited()).then(Instant::now);
+    let bound = span_bound_with_reduction(ctx.g, ctx.p, reduced, req.budget.lb_iters(), deadline);
+    if let Some(t0) = started {
+        ctx.bound_time_us += t0.elapsed().as_micros() as u64;
+    }
+    bound
+}
+
+/// Deadline-capped Held–Karp root bound for search-backed routes — armed
+/// solves only (`None` otherwise, so deadline-free behavior is untouched).
+/// The ascent gets an eighth of the remaining budget: its first iteration
+/// (always run) already certifies the MST-level bound, so even a thin
+/// slice yields an `hk-ascent`-kind certificate, while the cap keeps the
+/// bulk of the budget for the search or the racing members.
+///
+/// The caller must have computed `ctx.reduced` already.
+fn root_bound(ctx: &mut Ctx<'_>, req: &SolveRequest, deadline: &Deadline) -> Option<SpanBound> {
+    if deadline.is_unlimited() {
+        return None;
+    }
+    let reduced = ctx.reduced.as_ref()?;
+    let _span = dclab_trace::current().span("lower_bound");
+    let started = Instant::now();
+    let slice = deadline_slice(deadline, 8);
+    let bound = span_bound_with_reduction(ctx.g, ctx.p, reduced, req.budget.lb_iters(), &slice);
+    ctx.bound_time_us += started.elapsed().as_micros() as u64;
+    Some(bound)
+}
+
+/// A deadline covering `1/denom` of `deadline`'s remaining wall-clock,
+/// sharing its cancel token (so a race proof still stops the sliced work).
+/// Pure-token or unlimited deadlines pass through unchanged.
+fn deadline_slice(deadline: &Deadline, denom: u32) -> Deadline {
+    match deadline.remaining() {
+        Some(rem) => {
+            let sliced = Deadline::at(Instant::now() + rem / denom);
+            match deadline.token() {
+                Some(token) => sliced.with_token(token.clone()),
+                None => sliced,
+            }
+        }
+        None => deadline.clone(),
+    }
 }
 
 fn heuristic_config(req: &SolveRequest, deadline: &Deadline) -> HeuristicConfig {
@@ -942,7 +1101,7 @@ fn finish(
     features: InstanceFeatures,
     solution: Solution,
     used: Strategy,
-    lower_bound: u64,
+    mut bound: SpanBound,
     proved_optimal: bool,
 ) -> Result<SolveReport, EngineError> {
     debug_assert_ne!(used, Strategy::Auto);
@@ -976,10 +1135,10 @@ fn finish(
             "route {used} produced an invalid labeling: {v:?}"
         )));
     }
-    if solution.span < lower_bound {
+    if solution.span < bound.value {
         return Err(EngineError::Internal(format!(
-            "span {} below its own lower bound {lower_bound}",
-            solution.span
+            "span {} below its own lower bound {}",
+            solution.span, bound.value
         )));
     }
     // Snapshot oracle usage after validation so the query count covers
@@ -992,12 +1151,17 @@ fn finish(
         queries: src.queries(),
         dense_fallback: ctx.oracle_dense_fallback,
     });
-    let optimal = proved_optimal || solution.span == lower_bound;
+    let optimal = proved_optimal || solution.span == bound.value;
+    if optimal {
+        // The span is the proved optimum, which is itself a valid lower
+        // bound — promote the certificate to the ladder's top rung.
+        bound.raise(solution.span, BoundKind::ProvedOptimal);
+    }
     Ok(SolveReport {
         solution,
         strategy_requested: req.strategy,
         strategy_used: used,
-        lower_bound,
+        lower_bound: bound.value,
         optimal,
         stats: EngineStats {
             reductions_computed: ctx.reductions_computed,
@@ -1006,6 +1170,12 @@ fn finish(
             // "Timed out" means the clock beat the proof: a harvest that
             // still landed on the optimum is not a timeout.
             timed_out: ctx.timed_out && !optimal,
+            bound: BoundStats {
+                kind: bound.kind,
+                value: bound.value,
+                ascent_iters: bound.ascent_iters,
+                time_us: ctx.bound_time_us,
+            },
             features,
             // Filled by the traced `solve` wrapper; empty (and absent from
             // JSON) for untraced solves.
@@ -1042,7 +1212,7 @@ mod tests {
             let p = PVec::l21();
             let req = SolveRequest::new(g.clone(), p.clone()).with_strategy(Strategy::Race);
             let features = InstanceFeatures::extract(&g, &p);
-            let members = race_members(&features);
+            let members = race_members(&features, false);
             let reduced = if features.reducible() && features.smooth {
                 Some(reduce_to_path_tsp(&g, &p).expect("smooth reducible"))
             } else {
@@ -1051,7 +1221,15 @@ mod tests {
             let solo: Vec<MemberRun> = members
                 .iter()
                 .map(|&m| {
-                    run_race_member(m, &g, &p, reduced.as_ref(), &req, &Deadline::none(), None)
+                    run_race_member(
+                        m,
+                        &g,
+                        &p,
+                        reduced.as_ref(),
+                        &req,
+                        &Deadline::none(),
+                        BbArms::default(),
+                    )
                 })
                 .collect();
             let best = solo
@@ -1074,7 +1252,7 @@ mod tests {
     #[test]
     fn race_lk_members_use_distinct_kick_seeds() {
         let f = InstanceFeatures::extract(&classic::petersen(), &PVec::l21());
-        let members = race_members(&f);
+        let members = race_members(&f, false);
         assert_eq!(members.len(), 4, "smooth reducible portfolio is 2–4 wide");
         let salts: Vec<u64> = members
             .iter()

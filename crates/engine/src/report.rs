@@ -1,11 +1,42 @@
 //! [`SolveReport`]: what the engine returns — solution, provenance, lower
 //! bound, and dispatch stats — plus its JSON form.
 
+use dclab_core::bounds::BoundKind;
 use dclab_core::solver::Solution;
 
 use crate::features::InstanceFeatures;
 use crate::json::Obj;
 use crate::request::Strategy;
+
+/// Provenance of the report's `lower_bound`: which rung of the certificate
+/// ladder produced it, what it certified, and what the certificate cost.
+/// Always present — deadline-free solves simply carry `time_us: 0` (the
+/// engine never reads a clock for them, preserving bit-determinism).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundStats {
+    /// Strongest certificate rung backing `value` (see [`BoundKind`]).
+    pub kind: BoundKind,
+    /// The certified lower bound on the span (== the report's
+    /// `lower_bound`).
+    pub value: u64,
+    /// Held–Karp ascent iterations executed (0 when the ascent never ran
+    /// or a weaker rung was already as strong).
+    pub ascent_iters: u64,
+    /// Wall-clock µs spent computing lower bounds for this request.
+    /// Always 0 on deadline-free solves (no clock reads).
+    pub time_us: u64,
+}
+
+impl BoundStats {
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .str("kind", self.kind.name())
+            .u64("value", self.value)
+            .u64("ascent_iters", self.ascent_iters)
+            .u64("time_us", self.time_us)
+            .finish()
+    }
+}
 
 /// Per-phase timing attribution snapshotted from an installed
 /// [`dclab_trace::Trace`]: total µs and call count for every span name the
@@ -85,6 +116,9 @@ pub struct EngineStats {
     /// solution is the best incumbent harvested at the deadline, still a
     /// valid labeling, just not necessarily optimal.
     pub timed_out: bool,
+    /// Lower-bound provenance: certificate kind, value, ascent iterations,
+    /// and metered µs (0 unless the request armed a deadline).
+    pub bound: BoundStats,
     /// The features the dispatch decision was based on.
     pub features: InstanceFeatures,
     /// Per-phase µs attribution (empty unless a live trace was installed
@@ -105,6 +139,7 @@ impl EngineStats {
             .str_array("routes_tried", self.routes_tried.iter().map(|s| s.name()))
             .str_array("notes", self.notes.iter().map(String::as_str))
             .bool("timed_out", self.timed_out)
+            .raw("bound", &self.bound.to_json())
             .raw("features", &self.features.to_json());
         if !self.phases.is_empty() {
             let items: Vec<String> = self.phases.iter().map(PhaseStat::to_json).collect();
@@ -135,19 +170,32 @@ pub struct SolveReport {
 }
 
 impl SolveReport {
+    /// Relative optimality gap `(span − lower_bound) / lower_bound`.
+    /// `None` when the lower bound is 0 (the gap is undefined — only
+    /// degenerate instances like `n ≤ 1` or `pmin == 0` get there).
+    /// 0.0 exactly when the solve is proved optimal.
+    pub fn gap(&self) -> Option<f64> {
+        (self.lower_bound > 0)
+            .then(|| (self.solution.span - self.lower_bound) as f64 / self.lower_bound as f64)
+    }
+
     /// Deterministic single-line JSON (stable field order, no timings).
     /// `timed_out` is surfaced at the top level (clients deciding whether
     /// to retry should not have to dig through stats) and repeated inside
-    /// `stats` alongside the rest of the dispatch trace.
+    /// `stats` alongside the rest of the dispatch trace; `gap` sits next
+    /// to it for the same reason and is omitted when undefined.
     pub fn to_json(&self) -> String {
-        Obj::new()
+        let mut obj = Obj::new()
             .str("strategy_requested", self.strategy_requested.name())
             .str("strategy_used", self.strategy_used.name())
             .u64("span", self.solution.span)
             .u64("lower_bound", self.lower_bound)
             .bool("optimal", self.optimal)
-            .bool("timed_out", self.stats.timed_out)
-            .u64_array("labels", self.solution.labeling.labels().iter().copied())
+            .bool("timed_out", self.stats.timed_out);
+        if let Some(gap) = self.gap() {
+            obj = obj.f64("gap", gap);
+        }
+        obj.u64_array("labels", self.solution.labeling.labels().iter().copied())
             .u64_array("order", self.solution.order.iter().map(|&v| v as u64))
             .raw("stats", &self.stats.to_json())
             .finish()
@@ -186,6 +234,12 @@ mod tests {
                 routes_tried: vec![Strategy::Exact],
                 notes: vec!["n=3 within exact guard".into()],
                 timed_out: false,
+                bound: BoundStats {
+                    kind: BoundKind::ProvedOptimal,
+                    value: 4,
+                    ascent_iters: 0,
+                    time_us: 0,
+                },
                 features: crate::features::InstanceFeatures::extract(&g, &PVec::l21()),
                 phases: Vec::new(),
                 oracle: None,
@@ -195,6 +249,13 @@ mod tests {
         assert!(j.starts_with("{\"strategy_requested\":\"auto\""));
         assert!(j.contains("\"span\":4"));
         assert!(j.contains("\"timed_out\":false"));
+        // Proved optimal ⇒ gap is exactly 0; the bound object attributes
+        // the certificate.
+        assert!(j.contains("\"gap\":0.000000"));
+        assert!(j.contains(
+            "\"bound\":{\"kind\":\"proved-optimal\",\"value\":4,\
+             \"ascent_iters\":0,\"time_us\":0}"
+        ));
         assert!(j.contains("\"labels\":[0,2,4]"));
         assert!(j.contains("\"reductions_computed\":1"));
         assert!(j.contains("\"features\":{\"n\":3"));

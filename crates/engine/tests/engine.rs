@@ -137,6 +137,51 @@ fn batch_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn deadline_free_solves_read_no_clock_and_stay_bit_identical() {
+    // The determinism contract behind the bit-identical batch test above:
+    // with `deadline_ms: None` the engine takes the zero-clock-read path —
+    // the bound certificate reports `time_us == 0` — and the *binary*
+    // encoding (strictly tighter than JSON: it round-trips every stats
+    // field) is identical across repeated solves and thread counts.
+    let corpus = mixed_corpus();
+    let bytes_at = |threads: &str| -> Vec<Vec<u8>> {
+        std::env::set_var("DCLAB_THREADS", threads);
+        let out = corpus
+            .iter()
+            .map(|(g, p)| {
+                let report = solve(&SolveRequest::new(g.clone(), p.clone())).unwrap();
+                assert_eq!(
+                    report.stats.bound.time_us, 0,
+                    "deadline-free solve read the clock for its bound"
+                );
+                assert_eq!(report.lower_bound, report.stats.bound.value);
+                report.to_bytes()
+            })
+            .collect();
+        std::env::remove_var("DCLAB_THREADS");
+        out
+    };
+    let one = bytes_at("1");
+    assert_eq!(one, bytes_at("8"), "binary reports depend on thread count");
+    assert_eq!(one, bytes_at("1"), "repeated solves differ");
+
+    // The same holds for the racing portfolio, whose member *order* is the
+    // deadline-free scheduling policy frozen for bit-compatibility.
+    let mut rng = StdRng::seed_from_u64(424);
+    let g = random::gnp_with_diameter_at_most(&mut rng, 40, 0.5, 2);
+    let race = |threads: &str| -> Vec<u8> {
+        std::env::set_var("DCLAB_THREADS", threads);
+        let report =
+            solve(&SolveRequest::new(g.clone(), PVec::l21()).with_strategy(Strategy::Race))
+                .unwrap();
+        std::env::remove_var("DCLAB_THREADS");
+        assert_eq!(report.stats.bound.time_us, 0);
+        report.to_bytes()
+    };
+    assert_eq!(race("1"), race("8"), "race reports depend on thread count");
+}
+
+#[test]
 fn explicit_strategies_agree_on_petersen() {
     let g = classic::petersen();
     let p = PVec::l21();

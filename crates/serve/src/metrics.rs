@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use dclab_core::bounds::BoundKind;
 use dclab_engine::json::Obj;
 use dclab_engine::{OracleStats, Strategy};
 
@@ -28,6 +29,82 @@ pub const PHASE_COUNT: usize = dclab_trace::PHASES.len();
 /// One counter slot per concrete strategy, sized from the engine's own
 /// registry so a new route extends the metric families automatically.
 pub const STRATEGY_COUNT: usize = Strategy::CONCRETE.len();
+
+/// One counter slot per lower-bound certificate kind, sized from the
+/// core's own ladder registry ([`BoundKind::ALL`]).
+pub const BOUND_KIND_COUNT: usize = BoundKind::ALL.len();
+
+/// Upper bounds (`le`, inclusive) of the optimality-gap histogram; the
+/// implicit last bucket is `+Inf`. Gap 0 — a proved-optimal solve — lands
+/// under `le="0"`, so that first cumulative count is exactly the number of
+/// proofs.
+pub const GAP_BUCKETS: [f64; 7] = [0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1];
+
+/// Histogram over relative optimality gaps (`(span − lb) / lb`), with the
+/// fixed [`GAP_BUCKETS`] boundaries — gaps live in `[0, ~1]`, so the
+/// power-of-two µs buckets of [`LatencyHistogram`] do not fit. The sum is
+/// accumulated in millionths so the atomics stay integral and the rendered
+/// `_sum` deterministic.
+#[derive(Default)]
+pub struct GapHistogram {
+    buckets: [AtomicU64; GAP_BUCKETS.len() + 1],
+    count: AtomicU64,
+    sum_millionths: AtomicU64,
+}
+
+impl GapHistogram {
+    pub fn record(&self, gap: f64) {
+        let gap = gap.max(0.0);
+        let bucket = GAP_BUCKETS
+            .iter()
+            .position(|&le| gap <= le)
+            .unwrap_or(GAP_BUCKETS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_millionths
+            .fetch_add((gap * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Prometheus histogram family with the fixed gap boundaries.
+    pub fn to_prometheus(&self, name: &str, help: &str) -> String {
+        let mut out = format!("# HELP {name} {help}\n# TYPE {name} histogram\n");
+        let mut cumulative = 0u64;
+        for (i, le) in GAP_BUCKETS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        let count = self.count();
+        let sum = self.sum_millionths.load(Ordering::Relaxed) as f64 / 1e6;
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {count}\n"));
+        out
+    }
+
+    pub fn to_json(&self) -> String {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count();
+        let mean = self
+            .sum_millionths
+            .load(Ordering::Relaxed)
+            .checked_div(count)
+            .unwrap_or(0) as f64
+            / 1e6;
+        Obj::new()
+            .u64("count", count)
+            .f64("mean", mean)
+            .u64_array("bucket_counts", counts.iter().copied())
+            .finish()
+    }
+}
 
 /// Escape a Prometheus label *value* per the text exposition format:
 /// backslash, double-quote, and line-feed must be written as `\\`, `\"`,
@@ -191,6 +268,12 @@ pub struct Metrics {
     /// Race-strategy solves won, by the winning concrete member (index
     /// into [`Strategy::CONCRETE`]).
     pub race_wins: [AtomicU64; STRATEGY_COUNT],
+    /// Fresh solves by the certificate kind backing their lower bound
+    /// (index into [`BoundKind::ALL`]).
+    pub bound_kinds: [AtomicU64; BOUND_KIND_COUNT],
+    /// Relative optimality gaps of fresh solves whose lower bound was
+    /// positive (proved-optimal solves record gap 0).
+    pub optimality_gap: GapHistogram,
     /// Hub-label distance oracles built (dense-backed oracle solves do
     /// not build labels and are not counted here).
     pub oracle_labels_built: AtomicU64,
@@ -265,6 +348,17 @@ impl Metrics {
     pub fn record_race_winner(&self, winner: Strategy) {
         if let Some(i) = Strategy::CONCRETE.iter().position(|&s| s == winner) {
             self.race_wins[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a fresh solve's lower-bound certificate kind and, when the
+    /// bound is positive (gap defined), its relative optimality gap.
+    pub fn record_bound(&self, kind: BoundKind, gap: Option<f64>) {
+        if let Some(i) = BoundKind::ALL.iter().position(|&k| k == kind) {
+            self.bound_kinds[i].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(gap) = gap {
+            self.optimality_gap.record(gap);
         }
     }
 
@@ -553,6 +647,22 @@ impl Metrics {
                 count.load(Ordering::Relaxed)
             ));
         }
+        out.push_str(&family(
+            "dclab_bound_kind_total",
+            "Fresh solves, by lower-bound certificate kind.",
+            "counter",
+        ));
+        for (k, count) in BoundKind::ALL.iter().zip(self.bound_kinds.iter()) {
+            out.push_str(&format!(
+                "dclab_bound_kind_total{{kind=\"{}\"}} {}\n",
+                escape_label(k.name()),
+                count.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&self.optimality_gap.to_prometheus(
+            "dclab_optimality_gap",
+            "Relative optimality gap (span - lower_bound) / lower_bound of fresh solves.",
+        ));
         out.push_str(&counter(
             "dclab_oracle_labels_built_total",
             "Hub-label distance oracles built for fresh solves.",
@@ -612,6 +722,13 @@ impl Metrics {
             .zip(self.race_wins.iter())
             .fold(Obj::new(), |obj, (s, count)| {
                 obj.u64(s.name(), count.load(Ordering::Relaxed))
+            })
+            .finish();
+        let bound_kinds = BoundKind::ALL
+            .iter()
+            .zip(self.bound_kinds.iter())
+            .fold(Obj::new(), |obj, (k, count)| {
+                obj.u64(k.name(), count.load(Ordering::Relaxed))
             })
             .finish();
         let phases = dclab_trace::PHASES
@@ -726,6 +843,8 @@ impl Metrics {
             .raw("store", &store_json)
             .raw("strategies", &strategies)
             .raw("race_wins", &race_wins)
+            .raw("bound_kinds", &bound_kinds)
+            .raw("optimality_gap", &self.optimality_gap.to_json())
             .raw("oracle", &oracle_json)
             .raw("solve_latency", &self.solve_latency.to_json())
             .raw("phases", &phases)
@@ -922,6 +1041,38 @@ mod tests {
         assert!(json.contains("\"solve_timeouts\":2"));
         assert!(json.contains("\"race_wins\":{"));
         assert!(json.contains("\"heuristic\":2"));
+    }
+
+    #[test]
+    fn bound_kind_and_gap_metrics_render() {
+        let m = Metrics::default();
+        // A fresh server renders the full all-zero families.
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert!(text.contains("dclab_bound_kind_total{kind=\"degree\"} 0\n"));
+        assert!(text.contains("dclab_optimality_gap_count 0\n"));
+        // A proof (gap 0), a near-optimal timeout, and a bound-less solve.
+        m.record_bound(BoundKind::ProvedOptimal, Some(0.0));
+        m.record_bound(BoundKind::HkAscent, Some(0.0075));
+        m.record_bound(BoundKind::Degree, None);
+        let text = m.to_prometheus(CacheCounters::default(), None);
+        assert!(text.contains("dclab_bound_kind_total{kind=\"proved-optimal\"} 1\n"));
+        assert!(text.contains("dclab_bound_kind_total{kind=\"hk-ascent\"} 1\n"));
+        assert!(text.contains("dclab_bound_kind_total{kind=\"degree\"} 1\n"));
+        assert!(text.contains("dclab_bound_kind_total{kind=\"one-tree\"} 0\n"));
+        assert_eq!(text.matches("# TYPE dclab_bound_kind_total").count(), 1);
+        // Gap histogram: the proof sits alone under le="0"; the 0.0075 gap
+        // first appears cumulatively at le="0.01"; the undefined gap never
+        // records.
+        assert!(text.contains("dclab_optimality_gap_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("dclab_optimality_gap_bucket{le=\"0.005\"} 1\n"));
+        assert!(text.contains("dclab_optimality_gap_bucket{le=\"0.01\"} 2\n"));
+        assert!(text.contains("dclab_optimality_gap_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("dclab_optimality_gap_sum 0.0075\n"));
+        assert!(text.contains("dclab_optimality_gap_count 2\n"));
+        assert_prometheus_grammar(&text);
+        let json = m.to_json(CacheCounters::default(), None);
+        assert!(json.contains("\"bound_kinds\":{\"degree\":1,\"one-tree\":0,"));
+        assert!(json.contains("\"optimality_gap\":{\"count\":2,\"mean\":0.003750"));
     }
 
     #[test]

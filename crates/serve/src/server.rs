@@ -630,6 +630,8 @@ fn cached_solve(
                 if report.stats.timed_out {
                     ctx.metrics.solve_timeouts.fetch_add(1, Ordering::Relaxed);
                 }
+                ctx.metrics
+                    .record_bound(report.stats.bound.kind, report.gap());
                 if params.strategy == Strategy::Race {
                     ctx.metrics.record_race_winner(report.strategy_used);
                 }

@@ -377,11 +377,17 @@ fn loadgen_self_test_passes() {
 fn deadline_solve_returns_best_incumbent_never_5xx() {
     use rand::SeedableRng;
     let (handle, mut client) = test_server();
-    // Big enough that a 1 ms deadline cannot possibly finish, let alone
-    // prove optimality: the response must still be 200 with a harvested
-    // (engine-validated) labeling, flagged timed_out.
+    // A hardness-corpus instance (Griggs–Yeh reduction of G(399, ½)) whose
+    // optimum encodes a Hamiltonian-path question: a 1 ms deadline cannot
+    // prove optimality — the root Held–Karp bound certifies 400 but every
+    // harvested incumbent lands above it. The response must still be 200
+    // with a harvested (engine-validated) labeling, flagged timed_out.
+    // (A plain dense G(n,p) no longer works here: greedy reaches the
+    // root-bound optimum and the solve is *proved* despite the deadline.)
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let g = dclab_graph::generators::random::gnp_with_diameter_at_most(&mut rng, 400, 0.5, 2);
+    let g = dclab_core::hardness::griggs_yeh_reduction(&dclab_graph::generators::random::gnp(
+        &mut rng, 399, 0.5,
+    ));
     let body = graph_io::write_edge_list(&g);
     let resp = client
         .request("POST", "/solve?p=2,1&strategy=race&deadline-ms=1", &body)
@@ -389,6 +395,16 @@ fn deadline_solve_returns_best_incumbent_never_5xx() {
     assert_eq!(resp.status, 200, "{}", resp.body);
     assert!(resp.body.contains("\"timed_out\":true"), "{}", resp.body);
     assert!(resp.body.contains("\"strategy_requested\":\"race\""));
+    // Timed-out reports still carry a certificate: the deadline-capped
+    // root ascent pins the lower bound at 400 (hk-ascent rung) and the
+    // report surfaces the relative gap next to it.
+    assert!(resp.body.contains("\"lower_bound\":400"), "{}", resp.body);
+    assert!(
+        resp.body.contains("\"kind\":\"hk-ascent\""),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"gap\":0.0"), "{}", resp.body);
     assert_eq!(resp.header("x-dclab-cache"), Some("miss"));
 
     // The harvest is cached under the deadline-bearing key: replaying the
@@ -400,10 +416,23 @@ fn deadline_solve_returns_best_incumbent_never_5xx() {
     assert_eq!(warm.header("x-dclab-cache"), Some("hit"));
     assert_eq!(warm.body, resp.body);
 
-    // Timeout + race-winner counters surfaced on /metrics.
+    // Timeout + race-winner counters surfaced on /metrics, plus the
+    // certificate-kind counter and gap histogram for the fresh solve.
     let metrics = client.request("GET", "/metrics", "").unwrap();
     assert!(
         metrics.body.contains("dclab_solve_timeouts_total 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics
+            .body
+            .contains("dclab_bound_kind_total{kind=\"hk-ascent\"} 1"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics.body.contains("dclab_optimality_gap_count 1"),
         "{}",
         metrics.body
     );

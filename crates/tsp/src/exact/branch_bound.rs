@@ -30,8 +30,11 @@ pub enum BbStatus {
 /// the best incumbent found — plus how the search ended.
 #[derive(Clone, Debug)]
 pub struct BbResult {
+    /// Best incumbent path (a full permutation of the cities).
     pub order: Vec<u32>,
+    /// Weight of `order`.
     pub weight: Weight,
+    /// How the search ended (proved, exhausted, cancelled, …).
     pub status: BbStatus,
 }
 
@@ -41,7 +44,7 @@ pub struct BbResult {
 /// `node_budget` caps the number of search nodes (returns `None` when
 /// exceeded, so callers can fall back to Held–Karp).
 pub fn branch_bound_path(inst: &TspInstance, node_budget: u64) -> Option<(Vec<u32>, Weight)> {
-    let r = branch_bound_path_anytime(inst, node_budget, &Deadline::none(), None);
+    let r = branch_bound_path_anytime(inst, node_budget, &Deadline::none(), None, None);
     match r.status {
         BbStatus::Proved => Some((r.order, r.weight)),
         // With Deadline::none() only the budget can stop the search; the
@@ -63,11 +66,21 @@ pub fn branch_bound_path(inst: &TspInstance, node_budget: u64) -> Option<(Vec<u3
 /// strictly cheaper than `min(returned weight, shared bound)` — since the
 /// shared bound only ever holds weights achieved elsewhere, the racing
 /// harvest's minimum is then a proven optimum.
+///
+/// `root_bound`, when present, must be a *proven* lower bound on the
+/// optimal path weight (e.g. a Held–Karp ascent certificate). The run then
+/// stops with [`BbStatus::Proved`] as soon as
+/// `min(own incumbent, shared bound) ≤ root_bound` — the incumbent (or the
+/// portfolio minimum) has met a valid lower bound, so it is optimal and no
+/// search is needed. On bound-tight instances this turns the construction
+/// sweep itself into a proof: the first nearest-neighbor start that
+/// matches the root bound ends the run in `O(n²)` total.
 pub fn branch_bound_path_anytime(
     inst: &TspInstance,
     node_budget: u64,
     deadline: &Deadline,
     shared_bound: Option<&AtomicU64>,
+    root_bound: Option<Weight>,
 ) -> BbResult {
     let n = inst.n();
     assert!(n >= 1);
@@ -78,6 +91,20 @@ pub fn branch_bound_path_anytime(
             status: BbStatus::Proved,
         };
     }
+    // `min(own best, shared) ≤ root` — the incumbent pool met a proven
+    // lower bound, nothing cheaper can exist.
+    let proved_by_root = |w: Weight| -> bool {
+        match root_bound {
+            Some(root) => {
+                let pool = match shared_bound {
+                    Some(s) => w.min(s.load(Ordering::Relaxed)),
+                    None => w,
+                };
+                pool <= root
+            }
+            None => false,
+        }
+    };
     // Initial incumbent: nearest-neighbor path from every start, improved
     // by the cheapest construction available here (NN only — callers who
     // want tighter incumbents can pre-seed via local search). Deadline
@@ -87,6 +114,16 @@ pub fn branch_bound_path_anytime(
     let mut best_w = path_weight(inst, &best_order);
     let mut constructed_all = true;
     for s in 0..n {
+        if proved_by_root(best_w) {
+            if let Some(shared) = shared_bound {
+                shared.fetch_min(best_w, Ordering::Relaxed);
+            }
+            return BbResult {
+                order: best_order,
+                weight: best_w,
+                status: BbStatus::Proved,
+            };
+        }
         if deadline.expired() {
             constructed_all = false;
             break;
@@ -97,6 +134,16 @@ pub fn branch_bound_path_anytime(
             best_w = w;
             best_order = order;
         }
+    }
+    if let Some(shared) = shared_bound {
+        shared.fetch_min(best_w, Ordering::Relaxed);
+    }
+    if proved_by_root(best_w) {
+        return BbResult {
+            order: best_order,
+            weight: best_w,
+            status: BbStatus::Proved,
+        };
     }
     if !constructed_all {
         return BbResult {
@@ -117,6 +164,7 @@ pub fn branch_bound_path_anytime(
         budget: node_budget,
         deadline,
         shared_bound,
+        root_bound,
         traced: trace.is_enabled(),
         trace: &trace,
     };
@@ -161,6 +209,7 @@ struct Search<'a> {
     budget: u64,
     deadline: &'a Deadline,
     shared_bound: Option<&'a AtomicU64>,
+    root_bound: Option<Weight>,
     /// Hoisted `trace.is_enabled()` so the per-node checkpoint test is a
     /// single predictable branch when tracing is off.
     traced: bool,
@@ -198,6 +247,10 @@ impl Search<'_> {
                 if let Some(shared) = self.shared_bound {
                     shared.fetch_min(acc, Ordering::Relaxed);
                 }
+                if self.root_bound.is_some_and(|root| acc <= root) {
+                    // The new incumbent met a proven lower bound: optimal.
+                    return Err(BbStatus::Proved);
+                }
             }
             return Ok(());
         }
@@ -210,6 +263,12 @@ impl Search<'_> {
             Some(shared) => self.best_w.min(shared.load(Ordering::Relaxed)),
             None => self.best_w,
         };
+        if self.root_bound.is_some_and(|root| prune_at <= root) {
+            // Some member of the incumbent pool (this run or a racing
+            // sibling publishing into `shared_bound`) already met a proven
+            // lower bound — the remaining search cannot improve on it.
+            return Err(BbStatus::Proved);
+        }
         let bound = acc + mst_over_remaining(inst, used, tip);
         if bound >= prune_at {
             return Ok(()); // prune
@@ -320,7 +379,7 @@ mod tests {
     #[test]
     fn anytime_budget_exhaustion_keeps_a_full_incumbent() {
         let t = random_instance(12, 9);
-        let r = branch_bound_path_anytime(&t, 5, &Deadline::none(), None);
+        let r = branch_bound_path_anytime(&t, 5, &Deadline::none(), None, None);
         assert_eq!(r.status, BbStatus::BudgetExhausted);
         assert!(is_permutation(12, &r.order));
         assert_eq!(path_weight(&t, &r.order), r.weight);
@@ -339,7 +398,7 @@ mod tests {
         let token = CancelToken::new();
         token.cancel(); // expired before the search starts
         let deadline = Deadline::none().with_token(token);
-        let r = branch_bound_path_anytime(&t, u64::MAX, &deadline, None);
+        let r = branch_bound_path_anytime(&t, u64::MAX, &deadline, None, None);
         assert_eq!(r.status, BbStatus::Cancelled);
         assert!(is_permutation(14, &r.order));
         assert_eq!(path_weight(&t, &r.order), r.weight);
@@ -354,14 +413,14 @@ mod tests {
             // A shared bound strictly above the optimum must not hide it:
             // the search still proves and returns the true optimum.
             let shared = AtomicU64::new(opt + 1);
-            let r = branch_bound_path_anytime(&t, u64::MAX, &Deadline::none(), Some(&shared));
+            let r = branch_bound_path_anytime(&t, u64::MAX, &Deadline::none(), Some(&shared), None);
             assert_eq!(r.status, BbStatus::Proved);
             assert_eq!(r.weight, opt, "salt {salt}");
             // A shared bound at the optimum may prune the optimal branch,
             // but Proved then certifies "nothing cheaper than the shared
             // value exists" — the incumbent can never beat it.
             let shared = AtomicU64::new(opt);
-            let r = branch_bound_path_anytime(&t, u64::MAX, &Deadline::none(), Some(&shared));
+            let r = branch_bound_path_anytime(&t, u64::MAX, &Deadline::none(), Some(&shared), None);
             assert_eq!(r.status, BbStatus::Proved);
             assert!(r.weight >= opt);
         }

@@ -20,6 +20,9 @@
 //! * **certificates**: Held–Karp 1-tree lower bounds with subgradient
 //!   ascent ([`lowerbound`]) for bounding heuristic gaps at scale.
 
+// Every public item in this crate is API surface for the workspace's
+// other eight crates: undocumented exports fail the build.
+#![warn(missing_docs)]
 // Index-based loops are the clearer idiom for the dense matrix/bitmask
 // kernels in this crate.
 #![allow(clippy::needless_range_loop)]

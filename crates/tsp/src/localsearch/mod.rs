@@ -82,6 +82,7 @@ impl Default for LocalSearchConfig {
 /// regions between the segment and its insertion point — never a full
 /// `pos` rebuild.
 pub struct TourState {
+    /// Current visiting order (a permutation of the cities).
     pub order: Vec<u32>,
     pos: Vec<u32>,
     /// Reusable gather buffer for [`Self::splice_after`].

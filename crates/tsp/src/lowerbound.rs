@@ -3,45 +3,169 @@
 //! A 1-tree (spanning tree over cities `1..n` plus the two cheapest edges
 //! at city 0) weighs no more than any Hamiltonian cycle; maximizing the
 //! bound over node potentials `π` (Held & Karp 1970) tightens it, often to
-//! within 1–2% of the optimum. Applied to the dummy-extended instance it
-//! lower-bounds Path TSP — and therefore `λ_p` through the Theorem 2
-//! reduction — at sizes where exact search is impossible.
+//! within 1–2% of the optimum.
+//!
+//! **Path TSP** uses the dual in its *path* form rather than a dummy-city
+//! extension: a Hamiltonian path is a spanning tree whose two endpoints
+//! have degree 1, so for any potentials `π`
+//!
+//! ```text
+//! w(P) = w^π(P) − 2·Σπ + π_s + π_t ≥ MST(w^π) − 2·Σπ + (two smallest π)
+//! ```
+//!
+//! where `w^π(u,v) = w(u,v) + π_u + π_v`. At `π = 0` this is exactly the
+//! MST bound, and the ascent only climbs from there. (The classical
+//! dummy-city reduction is *equivalent at the LP optimum* but is a much
+//! worse place to run a subgradient method: the dummy's all-zero edges
+//! let every city attach to it for free, the un-ascended 1-tree collapses
+//! toward 0, and on the two-valued reduction-shaped instances this
+//! workspace produces the ascent measurably stalls one unit short of the
+//! bound the plain MST already certifies.)
 //!
 //! The ascent uses the classical step rule
 //! `t_k = α·(UB − L(π_k)) / ‖g_k‖²` with `α` halved after stretches
 //! without improvement, `UB` seeded by nearest neighbor.
+//!
+//! **Integrality rounding** — every weight in a [`TspInstance`] is an
+//! integer, so every tour weight is an integer, and a real-valued
+//! Lagrangian value `L` certifies `opt ≥ ⌈L − ε⌉`. The bounds here round
+//! *up* (with a small epsilon so floating error can never push a bound
+//! past a value it did not certify); on two-valued reduction-shaped
+//! instances this one step is frequently the difference between a bound
+//! one unit shy of the optimum and a proof.
+//!
+//! **Anytime** — [`held_karp_ascent_anytime`] and
+//! [`path_lower_bound_anytime`] poll a [`Deadline`] before every
+//! subgradient iteration after the first (each iteration already pays for
+//! an `O(n²)` Prim pass, so the clock read is noise) and report how many
+//! iterations actually ran. The first iteration always runs: a caller that
+//! reached the ascent at all has committed to one Prim pass, and the
+//! certificate it yields (the MST-level bound) is what every later
+//! consumer keys on. With [`Deadline::none`] the loop is purely logical:
+//! zero clock reads, the same iteration count on every machine.
 
 use crate::construct::nearest_neighbor;
 use crate::tour::cycle_weight;
 use crate::{TspInstance, Weight};
+use dclab_par::Deadline;
 
-/// Plain (un-ascended) 1-tree bound for **cycle** TSP. Returns 0 for
-/// `n < 3`.
-pub fn one_tree_bound(inst: &TspInstance) -> Weight {
-    let pi = vec![0.0f64; inst.n()];
-    let (v, _) = one_tree_with_degrees(inst, &pi);
-    if v <= 0.0 {
-        0
-    } else {
-        v.floor() as Weight
-    }
+/// What an ascent run produced: the certified bound and how many
+/// subgradient iterations actually executed (deadline-free runs always
+/// execute the same deterministic count for a given instance and budget).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AscentOutcome {
+    /// The certified lower bound (0 when the instance admits none).
+    pub bound: Weight,
+    /// Subgradient iterations executed (0 for degenerate sizes where the
+    /// bound is closed-form).
+    pub iters: u64,
 }
 
-/// Held–Karp ascent: iteratively raise the 1-tree bound with subgradient
-/// steps on node potentials. `iters` ≈ 100 converges on the reduced
-/// instances this workspace produces.
-pub fn held_karp_ascent_bound(inst: &TspInstance, iters: usize) -> Weight {
+/// Plain (un-ascended) 1-tree bound for **cycle** TSP.
+///
+/// Degenerate sizes: a 2-city "cycle" traverses the single edge twice, so
+/// `n = 2` returns `2·w(0,1)` — a tight bound. For `n < 2` no cycle exists
+/// and the bound is the vacuous 0 (the convention every caller of this
+/// module relies on: degenerate instances never certify anything).
+pub fn one_tree_bound(inst: &TspInstance) -> Weight {
     let n = inst.n();
     if n < 3 {
         return if n == 2 { 2 * inst.weight(0, 1) } else { 0 };
     }
+    let pi = vec![0.0f64; n];
+    let (v, _) = one_tree_with_degrees(inst, &pi);
+    round_up_bound(v)
+}
+
+/// Held–Karp ascent: iteratively raise the 1-tree bound with subgradient
+/// steps on node potentials. `iters` ≈ 100 converges on the reduced
+/// instances this workspace produces. Deadline-free wrapper around
+/// [`held_karp_ascent_anytime`].
+pub fn held_karp_ascent_bound(inst: &TspInstance, iters: usize) -> Weight {
+    held_karp_ascent_anytime(inst, iters, &Deadline::none()).bound
+}
+
+/// [`held_karp_ascent_bound`] with a wall-clock budget: the subgradient
+/// loop checks `deadline` before every iteration after the first and stops
+/// early with the best bound certified so far. `n = 2` closes the bound in
+/// constant time (`2·w(0,1)`, see [`one_tree_bound`]).
+pub fn held_karp_ascent_anytime(
+    inst: &TspInstance,
+    iters: usize,
+    deadline: &Deadline,
+) -> AscentOutcome {
+    let n = inst.n();
+    if n < 3 {
+        let bound = if n == 2 { 2 * inst.weight(0, 1) } else { 0 };
+        return AscentOutcome { bound, iters: 0 };
+    }
     let ub = cycle_weight(inst, &nearest_neighbor(inst, 0)) as f64;
+    ascent_loop(n, iters, deadline, ub, |pi| {
+        let (value, degrees) = one_tree_with_degrees(inst, pi);
+        let grad = degrees.iter().map(|&d| d as f64 - 2.0).collect();
+        (value, grad)
+    })
+}
+
+/// Lower bound for **path** TSP (both endpoints free): Held–Karp ascent
+/// in path form (see the module docs). Deadline-free wrapper around
+/// [`path_lower_bound_anytime`].
+pub fn path_lower_bound(inst: &TspInstance, iters: usize) -> Weight {
+    path_lower_bound_anytime(inst, iters, &Deadline::none()).bound
+}
+
+/// [`path_lower_bound`] with a wall-clock budget and iteration reporting.
+///
+/// The first subgradient iteration evaluates the relaxation at `π = 0`,
+/// which is exactly the MST bound — so a single iteration already
+/// certifies at least as much as a Prim pass, and every further iteration
+/// only climbs. `n = 2` closes the bound in constant time (`w(0,1)`);
+/// `n < 2` is the vacuous 0.
+pub fn path_lower_bound_anytime(
+    inst: &TspInstance,
+    iters: usize,
+    deadline: &Deadline,
+) -> AscentOutcome {
+    let n = inst.n();
+    if n <= 1 {
+        return AscentOutcome { bound: 0, iters: 0 };
+    }
+    if n == 2 {
+        return AscentOutcome {
+            bound: inst.weight(0, 1),
+            iters: 0,
+        };
+    }
+    let ub = crate::tour::path_weight(inst, &nearest_neighbor(inst, 0)) as f64;
+    ascent_loop(n, iters, deadline, ub, |pi| {
+        path_tree_with_subgradient(inst, pi)
+    })
+}
+
+/// The shared subgradient loop: classical Held–Karp ascent from `π = 0`.
+///
+/// `eval` returns the Lagrangian value and a supergradient at the current
+/// potentials. The deadline is polled before every iteration *after the
+/// first* (the first always runs — see the module docs), so a
+/// [`Deadline::none`] run performs zero clock reads.
+fn ascent_loop(
+    n: usize,
+    iters: usize,
+    deadline: &Deadline,
+    ub: f64,
+    eval: impl Fn(&[f64]) -> (f64, Vec<f64>),
+) -> AscentOutcome {
     let mut pi = vec![0.0f64; n];
     let mut best = f64::NEG_INFINITY;
     let mut alpha = 2.0f64;
     let mut since_improved = 0usize;
-    for _ in 0..iters {
-        let (value, degrees) = one_tree_with_degrees(inst, &pi);
+    let mut ran = 0u64;
+    for k in 0..iters {
+        if k > 0 && deadline.expired() {
+            break;
+        }
+        ran += 1;
+        let (value, grad) = eval(&pi);
         if value > best {
             best = value;
             since_improved = 0;
@@ -52,42 +176,93 @@ pub fn held_karp_ascent_bound(inst: &TspInstance, iters: usize) -> Weight {
                 since_improved = 0;
             }
         }
-        let mut norm2 = 0.0f64;
-        for &d in &degrees {
-            let g = d as f64 - 2.0;
-            norm2 += g * g;
-        }
+        let norm2: f64 = grad.iter().map(|g| g * g).sum();
         if norm2 < 0.5 {
-            break; // the 1-tree is a Hamiltonian cycle: bound is exact
+            break; // the relaxation is a feasible tour/path: bound is exact
         }
         let gap = (ub - value).max(1.0);
         let step = alpha * gap / norm2;
         for v in 0..n {
-            pi[v] += step * (degrees[v] as f64 - 2.0);
+            pi[v] += step * grad[v];
         }
         if alpha < 1e-3 {
             break;
         }
     }
-    if best <= 0.0 {
-        0
-    } else {
-        // Floor with a small epsilon so floating error cannot round an
-        // invalid bound upward.
-        (best - 1e-6).floor().max(0.0) as Weight
+    AscentOutcome {
+        bound: round_up_bound(best),
+        iters: ran,
     }
 }
 
-/// Lower bound for **path** TSP (both endpoints free): ascend on the
-/// dummy-extended instance; a cycle there is a path here with equal weight.
-pub fn path_lower_bound(inst: &TspInstance, iters: usize) -> Weight {
-    if inst.n() <= 1 {
-        return 0;
+/// Integer-weight rounding of a real-valued Lagrangian bound: tour weights
+/// are integers, so `opt ≥ L` implies `opt ≥ ⌈L⌉`. The epsilon keeps a
+/// floating value that is really an exact integer `K` (computed as
+/// `K + δ`, `δ` a few ulps) from unsoundly rounding to `K + 1`.
+fn round_up_bound(value: f64) -> Weight {
+    if value <= 0.0 {
+        0
+    } else {
+        (value - 1e-6).ceil().max(0.0) as Weight
     }
-    if inst.n() == 2 {
-        return inst.weight(0, 1);
+}
+
+/// Path-form Lagrangian value and supergradient under potentials (see the
+/// module docs): `L(π) = MST(w^π) − 2·Σπ + (two smallest π)`, supergradient
+/// `g_v = deg_v(T) − 2 + [v is one of the two argmin-π vertices]`.
+fn path_tree_with_subgradient(inst: &TspInstance, pi: &[f64]) -> (f64, Vec<f64>) {
+    let n = inst.n();
+    debug_assert!(n >= 3);
+    let w = |u: usize, v: usize| inst.weight(u, v) as f64 + pi[u] + pi[v];
+    // Prim MST over all n cities under the priced weights.
+    let mut in_tree = vec![false; n];
+    let mut key = vec![f64::INFINITY; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut degrees = vec![0u32; n];
+    key[0] = 0.0;
+    let mut total = 0.0f64;
+    for _ in 0..n {
+        let mut pick = usize::MAX;
+        let mut pick_w = f64::INFINITY;
+        for v in 0..n {
+            if !in_tree[v] && key[v] < pick_w {
+                pick_w = key[v];
+                pick = v;
+            }
+        }
+        in_tree[pick] = true;
+        if parent[pick] != usize::MAX {
+            total += w(parent[pick], pick);
+            degrees[pick] += 1;
+            degrees[parent[pick]] += 1;
+        }
+        for v in 0..n {
+            if !in_tree[v] {
+                let cand = w(pick, v);
+                if cand < key[v] {
+                    key[v] = cand;
+                    parent[v] = pick;
+                }
+            }
+        }
     }
-    held_karp_ascent_bound(&inst.with_dummy_city(), iters)
+    // The two smallest potentials price the path's free endpoints
+    // (deterministic: ties go to the lowest index).
+    let (mut i1, mut i2) = (usize::MAX, usize::MAX);
+    for v in 0..n {
+        if i1 == usize::MAX || pi[v] < pi[i1] {
+            i2 = i1;
+            i1 = v;
+        } else if i2 == usize::MAX || pi[v] < pi[i2] {
+            i2 = v;
+        }
+    }
+    let sum_pi: f64 = pi.iter().sum();
+    let value = total - 2.0 * sum_pi + pi[i1] + pi[i2];
+    let mut grad: Vec<f64> = degrees.iter().map(|&d| d as f64 - 2.0).collect();
+    grad[i1] += 1.0;
+    grad[i2] += 1.0;
+    (value, grad)
 }
 
 /// 1-tree value and degrees under potentials: `w'(u,v) = w + π_u + π_v`,
@@ -194,13 +369,16 @@ mod tests {
     #[test]
     fn near_exact_on_two_valued_reduction_shape() {
         // Weights 1 on the line, 2 elsewhere (diameter-2 reduction shape):
-        // the path optimum is n-1; the ascent bound should certify ≥ 90%.
+        // the path optimum is n-1. The path-form relaxation at π = 0 is the
+        // MST bound — the line itself — so the ascent certifies it exactly,
+        // and a single iteration suffices.
         let t = TspInstance::from_fn(20, |u, v| if u.abs_diff(v) == 1 { 1 } else { 2 });
         let (_, opt) = held_karp_path(&t);
         assert_eq!(opt, 19);
-        let lb = path_lower_bound(&t, 200);
-        assert!(lb <= 19);
-        assert!(lb >= 17, "ascent bound too weak: {lb} vs 19");
+        assert_eq!(path_lower_bound(&t, 200), 19);
+        let one = path_lower_bound_anytime(&t, 1, &Deadline::none());
+        assert_eq!(one.bound, 19);
+        assert_eq!(one.iters, 1);
     }
 
     #[test]
@@ -212,5 +390,31 @@ mod tests {
         let t2 = TspInstance::from_matrix(2, vec![0, 5, 5, 0]);
         assert_eq!(held_karp_ascent_bound(&t2, 10), 10);
         assert_eq!(path_lower_bound(&t2, 10), 5);
+        // n = 2 has a provable 1-tree bound: the cycle uses the lone edge
+        // twice. n < 2 stays at the vacuous 0.
+        assert_eq!(one_tree_bound(&t2), 10);
+        assert_eq!(one_tree_bound(&TspInstance::from_matrix(1, vec![0])), 0);
+        assert_eq!(one_tree_bound(&TspInstance::from_matrix(0, vec![])), 0);
+    }
+
+    #[test]
+    fn anytime_reports_iterations_and_respects_cancellation() {
+        let t = random_instance(10, 3);
+        let full = held_karp_ascent_anytime(&t, 40, &Deadline::none());
+        assert!(full.iters >= 1 && full.iters <= 40);
+        // Deterministic: the deadline-free loop runs the same count again.
+        assert_eq!(held_karp_ascent_anytime(&t, 40, &Deadline::none()), full);
+        // A pre-cancelled deadline still runs the first iteration (the
+        // caller committed to one Prim pass), then stops: the result is the
+        // un-ascended bound, never the vacuous 0.
+        let token = dclab_par::CancelToken::new();
+        token.cancel();
+        let dl = Deadline::none().with_token(token);
+        let cancelled = held_karp_ascent_anytime(&t, 40, &dl);
+        assert_eq!(cancelled.iters, 1);
+        assert_eq!(cancelled.bound, one_tree_bound(&t));
+        let path_cancelled = path_lower_bound_anytime(&t, 40, &dl);
+        assert_eq!(path_cancelled.iters, 1);
+        assert!(path_cancelled.bound > 0);
     }
 }
